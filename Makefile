@@ -1,0 +1,41 @@
+# aggcache build targets. Standard library only; no external deps.
+
+GO ?= go
+
+.PHONY: all build vet test race bench experiments examples fuzz clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every paper figure at full scale (see EXPERIMENTS.md).
+experiments:
+	$(GO) run ./cmd/experiments -fig all -opens 120000 -seed 1
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/servercache
+	$(GO) run ./examples/netgroup
+	$(GO) run ./examples/predictability
+	$(GO) run ./examples/grouping-apps
+
+# Short fuzzing pass over the wire and trace codecs.
+fuzz:
+	$(GO) test -run=^$$ -fuzz=FuzzDecodeOpenRequest -fuzztime=30s ./internal/fsnet/
+	$(GO) test -run=^$$ -fuzz=FuzzReadBinary -fuzztime=30s ./internal/trace/
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,176 @@
+// Command aggserve runs the group-retrieval file server of Figure 2: a
+// TCP server that answers open requests with groups of related files,
+// learning inter-file relationships from the request stream (and from
+// piggybacked client access histories).
+//
+// The store is seeded either from a directory tree (-root) or with
+// synthetic files (-synthetic N). The server runs until SIGINT/SIGTERM,
+// then shuts down gracefully and prints its statistics.
+//
+// Examples:
+//
+//	aggserve -addr :7070 -root ./testdata
+//	aggserve -addr 127.0.0.1:7070 -synthetic 1000 -group 5 -cache 256
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io/fs"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"syscall"
+
+	"aggcache/internal/fsnet"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "aggserve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fl := flag.NewFlagSet("aggserve", flag.ContinueOnError)
+	var (
+		addr      = fl.String("addr", "127.0.0.1:7070", "listen address")
+		root      = fl.String("root", "", "seed the store from this directory tree")
+		synthetic = fl.Int("synthetic", 0, "seed the store with N synthetic files instead")
+		group     = fl.Int("group", 5, "retrieval group size g")
+		capacity  = fl.Int("cache", 256, "server memory cache capacity (files)")
+		succCap   = fl.Int("successors", 3, "per-file successor list capacity")
+		metadata  = fl.String("metadata", "", "persist learned relationships to this file (loaded at start if present, saved at shutdown)")
+	)
+	if err := fl.Parse(args); err != nil {
+		return err
+	}
+
+	store := fsnet.NewStore()
+	switch {
+	case *root != "":
+		n, err := seedFromDir(store, *root)
+		if err != nil {
+			return err
+		}
+		log.Printf("aggserve: loaded %d files from %s", n, *root)
+	case *synthetic > 0:
+		for i := 0; i < *synthetic; i++ {
+			path := fmt.Sprintf("/synthetic/f%06d", i)
+			if err := store.Put(path, []byte(fmt.Sprintf("synthetic contents of %s", path))); err != nil {
+				return err
+			}
+		}
+		log.Printf("aggserve: seeded %d synthetic files", *synthetic)
+	default:
+		return fmt.Errorf("provide -root DIR or -synthetic N to populate the store")
+	}
+
+	srv, err := fsnet.NewServer(store, fsnet.ServerConfig{
+		GroupSize:         *group,
+		CacheCapacity:     *capacity,
+		SuccessorCapacity: *succCap,
+		Logger:            log.New(os.Stderr, "", log.LstdFlags),
+	})
+	if err != nil {
+		return err
+	}
+	if *metadata != "" {
+		if f, err := os.Open(*metadata); err == nil {
+			loadErr := srv.LoadMetadata(f)
+			_ = f.Close()
+			if loadErr != nil {
+				return fmt.Errorf("load metadata: %w", loadErr)
+			}
+			log.Printf("aggserve: restored relationship metadata from %s", *metadata)
+		} else if !os.IsNotExist(err) {
+			return err
+		}
+	}
+
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	log.Printf("aggserve: listening on %s (g=%d cache=%d)", l.Addr(), *group, *capacity)
+
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(l) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case s := <-sig:
+		log.Printf("aggserve: received %s, shutting down", s)
+	case err := <-done:
+		return fmt.Errorf("serve: %w", err)
+	}
+	if *metadata != "" {
+		if err := saveMetadata(srv, *metadata); err != nil {
+			log.Printf("aggserve: save metadata: %v", err)
+		} else {
+			log.Printf("aggserve: saved relationship metadata to %s", *metadata)
+		}
+	}
+	if err := srv.Close(); err != nil {
+		return err
+	}
+	st := srv.Stats()
+	log.Printf("aggserve: requests=%d errors=%d files-sent=%d cache{%s}",
+		st.Requests, st.Errors, st.FilesSent, st.Cache.String())
+	return nil
+}
+
+// saveMetadata writes the server's learned state atomically (write to a
+// temp file, then rename).
+func saveMetadata(srv *fsnet.Server, path string) (err error) {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err != nil {
+			_ = os.Remove(tmp)
+		}
+	}()
+	if err = srv.SaveMetadata(f); err != nil {
+		_ = f.Close()
+		return err
+	}
+	if err = f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// seedFromDir loads every regular file under root into the store, keyed by
+// its path relative to root (with a leading slash).
+func seedFromDir(store *fsnet.Store, root string) (int, error) {
+	var n int
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.Type().IsRegular() {
+			return nil
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(root, path)
+		if err != nil {
+			return err
+		}
+		if err := store.Put("/"+filepath.ToSlash(rel), data); err != nil {
+			return err
+		}
+		n++
+		return nil
+	})
+	return n, err
+}

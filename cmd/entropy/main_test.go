@@ -1,0 +1,96 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func captureStdout(t *testing.T, f func() error) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	errCh := make(chan error, 1)
+	go func() { errCh <- f() }()
+	runErr := <-errCh
+	os.Stdout = old
+	_ = w.Close()
+	out := make([]byte, 1<<20)
+	n, _ := r.Read(out)
+	_ = r.Close()
+	if runErr != nil {
+		t.Fatalf("run: %v", runErr)
+	}
+	return string(out[:n])
+}
+
+func TestSweepOutput(t *testing.T) {
+	out := captureStdout(t, func() error {
+		return run([]string{"-profile", "server", "-opens", "2000", "-maxlen", "3"})
+	})
+	if !strings.Contains(out, "length  entropy(bits)") {
+		t.Errorf("missing header:\n%s", out)
+	}
+	if strings.Count(out, "\n") < 4 {
+		t.Errorf("want 3 sweep rows:\n%s", out)
+	}
+}
+
+func TestFilteredSweep(t *testing.T) {
+	out := captureStdout(t, func() error {
+		return run([]string{"-profile", "server", "-opens", "2000", "-maxlen", "2", "-filter", "50"})
+	})
+	if !strings.Contains(out, "filtered through LRU(50)") {
+		t.Errorf("missing filter note:\n%s", out)
+	}
+}
+
+func TestPerFileReportAndSVG(t *testing.T) {
+	svg := filepath.Join(t.TempDir(), "files.svg")
+	out := captureStdout(t, func() error {
+		return run([]string{"-profile", "server", "-opens", "2000", "-perfile", "5", "-svg", svg})
+	})
+	if !strings.Contains(out, "accesses") {
+		t.Errorf("missing per-file header:\n%s", out)
+	}
+	data, err := os.ReadFile(svg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "<svg") {
+		t.Error("svg output malformed")
+	}
+}
+
+func TestTimelineAndSVG(t *testing.T) {
+	svg := filepath.Join(t.TempDir(), "tl.svg")
+	out := captureStdout(t, func() error {
+		return run([]string{"-profile", "server", "-opens", "3000", "-timeline", "1000", "-svg", svg})
+	})
+	if !strings.Contains(out, "entropy(bits)") {
+		t.Errorf("missing timeline header:\n%s", out)
+	}
+	if _, err := os.Stat(svg); err != nil {
+		t.Errorf("svg not written: %v", err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := [][]string{
+		{"-maxlen", "0"},
+		{"-profile", "bogus"},
+		{"-trace", "/no/such/file"},
+		{"-badflag"},
+		{"-opens", "1000", "-timeline", "1"},
+	}
+	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v) succeeded", args)
+		}
+	}
+}

@@ -1,0 +1,75 @@
+// Command experiments regenerates the paper's evaluation figures as
+// tables. Every figure in §4 (and the §6 headline claims) has an
+// experiment ID; see -list.
+//
+// Examples:
+//
+//	experiments -list
+//	experiments -fig 4c
+//	experiments -fig all -opens 120000 > experiments.txt
+//	experiments -fig 3a -csv > fig3a.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"aggcache/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	var (
+		fig   = fs.String("fig", "all", "experiment ID (see -list) or 'all'")
+		opens = fs.Int("opens", 120000, "opens per generated workload")
+		seed  = fs.Int64("seed", 1, "workload seed")
+		csv   = fs.Bool("csv", false, "emit CSV instead of aligned text")
+		list  = fs.Bool("list", false, "list experiment IDs and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		for _, id := range experiments.IDs() {
+			title, _ := experiments.Title(id)
+			fmt.Printf("%-7s %s\n", id, title)
+		}
+		return nil
+	}
+
+	cfg := experiments.Config{Opens: *opens, Seed: *seed}
+	var tables []*experiments.Table
+	if *fig == "all" {
+		ts, err := experiments.RunAll(cfg)
+		if err != nil {
+			return err
+		}
+		tables = ts
+	} else {
+		t, err := experiments.Run(*fig, cfg)
+		if err != nil {
+			return err
+		}
+		tables = append(tables, t)
+	}
+
+	for i, t := range tables {
+		if i > 0 {
+			fmt.Println()
+		}
+		if *csv {
+			fmt.Print(t.CSV())
+		} else {
+			fmt.Print(t.Format())
+		}
+	}
+	return nil
+}

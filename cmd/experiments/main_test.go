@@ -1,0 +1,68 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+func captureStdout(t *testing.T, f func() error) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	errCh := make(chan error, 1)
+	go func() { errCh <- f() }()
+	runErr := <-errCh
+	os.Stdout = old
+	_ = w.Close()
+	out := make([]byte, 1<<20)
+	n, _ := r.Read(out)
+	_ = r.Close()
+	if runErr != nil {
+		t.Fatalf("run: %v", runErr)
+	}
+	return string(out[:n])
+}
+
+func TestList(t *testing.T) {
+	out := captureStdout(t, func() error { return run([]string{"-list"}) })
+	for _, id := range []string{"3a", "4c", "7", "claims", "xprefetch"} {
+		if !strings.Contains(out, id) {
+			t.Errorf("list missing %q:\n%s", id, out)
+		}
+	}
+}
+
+func TestSingleFigureText(t *testing.T) {
+	out := captureStdout(t, func() error {
+		return run([]string{"-fig", "5b", "-opens", "4000"})
+	})
+	if !strings.Contains(out, "oracle") || !strings.Contains(out, "lru") {
+		t.Errorf("figure table missing columns:\n%s", out)
+	}
+}
+
+func TestSingleFigureCSV(t *testing.T) {
+	out := captureStdout(t, func() error {
+		return run([]string{"-fig", "5b", "-opens", "4000", "-csv"})
+	})
+	if !strings.HasPrefix(out, "successors,oracle,lru,lfu") {
+		t.Errorf("CSV header wrong:\n%s", out)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := [][]string{
+		{"-fig", "nope", "-opens", "1000"},
+		{"-badflag"},
+	}
+	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v) succeeded", args)
+		}
+	}
+}

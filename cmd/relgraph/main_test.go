@@ -1,0 +1,109 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"aggcache/internal/trace"
+	"aggcache/internal/workload"
+)
+
+func captureStdout(t *testing.T, f func() error) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	errCh := make(chan error, 1)
+	done := make(chan string, 1)
+	go func() {
+		// Drain concurrently: DOT output can exceed the pipe buffer.
+		buf := new(strings.Builder)
+		tmp := make([]byte, 64*1024)
+		for {
+			n, err := r.Read(tmp)
+			buf.Write(tmp[:n])
+			if err != nil {
+				break
+			}
+		}
+		done <- buf.String()
+	}()
+	go func() { errCh <- f() }()
+	runErr := <-errCh
+	os.Stdout = old
+	_ = w.Close()
+	out := <-done
+	_ = r.Close()
+	if runErr != nil {
+		t.Fatalf("run: %v", runErr)
+	}
+	return out
+}
+
+func TestDOTOutput(t *testing.T) {
+	out := captureStdout(t, func() error {
+		return run([]string{"-profile", "server", "-opens", "1500"})
+	})
+	if !strings.HasPrefix(out, "digraph") {
+		t.Errorf("not DOT output:\n%.200s", out)
+	}
+	if !strings.Contains(out, "->") {
+		t.Error("no edges emitted")
+	}
+}
+
+func TestTopRestriction(t *testing.T) {
+	full := captureStdout(t, func() error {
+		return run([]string{"-profile", "server", "-opens", "1500"})
+	})
+	top := captureStdout(t, func() error {
+		return run([]string{"-profile", "server", "-opens", "1500", "-top", "5"})
+	})
+	if strings.Count(top, "->") >= strings.Count(full, "->") {
+		t.Errorf("-top did not shrink the graph: %d vs %d edges",
+			strings.Count(top, "->"), strings.Count(full, "->"))
+	}
+}
+
+func TestFromTraceFile(t *testing.T) {
+	tr, err := workload.Standard(workload.ProfileServer, 1, 800)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "t.trc")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.WriteBinary(f, tr); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	out := captureStdout(t, func() error {
+		return run([]string{"-trace", path, "-top", "8"})
+	})
+	if !strings.HasPrefix(out, "digraph") {
+		t.Error("trace-file input produced no DOT")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := [][]string{
+		{"-profile", "bogus"},
+		{"-trace", "/no/such/file"},
+		{"-successors", "0", "-opens", "100"},
+		{"-badflag"},
+	}
+	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v) succeeded", args)
+		}
+	}
+}

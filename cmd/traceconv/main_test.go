@@ -1,0 +1,135 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"aggcache/internal/trace"
+	"aggcache/internal/workload"
+)
+
+func writeTrace(t *testing.T, dir, name, format string) (string, *trace.Trace) {
+	t.Helper()
+	tr, err := workload.Standard(workload.ProfileServer, 1, 800)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if format == "text" {
+		err = trace.WriteText(f, tr)
+	} else {
+		err = trace.WriteBinary(f, tr)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	return path, tr
+}
+
+func readAny(t *testing.T, path string) *trace.Trace {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	tr, err := trace.ReadBinary(f)
+	if err == trace.ErrBadMagic {
+		if _, err := f.Seek(0, 0); err != nil {
+			t.Fatal(err)
+		}
+		tr, err = trace.ReadText(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tr
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func equal(a, b *trace.Trace) bool {
+	if len(a.Events) != len(b.Events) {
+		return false
+	}
+	for i := range a.Events {
+		if a.Events[i] != b.Events[i] {
+			return false
+		}
+		if a.Paths.Path(a.Events[i].File) != b.Paths.Path(b.Events[i].File) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestConvertTextToBinaryAndBack(t *testing.T) {
+	dir := t.TempDir()
+	textPath, orig := writeTrace(t, dir, "in.txt", "text")
+	binPath := filepath.Join(dir, "out.trc")
+	if err := run([]string{"-in", textPath, "-out", binPath, "-to", "binary"}); err != nil {
+		t.Fatal(err)
+	}
+	backPath := filepath.Join(dir, "back.txt")
+	if err := run([]string{"-in", binPath, "-out", backPath, "-to", "text"}); err != nil {
+		t.Fatal(err)
+	}
+	if !equal(orig, readAny(t, backPath)) {
+		t.Error("double conversion changed the trace")
+	}
+}
+
+func TestConvertAutoSniffsBinary(t *testing.T) {
+	dir := t.TempDir()
+	binPath, orig := writeTrace(t, dir, "in.trc", "binary")
+	outPath := filepath.Join(dir, "out.txt")
+	if err := run([]string{"-in", binPath, "-out", outPath, "-from", "auto", "-to", "text"}); err != nil {
+		t.Fatal(err)
+	}
+	if !equal(orig, readAny(t, outPath)) {
+		t.Error("auto-sniffed conversion changed the trace")
+	}
+}
+
+func TestConvertDFS(t *testing.T) {
+	dir := t.TempDir()
+	dfsPath := filepath.Join(dir, "dump.dfs")
+	dump := "1.0 host 10 20 open /x\n1.5 host 10 20 open /y\n2.0 host 10 20 seek /x\n"
+	if err := os.WriteFile(dfsPath, []byte(dump), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	outPath := filepath.Join(dir, "out.txt")
+	if err := run([]string{"-in", dfsPath, "-from", "dfs", "-out", outPath, "-to", "text"}); err != nil {
+		t.Fatal(err)
+	}
+	tr := readAny(t, outPath)
+	if tr.Len() != 2 {
+		t.Errorf("converted %d records, want 2 (seek skipped)", tr.Len())
+	}
+}
+
+func TestConvertErrors(t *testing.T) {
+	dir := t.TempDir()
+	textPath, _ := writeTrace(t, dir, "in.txt", "text")
+	cases := [][]string{
+		{"-in", "/no/such/file"},
+		{"-in", textPath, "-to", "xml"},
+		{"-in", textPath, "-from", "qux"},
+		{"-in", textPath, "-from", "binary"}, // wrong format declared
+		{"-badflag"},
+		{"-in", textPath, "-out", "/nonexistent-dir/x"},
+	}
+	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v) succeeded", args)
+		}
+	}
+}

@@ -1,0 +1,83 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"aggcache/internal/trace"
+)
+
+func TestRunGeneratesText(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "t.txt")
+	err := run([]string{"-profile", "server", "-opens", "500", "-o", out, "-q"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	tr, err := trace.ReadText(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(tr.OpenIDs()); got != 500 {
+		t.Errorf("opens = %d, want 500", got)
+	}
+}
+
+func TestRunGeneratesBinary(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "t.trc")
+	err := run([]string{"-format", "binary", "-opens", "200", "-o", out, "-q"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := trace.ReadBinary(f); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunOverrides(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "t.txt")
+	err := run([]string{"-opens", "300", "-clients", "3", "-writes", "0", "-o", out, "-q"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	tr, err := trace.ReadText(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := trace.Summarize(tr)
+	if s.Clients != 3 {
+		t.Errorf("clients = %d, want 3", s.Clients)
+	}
+	if s.Writes != 0 {
+		t.Errorf("writes = %d, want 0", s.Writes)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := [][]string{
+		{"-profile", "bogus", "-o", filepath.Join(t.TempDir(), "x")},
+		{"-format", "xml", "-o", filepath.Join(t.TempDir(), "x")},
+		{"-badflag"},
+		{"-o", "/nonexistent-dir/file"},
+	}
+	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v) succeeded", args)
+		}
+	}
+}

@@ -1,0 +1,88 @@
+package aggcache_test
+
+import (
+	"fmt"
+
+	"aggcache"
+)
+
+// The aggregating cache in miniature: teach it a deterministic chain and
+// watch a single miss pull the whole working set in.
+func ExampleNew() {
+	c, err := aggcache.New(aggcache.Config{Capacity: 10, GroupSize: 3})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	// Teach the chain 1 -> 2 -> 3.
+	for i := 0; i < 3; i++ {
+		c.Access(1)
+		c.Access(2)
+		c.Access(3)
+	}
+	// Evict everything with unrelated files.
+	for id := aggcache.FileID(10); id < 20; id++ {
+		c.Access(id)
+	}
+	// One miss on 1 brings 2 and 3 along.
+	c.Access(1)
+	fmt.Println(c.Contains(2), c.Contains(3))
+	// Output: true true
+}
+
+// Successor metadata answers "what follows this file?" after observing
+// the access sequence.
+func ExampleNewTracker() {
+	t, err := aggcache.NewTracker(aggcache.SuccessorLRU, 3)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	t.ObserveAll([]aggcache.FileID{7, 8, 9, 7, 8, 9})
+	next, ok := t.First(7)
+	fmt.Println(next, ok)
+	// Output: 8 true
+}
+
+// Successor entropy quantifies predictability: a deterministic cycle is
+// perfectly predictable (0 bits).
+func ExampleSuccessorEntropy() {
+	seq := []aggcache.FileID{1, 2, 3, 1, 2, 3, 1, 2, 3, 1, 2, 3}
+	r, err := aggcache.SuccessorEntropy(seq, 1)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("%.1f bits over %d files\n", r.Bits, r.Files)
+	// Output: 0.0 bits over 3 files
+}
+
+// Group construction chains most-likely transitive successors.
+func ExampleNewGroupBuilder() {
+	t, err := aggcache.NewTracker(aggcache.SuccessorLRU, 3)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	t.ObserveAll([]aggcache.FileID{1, 2, 3, 4, 1, 2, 3, 4})
+	b, err := aggcache.NewGroupBuilder(t, 3, aggcache.StrategyChain)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println(b.Build(1))
+	// Output: [1 2 3]
+}
+
+// FilterLRU produces the miss stream an NFS-like server would see behind
+// a client cache.
+func ExampleFilterLRU() {
+	seq := []aggcache.FileID{1, 2, 1, 2, 3, 1}
+	misses, err := aggcache.FilterLRU(seq, 2)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println(misses)
+	// Output: [1 2 3 1]
+}

@@ -1,0 +1,135 @@
+// Grouping-apps demonstrates the two applications the paper's §6 targets
+// beyond caching: laying files out on storage by group (so related files
+// sit together) and selecting mobile hoards by working-set closure (so
+// disconnected sessions find *all* the files they need, not just the
+// popular ones).
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+
+	"aggcache"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "grouping-apps:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	if err := placementDemo(); err != nil {
+		return err
+	}
+	fmt.Println()
+	return hoardDemo()
+}
+
+// placementDemo: group-aware placement vs the classic frequency-only
+// organ pipe on a task-structured workload.
+func placementDemo() error {
+	tr, err := aggcache.StandardWorkload(aggcache.ProfileServer, 1, 40000)
+	if err != nil {
+		return err
+	}
+	ids := tr.OpenIDs()
+
+	tk, err := aggcache.NewTracker(aggcache.SuccessorLRU, 3)
+	if err != nil {
+		return err
+	}
+	tk.ObserveAll(ids)
+	b, err := aggcache.NewGroupBuilder(tk, 8, aggcache.StrategyChain)
+	if err != nil {
+		return err
+	}
+	cover := aggcache.BuildCover(tk, b, ids)
+
+	fmt.Println("data placement: mean seek distance replaying the trace")
+	layouts := []struct {
+		name   string
+		layout *aggcache.Layout
+	}{
+		{"sequential (first access)", aggcache.SequentialLayout(ids)},
+		{"organ pipe (by frequency)", aggcache.OrganPipeLayout(ids)},
+		{"grouped (covering sets)", aggcache.GroupedLayout(cover, ids)},
+	}
+	for _, l := range layouts {
+		c, err := aggcache.SeekCost(l.layout, ids)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  %-28s %8.1f slots\n", l.name, c.Mean())
+	}
+	fmt.Println("frequency-only placement is optimal only if accesses were independent;")
+	fmt.Println("they are not, and grouping exploits exactly that (paper §2.1).")
+	return nil
+}
+
+// hoardDemo: select a disconnected-operation hoard by group closure vs by
+// popularity, and judge by whole-session completion.
+func hoardDemo() error {
+	// A session-structured history: 12 tasks of 8 files, hot-task skew,
+	// many interrupted runs.
+	rng := rand.New(rand.NewSource(7))
+	var tasks [][]aggcache.FileID
+	id := aggcache.FileID(0)
+	for i := 0; i < 12; i++ {
+		var task []aggcache.FileID
+		for j := 0; j < 8; j++ {
+			task = append(task, id)
+			id++
+		}
+		tasks = append(tasks, task)
+	}
+	pick := func() int {
+		if rng.Float64() < 0.55 {
+			return rng.Intn(3)
+		}
+		return 3 + rng.Intn(9)
+	}
+	var history []aggcache.FileID
+	for i := 0; i < 2000; i++ {
+		for _, fid := range tasks[pick()] {
+			history = append(history, fid)
+			if rng.Float64() > 0.65 {
+				break // interrupted run
+			}
+		}
+	}
+	var sessions [][]aggcache.FileID
+	for i := 0; i < 400; i++ {
+		sessions = append(sessions, tasks[pick()])
+	}
+
+	// Frequency-ranked successor lists give stabler closures for
+	// hoarding (see EXPERIMENTS.md, xhoard).
+	tk, err := aggcache.NewTracker(aggcache.SuccessorLFU, 3)
+	if err != nil {
+		return err
+	}
+	tk.ObserveAll(history)
+
+	fmt.Println("mobile hoarding: fraction of disconnected sessions fully served")
+	fmt.Printf("  %-8s %12s %15s\n", "budget", "frequency", "group closure")
+	for _, budget := range []int{16, 32, 48} {
+		freq, err := aggcache.BuildHoard(tk, aggcache.HoardFrequency, budget, 8)
+		if err != nil {
+			return err
+		}
+		closure, err := aggcache.BuildHoard(tk, aggcache.HoardGroupClosure, budget, 8)
+		if err != nil {
+			return err
+		}
+		fr := aggcache.EvaluateHoardRuns(freq, sessions)
+		cr := aggcache.EvaluateHoardRuns(closure, sessions)
+		fmt.Printf("  %-8d %11.1f%% %14.1f%%\n",
+			budget, 100*fr.CompletionRate(), 100*cr.CompletionRate())
+	}
+	fmt.Println("popularity hoards behead every working set; closures hoard fewer")
+	fmt.Println("tasks but whole ones — which is what a disconnected session needs.")
+	return nil
+}

@@ -1,0 +1,60 @@
+// Servercache reproduces the paper's §4.3 story: an NFS-like server cache
+// sits behind the clients' own caches, so it only ever sees client
+// *misses*. As the client caches grow toward the server's capacity,
+// ordinary LRU/LFU server caching collapses — all reusable locality was
+// absorbed upstream — while the aggregating cache keeps working, because
+// inter-file relationships survive the filtering.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"aggcache"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "servercache:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	tr, err := aggcache.StandardWorkload(aggcache.ProfileWorkstation, 1, 60000)
+	if err != nil {
+		return err
+	}
+	ids := tr.OpenIDs()
+
+	const serverCap = 300
+	fmt.Printf("server cache capacity: %d files; workload: %d opens\n\n", serverCap, len(ids))
+	fmt.Printf("%-24s %10s %10s %10s\n", "client cache (filter)", "g5", "lru", "lfu")
+
+	for _, filter := range []int{50, 100, 200, 300, 400, 500} {
+		row := make([]float64, 0, 3)
+		for _, scheme := range []aggcache.ServerScheme{
+			aggcache.ServerAggregating, aggcache.ServerLRU, aggcache.ServerLFU,
+		} {
+			r, err := aggcache.SimulateServer(ids, aggcache.ServerSimConfig{
+				FilterCapacity: filter,
+				ServerCapacity: serverCap,
+				Scheme:         scheme,
+				GroupSize:      5,
+			})
+			if err != nil {
+				return err
+			}
+			row = append(row, 100*r.HitRate)
+		}
+		marker := ""
+		if filter >= serverCap {
+			marker = "  <- filter >= server cache"
+		}
+		fmt.Printf("%-24d %9.1f%% %9.1f%% %9.1f%%%s\n", filter, row[0], row[1], row[2], marker)
+	}
+
+	fmt.Println("\nonce the intervening cache reaches the server's capacity, LRU and LFU")
+	fmt.Println("become ineffective while grouping sustains a solid hit rate (Figure 4).")
+	return nil
+}

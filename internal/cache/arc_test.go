@@ -1,0 +1,149 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+
+	"aggcache/internal/trace"
+)
+
+func TestNewARCValidation(t *testing.T) {
+	if _, err := NewARC(0); err == nil {
+		t.Error("capacity 0 accepted")
+	}
+}
+
+func TestARCBasicHitMiss(t *testing.T) {
+	c, _ := NewARC(2)
+	if c.Access(1) {
+		t.Error("cold access hit")
+	}
+	if !c.Access(1) {
+		t.Error("warm access missed")
+	}
+	if !c.Contains(1) {
+		t.Error("Contains(1) false")
+	}
+	if s := c.Stats(); s.Hits != 1 || s.Misses != 1 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestARCInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	c, _ := NewARC(16)
+	for i := 0; i < 20000; i++ {
+		id := trace.FileID(rng.Intn(64))
+		c.Access(id)
+		if c.Len() > c.Cap() {
+			t.Fatalf("residents %d exceed capacity %d", c.Len(), c.Cap())
+		}
+		if !c.Contains(id) {
+			t.Fatal("just-accessed id not resident")
+		}
+		if p := c.TargetRecency(); p < 0 || p > c.Cap() {
+			t.Fatalf("p = %d out of [0,%d]", p, c.Cap())
+		}
+		// Ghost lists individually bounded by capacity (ARC keeps
+		// |T1|+|B1| <= c and |L1|+|L2| <= 2c).
+		if c.b1.Len() > c.Cap() || c.b2.Len() > c.Cap()+1 {
+			t.Fatalf("ghost lists out of bound: b1=%d b2=%d", c.b1.Len(), c.b2.Len())
+		}
+	}
+}
+
+// ARC's signature behaviour: a one-shot scan must not flush the frequent
+// working set the way plain LRU does.
+func TestARCScanResistance(t *testing.T) {
+	const capacity = 16
+	arc, _ := NewARC(capacity)
+	lru, _ := NewLRU(capacity)
+
+	hot := make([]trace.FileID, 8)
+	for i := range hot {
+		hot[i] = trace.FileID(i)
+	}
+	// Warm the hot set until it is frequent (in T2).
+	for round := 0; round < 10; round++ {
+		for _, id := range hot {
+			arc.Access(id)
+			lru.Access(id)
+		}
+	}
+	// One-shot scan of many cold files.
+	for i := 100; i < 200; i++ {
+		arc.Access(trace.FileID(i))
+		lru.Access(trace.FileID(i))
+	}
+	var arcSurvived, lruSurvived int
+	for _, id := range hot {
+		if arc.Contains(id) {
+			arcSurvived++
+		}
+		if lru.Contains(id) {
+			lruSurvived++
+		}
+	}
+	if lruSurvived != 0 {
+		t.Fatalf("LRU kept %d hot files through the scan; test premise broken", lruSurvived)
+	}
+	if arcSurvived < len(hot)/2 {
+		t.Errorf("ARC kept only %d/%d hot files through the scan", arcSurvived, len(hot))
+	}
+}
+
+func TestARCGhostHitAdaptsP(t *testing.T) {
+	c, _ := NewARC(4)
+	// Build frequent residents (T2) so later misses demote T1 entries
+	// into the B1 ghost list instead of evicting them outright (a pure
+	// miss stream never populates B1, per Case IV.A).
+	c.Access(0)
+	c.Access(0)
+	c.Access(1)
+	c.Access(1) // 0,1 in T2
+	c.Access(2)
+	c.Access(3) // 2,3 in T1; cache full
+	c.Access(4) // REPLACE demotes T1's LRU (2) into B1
+	if c.Contains(2) {
+		t.Fatal("2 still resident; expected demotion to ghost B1")
+	}
+	p0 := c.TargetRecency()
+	c.Access(2) // B1 ghost hit: p must grow (favour recency)
+	if c.TargetRecency() <= p0 {
+		t.Errorf("p = %d after B1 ghost hit, want > %d", c.TargetRecency(), p0)
+	}
+	if !c.Contains(2) {
+		t.Error("ghost-hit file not brought back resident")
+	}
+}
+
+func TestARCFactory(t *testing.T) {
+	c, err := New(PolicyARC, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Access(1)
+	if !c.Contains(1) {
+		t.Error("factory-built ARC broken")
+	}
+}
+
+func TestARCNeverBeatsOPT(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	refs := make([]trace.FileID, 4000)
+	for i := range refs {
+		refs[i] = trace.FileID(rng.Intn(rng.Intn(50) + 1))
+	}
+	opt, _ := NewOPT(12, refs)
+	optStats, err := opt.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	arc, _ := NewARC(12)
+	for _, id := range refs {
+		arc.Access(id)
+	}
+	if arc.Stats().Hits > optStats.Hits {
+		t.Errorf("ARC hits %d > OPT hits %d", arc.Stats().Hits, optStats.Hits)
+	}
+}

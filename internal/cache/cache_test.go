@@ -1,0 +1,293 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+
+	"aggcache/internal/trace"
+)
+
+func TestNewFactory(t *testing.T) {
+	for _, p := range []Policy{PolicyLRU, PolicyLFU, PolicyCLOCK, PolicyMQ, PolicyARC, PolicyTwoQ} {
+		c, err := New(p, 8)
+		if err != nil {
+			t.Fatalf("New(%s): %v", p, err)
+		}
+		if c.Cap() != 8 {
+			t.Errorf("New(%s).Cap() = %d, want 8", p, c.Cap())
+		}
+	}
+	if _, err := New("belady", 8); err == nil {
+		t.Error("New(belady) succeeded, want error")
+	}
+	if _, err := New(PolicyLRU, 0); err == nil {
+		t.Error("New(lru, 0) succeeded, want error")
+	}
+}
+
+func TestStatsHelpers(t *testing.T) {
+	var s Stats
+	if s.HitRate() != 0 {
+		t.Error("idle HitRate != 0")
+	}
+	s = Stats{Hits: 3, Misses: 1}
+	if s.Accesses() != 4 {
+		t.Errorf("Accesses = %d, want 4", s.Accesses())
+	}
+	if s.HitRate() != 0.75 {
+		t.Errorf("HitRate = %v, want 0.75", s.HitRate())
+	}
+	if s.String() == "" {
+		t.Error("String empty")
+	}
+}
+
+// Property shared by all online policies: occupancy never exceeds capacity,
+// Contains agrees with what Access just did, and a repeated access always
+// hits.
+func TestAllPoliciesInvariants(t *testing.T) {
+	for _, p := range []Policy{PolicyLRU, PolicyLFU, PolicyCLOCK, PolicyMQ, PolicyARC, PolicyTwoQ} {
+		p := p
+		t.Run(string(p), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(42))
+			c, err := New(p, 10)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < 2000; i++ {
+				id := trace.FileID(rng.Intn(40))
+				c.Access(id)
+				if c.Len() > c.Cap() {
+					t.Fatalf("occupancy %d exceeds capacity %d", c.Len(), c.Cap())
+				}
+				if !c.Contains(id) {
+					t.Fatalf("just-accessed %d not resident", id)
+				}
+				if !c.Access(id) {
+					t.Fatalf("immediate re-access of %d missed", id)
+				}
+			}
+			s := c.Stats()
+			if s.Accesses() != 4000 {
+				t.Errorf("accesses = %d, want 4000", s.Accesses())
+			}
+		})
+	}
+}
+
+// A cache with capacity >= universe must stop missing once warm.
+func TestAllPoliciesNoEvictionWhenOversized(t *testing.T) {
+	for _, p := range []Policy{PolicyLRU, PolicyLFU, PolicyCLOCK, PolicyMQ, PolicyARC, PolicyTwoQ} {
+		p := p
+		t.Run(string(p), func(t *testing.T) {
+			c, err := New(p, 100)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(7))
+			for i := 0; i < 3000; i++ {
+				c.Access(trace.FileID(rng.Intn(50)))
+			}
+			s := c.Stats()
+			if s.Evictions != 0 {
+				t.Errorf("evictions = %d, want 0", s.Evictions)
+			}
+			if s.Misses != 50 {
+				t.Errorf("misses = %d, want 50 (one per unique file)", s.Misses)
+			}
+		})
+	}
+}
+
+func TestCLOCKSecondChance(t *testing.T) {
+	c, _ := NewCLOCK(3)
+	c.Access(1)
+	c.Access(2)
+	c.Access(3)
+	// Re-reference 1: its bit is set, so the sweep must skip it and evict
+	// 2 (the first unreferenced entry after clearing order).
+	c.Access(1)
+	c.Access(4)
+	if !c.Contains(1) {
+		t.Error("referenced 1 evicted despite second chance")
+	}
+	if c.Contains(2) {
+		t.Error("2 survived, want evicted")
+	}
+}
+
+func TestCLOCKAllReferencedDegradesToFIFO(t *testing.T) {
+	c, _ := NewCLOCK(2)
+	c.Access(1)
+	c.Access(2)
+	c.Access(1)
+	c.Access(2) // both referenced
+	c.Access(3) // sweep clears both, evicts the first candidate
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", c.Len())
+	}
+	if !c.Contains(3) {
+		t.Error("newcomer 3 not resident")
+	}
+}
+
+func TestMQPromotesFrequentBlocks(t *testing.T) {
+	c, _ := NewMQ(4)
+	// Make 1 frequent.
+	for i := 0; i < 8; i++ {
+		c.Access(1)
+	}
+	c.Access(2)
+	c.Access(3)
+	c.Access(4)
+	// Cache full; a burst of new files should evict the low-frequency
+	// queue entries, never the frequent 1.
+	c.Access(5)
+	c.Access(6)
+	if !c.Contains(1) {
+		t.Error("frequent file 1 evicted before one-shot files")
+	}
+}
+
+func TestMQHistoryRestoresFrequency(t *testing.T) {
+	c, _ := NewMQLifeTime(2, 1000)
+	for i := 0; i < 7; i++ {
+		c.Access(1) // freq 7 -> level 2
+	}
+	c.Access(2)
+	c.Access(3) // evicts... 2 or 1 depending on queues; force 1 out:
+	c.Access(2)
+	c.Access(3)
+	// After enough churn 1 is evicted; re-access it and it should be
+	// protected quickly thanks to ghost history.
+	if c.Contains(1) {
+		// Evict 1 by filling with fresh ids.
+		c.Access(4)
+		c.Access(5)
+	}
+	if c.Contains(1) {
+		t.Skip("workload did not evict 1; MQ parameters changed")
+	}
+	c.Access(1) // recall: freq resumes near 8, placing it in a high queue
+	c.Access(9)
+	c.Access(10)
+	if !c.Contains(1) {
+		t.Error("re-fetched frequent file 1 evicted immediately; ghost history not applied")
+	}
+}
+
+func TestNewMQLifeTimeValidation(t *testing.T) {
+	if _, err := NewMQLifeTime(4, 0); err == nil {
+		t.Error("NewMQLifeTime(4, 0) succeeded")
+	}
+	if _, err := NewMQLifeTime(0, 10); err == nil {
+		t.Error("NewMQLifeTime(0, 10) succeeded")
+	}
+}
+
+func TestOPTKnownSequence(t *testing.T) {
+	// Classic example: with capacity 2 and string 1 2 3 1 2, OPT keeps 1
+	// and 2 when 3 arrives... it must evict one of {1,2}; farthest next
+	// use at that point: next(1)=3, next(2)=4, so it evicts 2? No: 3 is
+	// inserted; victim is the resident with the farthest next use, which
+	// is 2 (index 4) vs 1 (index 3) -> evict 2. Then 1 hits, 2 misses.
+	refs := []trace.FileID{1, 2, 3, 1, 2}
+	opt, err := NewOPT(2, refs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := opt.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Hits != 1 || s.Misses != 4 {
+		t.Errorf("OPT stats = %+v, want 1 hit 4 misses", s)
+	}
+}
+
+func TestOPTBeatsLRUOnLoopingPattern(t *testing.T) {
+	// Cyclic reference of N+1 files through an N-sized cache is LRU's
+	// pathological case (0% hits); OPT must do strictly better.
+	var refs []trace.FileID
+	for round := 0; round < 50; round++ {
+		for id := trace.FileID(0); id < 5; id++ {
+			refs = append(refs, id)
+		}
+	}
+	lru, _ := NewLRU(4)
+	for _, id := range refs {
+		lru.Access(id)
+	}
+	opt, _ := NewOPT(4, refs)
+	optStats, err := opt.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lru.Stats().Hits != 0 {
+		t.Fatalf("LRU hits = %d on loop, want 0", lru.Stats().Hits)
+	}
+	if optStats.Hits == 0 {
+		t.Error("OPT hits = 0 on loop, want > 0")
+	}
+}
+
+func TestOPTErrors(t *testing.T) {
+	refs := []trace.FileID{1, 2}
+	opt, _ := NewOPT(1, refs)
+	if _, err := opt.Access(9); err == nil {
+		t.Error("Access with wrong id succeeded")
+	}
+	if _, err := opt.Access(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := opt.Access(2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := opt.Access(1); err == nil {
+		t.Error("Access past end succeeded")
+	}
+	if _, err := NewOPT(0, refs); err == nil {
+		t.Error("NewOPT(0) succeeded")
+	}
+}
+
+// Property: no online policy beats OPT's hit count on random strings.
+func TestOPTIsUpperBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 10; trial++ {
+		refs := make([]trace.FileID, 3000)
+		for i := range refs {
+			// Mildly skewed random references.
+			refs[i] = trace.FileID(rng.Intn(rng.Intn(60) + 1))
+		}
+		const capacity = 12
+		opt, _ := NewOPT(capacity, refs)
+		optStats, err := opt.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range []Policy{PolicyLRU, PolicyLFU, PolicyCLOCK, PolicyMQ, PolicyARC, PolicyTwoQ} {
+			c, _ := New(p, capacity)
+			for _, id := range refs {
+				c.Access(id)
+			}
+			if got := c.Stats().Hits; got > optStats.Hits {
+				t.Errorf("trial %d: %s hits %d > OPT hits %d", trial, p, got, optStats.Hits)
+			}
+		}
+	}
+}
+
+func TestOPTContainsLenCap(t *testing.T) {
+	refs := []trace.FileID{1, 2, 1}
+	opt, _ := NewOPT(2, refs)
+	if _, err := opt.Access(1); err != nil {
+		t.Fatal(err)
+	}
+	if !opt.Contains(1) || opt.Contains(2) {
+		t.Error("Contains wrong after one access")
+	}
+	if opt.Len() != 1 || opt.Cap() != 2 {
+		t.Errorf("Len/Cap = %d/%d, want 1/2", opt.Len(), opt.Cap())
+	}
+}

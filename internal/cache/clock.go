@@ -1,0 +1,101 @@
+package cache
+
+import "aggcache/internal/trace"
+
+// CLOCK is the classic second-chance approximation of LRU: resident files
+// sit on a circular list with a reference bit; the hand sweeps past
+// referenced entries (clearing their bit) and evicts the first
+// unreferenced one. Included as an additional baseline for ablations.
+type CLOCK struct {
+	capacity int
+	nodes    map[trace.FileID]*clockNode
+	hand     *clockNode // next candidate in the circular list
+	stats    Stats
+}
+
+var _ Cache = (*CLOCK)(nil)
+
+type clockNode struct {
+	id         trace.FileID
+	referenced bool
+	prev, next *clockNode
+}
+
+// NewCLOCK returns a CLOCK cache holding up to capacity files.
+func NewCLOCK(capacity int) (*CLOCK, error) {
+	if err := checkCapacity(capacity); err != nil {
+		return nil, err
+	}
+	return &CLOCK{
+		capacity: capacity,
+		nodes:    make(map[trace.FileID]*clockNode, capacity),
+	}, nil
+}
+
+// Access records a demand reference: a hit sets the reference bit, a miss
+// inserts the file just behind the hand, evicting via the sweep if full.
+func (c *CLOCK) Access(id trace.FileID) bool {
+	if n, ok := c.nodes[id]; ok {
+		c.stats.Hits++
+		n.referenced = true
+		return true
+	}
+	c.stats.Misses++
+	if len(c.nodes) >= c.capacity {
+		c.evict()
+	}
+	c.insert(id)
+	return false
+}
+
+// Contains reports residency without perturbing state.
+func (c *CLOCK) Contains(id trace.FileID) bool {
+	_, ok := c.nodes[id]
+	return ok
+}
+
+// Len returns the number of resident files.
+func (c *CLOCK) Len() int { return len(c.nodes) }
+
+// Cap returns the capacity in files.
+func (c *CLOCK) Cap() int { return c.capacity }
+
+// Stats returns a copy of the demand statistics.
+func (c *CLOCK) Stats() Stats { return c.stats }
+
+func (c *CLOCK) insert(id trace.FileID) {
+	n := &clockNode{id: id, referenced: false}
+	c.nodes[id] = n
+	if c.hand == nil {
+		n.prev, n.next = n, n
+		c.hand = n
+		return
+	}
+	// Insert immediately before the hand so the newcomer is the last
+	// entry the sweep reaches.
+	p := c.hand.prev
+	p.next = n
+	n.prev = p
+	n.next = c.hand
+	c.hand.prev = n
+}
+
+func (c *CLOCK) evict() {
+	for {
+		if !c.hand.referenced {
+			v := c.hand
+			if v.next == v {
+				c.hand = nil
+			} else {
+				v.prev.next = v.next
+				v.next.prev = v.prev
+				c.hand = v.next
+			}
+			delete(c.nodes, v.id)
+			c.stats.Evictions++
+			return
+		}
+		c.hand.referenced = false
+		c.hand = c.hand.next
+	}
+}

@@ -1,0 +1,225 @@
+package cache
+
+import "aggcache/internal/trace"
+
+// LRU is a least-recently-used cache. Beyond the Cache interface it exposes
+// the explicit placement operations the aggregating cache needs: the paper
+// places the demanded file at the head of the LRU list and appends the rest
+// of the fetched group at the tail so that unconfirmed successors do not
+// displace confirmed residents (§3).
+type LRU struct {
+	capacity int
+	nodes    map[trace.FileID]*lruNode
+	head     *lruNode // most recently used
+	tail     *lruNode // least recently used
+	onEvict  func(trace.FileID)
+	stats    Stats
+}
+
+var _ Cache = (*LRU)(nil)
+
+type lruNode struct {
+	id         trace.FileID
+	prev, next *lruNode
+}
+
+// NewLRU returns an LRU cache holding up to capacity files.
+func NewLRU(capacity int) (*LRU, error) {
+	if err := checkCapacity(capacity); err != nil {
+		return nil, err
+	}
+	return &LRU{
+		capacity: capacity,
+		nodes:    make(map[trace.FileID]*lruNode, capacity),
+	}, nil
+}
+
+// Access records a demand reference: a hit moves id to the head, a miss
+// inserts it at the head, evicting the tail if full.
+func (c *LRU) Access(id trace.FileID) bool {
+	if n, ok := c.nodes[id]; ok {
+		c.stats.Hits++
+		c.moveToHead(n)
+		return true
+	}
+	c.stats.Misses++
+	c.InsertHead(id)
+	return false
+}
+
+// Contains reports residency without touching recency or stats.
+func (c *LRU) Contains(id trace.FileID) bool {
+	_, ok := c.nodes[id]
+	return ok
+}
+
+// Touch moves a resident id to the head without counting a demand access.
+// It reports whether id was resident.
+func (c *LRU) Touch(id trace.FileID) bool {
+	n, ok := c.nodes[id]
+	if ok {
+		c.moveToHead(n)
+	}
+	return ok
+}
+
+// InsertHead places id at the most-recently-used position, evicting from
+// the tail if needed. A resident id is moved, not duplicated.
+func (c *LRU) InsertHead(id trace.FileID) {
+	if n, ok := c.nodes[id]; ok {
+		c.moveToHead(n)
+		return
+	}
+	c.makeRoom()
+	n := &lruNode{id: id}
+	c.nodes[id] = n
+	c.pushHead(n)
+}
+
+// InsertTail places id at the least-recently-used position — the paper's
+// placement for opportunistically fetched group members. A resident id is
+// left where it is (it already earned its position). Inserting into a full
+// cache evicts the current tail first, so the newcomer never displaces more
+// than one resident and becomes the next victim itself.
+func (c *LRU) InsertTail(id trace.FileID) {
+	if _, ok := c.nodes[id]; ok {
+		return
+	}
+	c.makeRoom()
+	n := &lruNode{id: id}
+	c.nodes[id] = n
+	if c.tail == nil {
+		c.head, c.tail = n, n
+		return
+	}
+	n.prev = c.tail
+	c.tail.next = n
+	c.tail = n
+}
+
+// Remove drops id from the cache, reporting whether it was resident.
+// The removal is not counted as an eviction.
+func (c *LRU) Remove(id trace.FileID) bool {
+	n, ok := c.nodes[id]
+	if !ok {
+		return false
+	}
+	c.unlink(n)
+	delete(c.nodes, id)
+	return true
+}
+
+// Len returns the number of resident files.
+func (c *LRU) Len() int { return len(c.nodes) }
+
+// Cap returns the capacity in files.
+func (c *LRU) Cap() int { return c.capacity }
+
+// Stats returns a copy of the demand statistics.
+func (c *LRU) Stats() Stats { return c.stats }
+
+// Victim returns the id that would be evicted next, or false if empty.
+func (c *LRU) Victim() (trace.FileID, bool) {
+	if c.tail == nil {
+		return 0, false
+	}
+	return c.tail.id, true
+}
+
+// EvictVictimExcept evicts the least recently used entry whose id is not
+// in protected, reporting which id was dropped, or false when every
+// resident is protected. The aggregating cache uses this so that making
+// room for an incoming group never evicts the group's own members — the
+// paper's "increasing the retention priority of soon-to-be-accessed group
+// members".
+func (c *LRU) EvictVictimExcept(protected map[trace.FileID]bool) (trace.FileID, bool) {
+	for n := c.tail; n != nil; n = n.prev {
+		if protected[n.id] {
+			continue
+		}
+		c.unlink(n)
+		delete(c.nodes, n.id)
+		c.stats.Evictions++
+		if c.onEvict != nil {
+			c.onEvict(n.id)
+		}
+		return n.id, true
+	}
+	return 0, false
+}
+
+// OnEvict registers f to be called with each id evicted for capacity
+// (including EvictVictim, but not Remove). Pass nil to clear.
+func (c *LRU) OnEvict(f func(trace.FileID)) { c.onEvict = f }
+
+// EvictVictim evicts the least recently used entry, reporting which id was
+// dropped. Used by the aggregating cache to make room for an incoming
+// group before placing its members at the tail.
+func (c *LRU) EvictVictim() (trace.FileID, bool) {
+	if c.tail == nil {
+		return 0, false
+	}
+	v := c.tail
+	c.unlink(v)
+	delete(c.nodes, v.id)
+	c.stats.Evictions++
+	if c.onEvict != nil {
+		c.onEvict(v.id)
+	}
+	return v.id, true
+}
+
+// Resident returns the resident ids from most to least recently used.
+func (c *LRU) Resident() []trace.FileID {
+	out := make([]trace.FileID, 0, len(c.nodes))
+	for n := c.head; n != nil; n = n.next {
+		out = append(out, n.id)
+	}
+	return out
+}
+
+func (c *LRU) makeRoom() {
+	for len(c.nodes) >= c.capacity {
+		v := c.tail
+		c.unlink(v)
+		delete(c.nodes, v.id)
+		c.stats.Evictions++
+		if c.onEvict != nil {
+			c.onEvict(v.id)
+		}
+	}
+}
+
+func (c *LRU) pushHead(n *lruNode) {
+	n.next = c.head
+	n.prev = nil
+	if c.head != nil {
+		c.head.prev = n
+	}
+	c.head = n
+	if c.tail == nil {
+		c.tail = n
+	}
+}
+
+func (c *LRU) moveToHead(n *lruNode) {
+	if c.head == n {
+		return
+	}
+	c.unlink(n)
+	c.pushHead(n)
+}
+
+func (c *LRU) unlink(n *lruNode) {
+	if n.prev != nil {
+		n.prev.next = n.next
+	} else {
+		c.head = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	} else {
+		c.tail = n.prev
+	}
+	n.prev, n.next = nil, nil
+}

@@ -1,0 +1,231 @@
+package cache
+
+import (
+	"fmt"
+	"math/bits"
+
+	"aggcache/internal/trace"
+)
+
+// MQ implements the Multi-Queue replacement algorithm of Zhou, Philbin and
+// Li (USENIX ATC 2001), which the paper cites as the contemporaneous answer
+// to the same second-level-cache problem the aggregating cache addresses in
+// §4.3. MQ keeps m LRU queues; a block with resident frequency f lives in
+// queue floor(log2 f). Blocks expire out of their queue after lifeTime
+// accesses without a reference and are demoted one level. A ghost history
+// remembers the frequency of recently evicted blocks so a re-fetched block
+// re-enters at its old level.
+type MQ struct {
+	capacity int
+	lifeTime uint64
+	queues   []*mqQueue
+	nodes    map[trace.FileID]*mqNode
+	history  *historyBuffer
+	now      uint64 // logical clock: one tick per demand access
+	stats    Stats
+}
+
+var _ Cache = (*MQ)(nil)
+
+const (
+	mqNumQueues = 8
+	// mqDefaultLifeTime follows the paper's guidance that lifeTime should
+	// approximate the peak temporal distance between correlated accesses;
+	// for file-level traces a few hundred accesses works well and the
+	// value is configurable through NewMQLifeTime.
+	mqDefaultLifeTime = 256
+)
+
+type mqQueue struct {
+	head, tail *mqNode // head = MRU
+	size       int
+}
+
+type mqNode struct {
+	id         trace.FileID
+	freq       uint64
+	level      int
+	expire     uint64
+	prev, next *mqNode
+}
+
+// historyBuffer is MQ's ghost cache: id -> frequency at eviction, bounded
+// FIFO.
+type historyBuffer struct {
+	capacity int
+	order    []trace.FileID
+	freqs    map[trace.FileID]uint64
+}
+
+func newHistoryBuffer(capacity int) *historyBuffer {
+	return &historyBuffer{
+		capacity: capacity,
+		freqs:    make(map[trace.FileID]uint64, capacity),
+	}
+}
+
+func (h *historyBuffer) remember(id trace.FileID, freq uint64) {
+	if _, ok := h.freqs[id]; !ok {
+		if len(h.order) >= h.capacity {
+			old := h.order[0]
+			h.order = h.order[1:]
+			delete(h.freqs, old)
+		}
+		h.order = append(h.order, id)
+	}
+	h.freqs[id] = freq
+}
+
+func (h *historyBuffer) recall(id trace.FileID) (uint64, bool) {
+	f, ok := h.freqs[id]
+	if ok {
+		delete(h.freqs, id)
+		for i, v := range h.order {
+			if v == id {
+				h.order = append(h.order[:i], h.order[i+1:]...)
+				break
+			}
+		}
+	}
+	return f, ok
+}
+
+// NewMQ returns an MQ cache with the default lifeTime and a ghost history
+// sized at 4x capacity (the authors' recommendation).
+func NewMQ(capacity int) (*MQ, error) {
+	return NewMQLifeTime(capacity, mqDefaultLifeTime)
+}
+
+// NewMQLifeTime returns an MQ cache with an explicit queue lifeTime.
+func NewMQLifeTime(capacity int, lifeTime uint64) (*MQ, error) {
+	if err := checkCapacity(capacity); err != nil {
+		return nil, err
+	}
+	if lifeTime == 0 {
+		return nil, fmt.Errorf("cache: mq lifeTime must be positive")
+	}
+	qs := make([]*mqQueue, mqNumQueues)
+	for i := range qs {
+		qs[i] = &mqQueue{}
+	}
+	return &MQ{
+		capacity: capacity,
+		lifeTime: lifeTime,
+		queues:   qs,
+		nodes:    make(map[trace.FileID]*mqNode, capacity),
+		history:  newHistoryBuffer(4 * capacity),
+	}, nil
+}
+
+// Access records a demand reference per the MQ algorithm.
+func (c *MQ) Access(id trace.FileID) bool {
+	c.now++
+	hit := false
+	if n, ok := c.nodes[id]; ok {
+		c.stats.Hits++
+		hit = true
+		c.queueRemove(n)
+		n.freq++
+		n.level = mqLevel(n.freq)
+		n.expire = c.now + c.lifeTime
+		c.queuePushHead(n)
+	} else {
+		c.stats.Misses++
+		if len(c.nodes) >= c.capacity {
+			c.evict()
+		}
+		freq := uint64(1)
+		if old, ok := c.history.recall(id); ok {
+			freq = old + 1
+		}
+		n := &mqNode{id: id, freq: freq, level: mqLevel(freq), expire: c.now + c.lifeTime}
+		c.nodes[id] = n
+		c.queuePushHead(n)
+	}
+	c.adjust()
+	return hit
+}
+
+// Contains reports residency without perturbing state.
+func (c *MQ) Contains(id trace.FileID) bool {
+	_, ok := c.nodes[id]
+	return ok
+}
+
+// Len returns the number of resident files.
+func (c *MQ) Len() int { return len(c.nodes) }
+
+// Cap returns the capacity in files.
+func (c *MQ) Cap() int { return c.capacity }
+
+// Stats returns a copy of the demand statistics.
+func (c *MQ) Stats() Stats { return c.stats }
+
+// adjust demotes expired queue tails one level, as in the published
+// algorithm ("Adjust" runs once per access).
+func (c *MQ) adjust() {
+	for lvl := 1; lvl < mqNumQueues; lvl++ {
+		q := c.queues[lvl]
+		if q.tail != nil && q.tail.expire < c.now {
+			n := q.tail
+			c.queueRemove(n)
+			n.level = lvl - 1
+			n.expire = c.now + c.lifeTime
+			c.queuePushHead(n)
+		}
+	}
+}
+
+func (c *MQ) evict() {
+	for lvl := 0; lvl < mqNumQueues; lvl++ {
+		q := c.queues[lvl]
+		if q.tail == nil {
+			continue
+		}
+		v := q.tail
+		c.queueRemove(v)
+		delete(c.nodes, v.id)
+		c.history.remember(v.id, v.freq)
+		c.stats.Evictions++
+		return
+	}
+}
+
+func (c *MQ) queuePushHead(n *mqNode) {
+	q := c.queues[n.level]
+	n.next = q.head
+	n.prev = nil
+	if q.head != nil {
+		q.head.prev = n
+	}
+	q.head = n
+	if q.tail == nil {
+		q.tail = n
+	}
+	q.size++
+}
+
+func (c *MQ) queueRemove(n *mqNode) {
+	q := c.queues[n.level]
+	if n.prev != nil {
+		n.prev.next = n.next
+	} else {
+		q.head = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	} else {
+		q.tail = n.prev
+	}
+	n.prev, n.next = nil, nil
+	q.size--
+}
+
+// mqLevel maps a frequency to its queue index: floor(log2 f), capped.
+func mqLevel(freq uint64) int {
+	lvl := bits.Len64(freq) - 1
+	if lvl >= mqNumQueues {
+		lvl = mqNumQueues - 1
+	}
+	return lvl
+}

@@ -1,0 +1,136 @@
+package cache
+
+import (
+	"container/heap"
+	"fmt"
+
+	"aggcache/internal/trace"
+)
+
+// OPT is Belady's optimal offline replacement policy: on eviction it drops
+// the resident file whose next reference is farthest in the future. It
+// needs the complete reference string up front, so it does not satisfy the
+// online Cache constructor; build it with NewOPT and drive it with the same
+// sequence. OPT gives the unbeatable hit-rate bound used in ablation
+// benches.
+type OPT struct {
+	capacity int
+	refs     []trace.FileID
+	// next[i] is the index of the next reference to refs[i] after i, or
+	// len(refs) if none.
+	next     []int
+	pos      int
+	resident map[trace.FileID]int // id -> its next-use index
+	pq       optHeap              // lazy max-heap over (nextUse, id)
+	stats    Stats
+}
+
+type optEntry struct {
+	nextUse int
+	id      trace.FileID
+}
+
+type optHeap []optEntry
+
+func (h optHeap) Len() int            { return len(h) }
+func (h optHeap) Less(i, j int) bool  { return h[i].nextUse > h[j].nextUse }
+func (h optHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *optHeap) Push(x interface{}) { *h = append(*h, x.(optEntry)) }
+func (h *optHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// NewOPT builds the optimal policy for the given reference string.
+func NewOPT(capacity int, refs []trace.FileID) (*OPT, error) {
+	if err := checkCapacity(capacity); err != nil {
+		return nil, err
+	}
+	next := make([]int, len(refs))
+	last := make(map[trace.FileID]int, 64)
+	for i := len(refs) - 1; i >= 0; i-- {
+		if j, ok := last[refs[i]]; ok {
+			next[i] = j
+		} else {
+			next[i] = len(refs)
+		}
+		last[refs[i]] = i
+	}
+	return &OPT{
+		capacity: capacity,
+		refs:     refs,
+		next:     next,
+		resident: make(map[trace.FileID]int, capacity),
+	}, nil
+}
+
+// Access consumes the next reference, which must equal id (OPT is tied to
+// its precomputed string). It returns hit/miss like the online caches.
+func (c *OPT) Access(id trace.FileID) (bool, error) {
+	if c.pos >= len(c.refs) {
+		return false, fmt.Errorf("cache: OPT reference string exhausted at access %d", c.pos)
+	}
+	if c.refs[c.pos] != id {
+		return false, fmt.Errorf("cache: OPT access %d expects file %d, got %d", c.pos, c.refs[c.pos], id)
+	}
+	nextUse := c.next[c.pos]
+	c.pos++
+
+	if _, ok := c.resident[id]; ok {
+		c.stats.Hits++
+		c.resident[id] = nextUse
+		heap.Push(&c.pq, optEntry{nextUse: nextUse, id: id})
+		return true, nil
+	}
+	c.stats.Misses++
+	if len(c.resident) >= c.capacity {
+		c.evict()
+	}
+	c.resident[id] = nextUse
+	heap.Push(&c.pq, optEntry{nextUse: nextUse, id: id})
+	return false, nil
+}
+
+// Run drives the whole precomputed reference string and returns the final
+// stats. It is the common way to use OPT.
+func (c *OPT) Run() (Stats, error) {
+	for c.pos < len(c.refs) {
+		if _, err := c.Access(c.refs[c.pos]); err != nil {
+			return c.stats, err
+		}
+	}
+	return c.stats, nil
+}
+
+// Contains reports residency.
+func (c *OPT) Contains(id trace.FileID) bool {
+	_, ok := c.resident[id]
+	return ok
+}
+
+// Len returns the number of resident files.
+func (c *OPT) Len() int { return len(c.resident) }
+
+// Cap returns the capacity in files.
+func (c *OPT) Cap() int { return c.capacity }
+
+// Stats returns a copy of the demand statistics.
+func (c *OPT) Stats() Stats { return c.stats }
+
+// evict pops heap entries until one matches the live next-use table (lazy
+// deletion), then drops that id.
+func (c *OPT) evict() {
+	for c.pq.Len() > 0 {
+		e := heap.Pop(&c.pq).(optEntry)
+		if cur, ok := c.resident[e.id]; ok && cur == e.nextUse {
+			delete(c.resident, e.id)
+			c.stats.Evictions++
+			return
+		}
+	}
+	// Unreachable if resident is non-empty: every resident id has a live
+	// heap entry.
+}

@@ -1,0 +1,142 @@
+package cache
+
+import (
+	"container/list"
+
+	"aggcache/internal/trace"
+)
+
+// TwoQ is the 2Q replacement policy of Johnson & Shasha (VLDB 1994) — the
+// baseline the MQ paper (Zhou et al., cited in the paper's related work)
+// measures itself against. New entries go to a small FIFO probation queue
+// (A1in); entries evicted from probation leave a ghost (A1out); a
+// re-reference while ghosted proves reuse and promotes the entry into the
+// main LRU area (Am). One-shot scans therefore wash through probation
+// without disturbing the hot set.
+type TwoQ struct {
+	capacity int
+	kin      int // max resident probation entries
+	kout     int // max ghost entries
+
+	a1in  *list.List // FIFO, front = newest
+	a1out *list.List // ghost FIFO, front = newest
+	am    *list.List // LRU, front = MRU
+	where map[trace.FileID]twoqLoc
+	elems map[trace.FileID]*list.Element
+	stats Stats
+}
+
+var _ Cache = (*TwoQ)(nil)
+
+type twoqLoc uint8
+
+const (
+	inA1in twoqLoc = iota + 1
+	inA1out
+	inAm
+)
+
+// NewTwoQ returns a 2Q cache holding up to capacity files, with the
+// authors' recommended tuning: Kin = capacity/4, Kout = capacity/2.
+func NewTwoQ(capacity int) (*TwoQ, error) {
+	if err := checkCapacity(capacity); err != nil {
+		return nil, err
+	}
+	kin := capacity / 4
+	if kin < 1 {
+		kin = 1
+	}
+	kout := capacity / 2
+	if kout < 1 {
+		kout = 1
+	}
+	return &TwoQ{
+		capacity: capacity,
+		kin:      kin,
+		kout:     kout,
+		a1in:     list.New(),
+		a1out:    list.New(),
+		am:       list.New(),
+		where:    make(map[trace.FileID]twoqLoc, 2*capacity),
+		elems:    make(map[trace.FileID]*list.Element, 2*capacity),
+	}, nil
+}
+
+// Access records a demand reference per the 2Q algorithm.
+func (c *TwoQ) Access(id trace.FileID) bool {
+	switch c.where[id] {
+	case inAm:
+		c.stats.Hits++
+		c.am.MoveToFront(c.elems[id])
+		return true
+	case inA1in:
+		// 2Q leaves probation entries where they are: a quick second
+		// touch within the FIFO window is not proof of long-term reuse.
+		c.stats.Hits++
+		return true
+	case inA1out:
+		// Ghost hit: proven reuse; promote into the main area.
+		c.stats.Misses++
+		c.removeFrom(c.a1out, id)
+		c.makeRoom()
+		c.elems[id] = c.am.PushFront(id)
+		c.where[id] = inAm
+		return false
+	}
+	c.stats.Misses++
+	c.makeRoom()
+	c.elems[id] = c.a1in.PushFront(id)
+	c.where[id] = inA1in
+	return false
+}
+
+// Contains reports residency (A1in or Am) without perturbing state.
+func (c *TwoQ) Contains(id trace.FileID) bool {
+	loc := c.where[id]
+	return loc == inA1in || loc == inAm
+}
+
+// Len returns the number of resident files.
+func (c *TwoQ) Len() int { return c.a1in.Len() + c.am.Len() }
+
+// Cap returns the capacity in files.
+func (c *TwoQ) Cap() int { return c.capacity }
+
+// Stats returns a copy of the demand statistics.
+func (c *TwoQ) Stats() Stats { return c.stats }
+
+// makeRoom frees one slot if the cache is full: probation overflow spills
+// to the ghost list; otherwise the main area's LRU entry goes (with no
+// ghost — Am departures have already proven and spent their reuse).
+func (c *TwoQ) makeRoom() {
+	if c.Len() < c.capacity {
+		return
+	}
+	if c.a1in.Len() > c.kin || (c.am.Len() == 0 && c.a1in.Len() > 0) {
+		// Evict probation tail to ghost.
+		back := c.a1in.Back()
+		id := back.Value.(trace.FileID)
+		c.removeFrom(c.a1in, id)
+		c.elems[id] = c.a1out.PushFront(id)
+		c.where[id] = inA1out
+		if c.a1out.Len() > c.kout {
+			old := c.a1out.Back().Value.(trace.FileID)
+			c.removeFrom(c.a1out, old)
+		}
+		c.stats.Evictions++
+		return
+	}
+	if c.am.Len() > 0 {
+		id := c.am.Back().Value.(trace.FileID)
+		c.removeFrom(c.am, id)
+		c.stats.Evictions++
+	}
+}
+
+func (c *TwoQ) removeFrom(l *list.List, id trace.FileID) {
+	if e, ok := c.elems[id]; ok {
+		l.Remove(e)
+		delete(c.elems, id)
+		delete(c.where, id)
+	}
+}

@@ -1,0 +1,123 @@
+package cache
+
+import (
+	"testing"
+
+	"aggcache/internal/trace"
+)
+
+func TestNewTwoQValidation(t *testing.T) {
+	if _, err := NewTwoQ(0); err == nil {
+		t.Error("capacity 0 accepted")
+	}
+	// Tiny capacities still get sane queue bounds.
+	c, err := NewTwoQ(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Access(1)
+	c.Access(2)
+	if c.Len() > 1 {
+		t.Errorf("Len = %d exceeds capacity 1", c.Len())
+	}
+}
+
+func TestTwoQProbationThenPromotion(t *testing.T) {
+	c, _ := NewTwoQ(8) // kin=2 kout=4
+	// 1 enters probation, is pushed out by later arrivals (ghost), and
+	// its re-reference promotes it to Am.
+	c.Access(1)
+	c.Access(2)
+	c.Access(3)
+	// probation holds 3 > kin? eviction happens only when cache full
+	// (8); fill it.
+	for id := trace.FileID(4); id <= 8; id++ {
+		c.Access(id)
+	}
+	// Cache full: next insert spills probation tail (1) to ghost.
+	c.Access(9)
+	if c.Contains(1) {
+		t.Fatal("1 still resident; expected spill to ghost")
+	}
+	// Ghost hit promotes into Am.
+	c.Access(1)
+	if !c.Contains(1) {
+		t.Fatal("ghost hit did not promote 1")
+	}
+	if c.where[1] != inAm {
+		t.Errorf("1 in %d, want Am", c.where[1])
+	}
+}
+
+func TestTwoQScanResistance(t *testing.T) {
+	const capacity = 16
+	c, _ := NewTwoQ(capacity)
+	// Build a hot set in Am via ghost promotions.
+	hot := []trace.FileID{1, 2, 3, 4}
+	warm := func() {
+		for _, id := range hot {
+			c.Access(id)
+		}
+	}
+	warm()
+	// Push them through probation into ghosts.
+	for id := trace.FileID(100); id < 130; id++ {
+		c.Access(id)
+	}
+	warm() // ghost hits -> Am
+	for _, id := range hot {
+		if c.where[id] != inAm {
+			t.Skipf("hot set not in Am (%v); tuning changed", c.where[id])
+		}
+	}
+	// A long one-shot scan must wash through probation only.
+	for id := trace.FileID(1000); id < 1200; id++ {
+		c.Access(id)
+	}
+	for _, id := range hot {
+		if !c.Contains(id) {
+			t.Errorf("scan evicted hot file %d from Am", id)
+		}
+	}
+}
+
+func TestTwoQProbationHitDoesNotPromote(t *testing.T) {
+	c, _ := NewTwoQ(8)
+	c.Access(5)
+	if !c.Access(5) {
+		t.Fatal("probation re-access missed")
+	}
+	if c.where[5] != inA1in {
+		t.Errorf("5 promoted by a probation hit; 2Q defers promotion to ghost hits")
+	}
+}
+
+func TestTwoQFactoryAndOPTBound(t *testing.T) {
+	c, err := New(PolicyTwoQ, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Access(1)
+	if !c.Contains(1) {
+		t.Error("factory-built 2Q broken")
+	}
+	// Bounded by OPT on a skewed string.
+	x := uint32(5)
+	refs := make([]trace.FileID, 4000)
+	for i := range refs {
+		x = x*1664525 + 1013904223
+		refs[i] = trace.FileID((x >> 20) % 50)
+	}
+	opt, _ := NewOPT(12, refs)
+	optStats, err := opt.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, _ := NewTwoQ(12)
+	for _, id := range refs {
+		q.Access(id)
+	}
+	if q.Stats().Hits > optStats.Hits {
+		t.Errorf("2Q hits %d > OPT hits %d", q.Stats().Hits, optStats.Hits)
+	}
+}

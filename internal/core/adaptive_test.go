@@ -1,0 +1,150 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"aggcache/internal/trace"
+)
+
+func TestAdaptiveValidation(t *testing.T) {
+	bad := []Config{
+		{Capacity: 10, GroupSize: 5, Adaptive: true, MinGroupSize: 6, MaxGroupSize: 10},
+		{Capacity: 10, GroupSize: 5, Adaptive: true, MinGroupSize: 2, MaxGroupSize: 4},
+		{Capacity: 10, GroupSize: 5, Adaptive: true, MinGroupSize: -1, MaxGroupSize: 10},
+		{Capacity: 10, GroupSize: 5, Adaptive: true, MinGroupSize: 8, MaxGroupSize: 6},
+	}
+	for _, cfg := range bad {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("New(%+v) succeeded", cfg)
+		}
+	}
+}
+
+func TestAdaptiveDefaults(t *testing.T) {
+	c := mustNew(t, Config{Capacity: 20, GroupSize: 5, Adaptive: true})
+	if c.cfg.MinGroupSize != 1 || c.cfg.MaxGroupSize != 10 {
+		t.Errorf("adaptive bounds = [%d,%d], want [1,10]", c.cfg.MinGroupSize, c.cfg.MaxGroupSize)
+	}
+	if c.CurrentGroupSize() != 5 {
+		t.Errorf("CurrentGroupSize = %d, want starting 5", c.CurrentGroupSize())
+	}
+}
+
+func TestAdaptiveGrowsOnPredictableWorkload(t *testing.T) {
+	agg := mustNew(t, Config{
+		Capacity:  20,
+		GroupSize: 2,
+		Adaptive:  true,
+	})
+	// Two long deterministic chains that evict each other: speculative
+	// members are always used, so g should climb.
+	taskA := make([]trace.FileID, 15)
+	taskB := make([]trace.FileID, 15)
+	for i := range taskA {
+		taskA[i] = trace.FileID(i)
+		taskB[i] = trace.FileID(100 + i)
+	}
+	for round := 0; round < 400; round++ {
+		for _, id := range taskA {
+			agg.Access(id)
+		}
+		for _, id := range taskB {
+			agg.Access(id)
+		}
+	}
+	if g := agg.CurrentGroupSize(); g <= 2 {
+		t.Errorf("group size = %d after predictable workload, want growth", g)
+	}
+}
+
+func TestAdaptiveShrinksOnRandomWorkload(t *testing.T) {
+	agg := mustNew(t, Config{
+		Capacity:     50,
+		GroupSize:    8,
+		Adaptive:     true,
+		MinGroupSize: 1,
+		MaxGroupSize: 10,
+	})
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 30000; i++ {
+		agg.Access(trace.FileID(rng.Intn(5000)))
+	}
+	if g := agg.CurrentGroupSize(); g > 3 {
+		t.Errorf("group size = %d after random workload, want shrink toward 1", g)
+	}
+}
+
+func TestAdaptiveStaysWithinBounds(t *testing.T) {
+	agg := mustNew(t, Config{
+		Capacity:     30,
+		GroupSize:    3,
+		Adaptive:     true,
+		MinGroupSize: 2,
+		MaxGroupSize: 5,
+	})
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 20000; i++ {
+		// Mixed: half predictable chain, half noise.
+		var id trace.FileID
+		if i%2 == 0 {
+			id = trace.FileID(i % 40)
+		} else {
+			id = trace.FileID(rng.Intn(2000))
+		}
+		agg.Access(id)
+		if g := agg.CurrentGroupSize(); g < 2 || g > 5 {
+			t.Fatalf("group size %d escaped bounds [2,5]", g)
+		}
+	}
+}
+
+func TestNonAdaptiveGroupSizeFixed(t *testing.T) {
+	agg := mustNew(t, Config{Capacity: 20, GroupSize: 4})
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 5000; i++ {
+		agg.Access(trace.FileID(rng.Intn(100)))
+	}
+	if g := agg.CurrentGroupSize(); g != 4 {
+		t.Errorf("static group size changed to %d", g)
+	}
+}
+
+// Adaptive sizing should approach the better static configuration on each
+// extreme workload: close to g-max fetch counts when predictable, close
+// to plain LRU waste when random.
+func TestAdaptiveApproachesBestStatic(t *testing.T) {
+	predictable := func() []trace.FileID {
+		var seq []trace.FileID
+		for round := 0; round < 300; round++ {
+			for i := 0; i < 15; i++ {
+				seq = append(seq, trace.FileID(i))
+			}
+			for i := 0; i < 15; i++ {
+				seq = append(seq, trace.FileID(100+i))
+			}
+		}
+		return seq
+	}()
+
+	run := func(cfg Config) Stats {
+		agg := mustNew(t, cfg)
+		for _, id := range predictable {
+			agg.Access(id)
+		}
+		return agg.Stats()
+	}
+	adaptive := run(Config{Capacity: 20, GroupSize: 2, Adaptive: true, MinGroupSize: 1, MaxGroupSize: 10})
+	static2 := run(Config{Capacity: 20, GroupSize: 2})
+	static10 := run(Config{Capacity: 20, GroupSize: 10})
+
+	if adaptive.DemandFetches() >= static2.DemandFetches() {
+		t.Errorf("adaptive fetches %d >= static g2 %d; adaptation did not help",
+			adaptive.DemandFetches(), static2.DemandFetches())
+	}
+	// Within 2x of the best static configuration.
+	if adaptive.DemandFetches() > 2*static10.DemandFetches() {
+		t.Errorf("adaptive fetches %d far above static g10 %d",
+			adaptive.DemandFetches(), static10.DemandFetches())
+	}
+}

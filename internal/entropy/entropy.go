@@ -1,0 +1,205 @@
+// Package entropy implements the paper's predictability metric: successor
+// entropy (§4.5, Equation 2). The successor entropy of an access sequence
+// is the access-weighted conditional entropy of each file's immediate
+// successors — or, for symbol length k > 1, of the length-k successor
+// sequences that follow each occurrence of the file (Figure 6). Files that
+// appear only once are excluded: an online predictor cannot be expected to
+// predict a symbol it has never seen, and counting such files would make a
+// non-repeating workload look deceptively predictable.
+package entropy
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"aggcache/internal/trace"
+)
+
+// Result carries a successor-entropy computation with the bookkeeping the
+// experiments report.
+type Result struct {
+	// Bits is H_S: 0 means perfectly predictable successors; higher is
+	// less predictable.
+	Bits float64
+	// SymbolLength is k, the successor-sequence length.
+	SymbolLength int
+	// Files is how many distinct files qualified (appeared more than
+	// once with a complete successor window).
+	Files int
+	// Occurrences is the total number of qualifying occurrences.
+	Occurrences int
+}
+
+// SuccessorEntropy computes H_S over seq for successor symbols of length
+// k >= 1. Probabilities are relative frequency counts conditioned on the
+// current file; the outer average weights each qualifying file by its
+// share of qualifying access events, per Equation 2.
+func SuccessorEntropy(seq []trace.FileID, k int) (Result, error) {
+	if k < 1 {
+		return Result{}, fmt.Errorf("entropy: symbol length must be >= 1, got %d", k)
+	}
+	res := Result{SymbolLength: k}
+
+	// For each occurrence of file f at position p, the successor symbol
+	// is seq[p+1 .. p+k]. Occurrences too close to the end have no
+	// complete symbol and are skipped, exactly like an online tracker
+	// that never got to see the full follow-up.
+	type dist struct {
+		occ     int
+		symbols map[string]int
+	}
+	dists := make(map[trace.FileID]*dist)
+	buf := make([]byte, 0, k*binary.MaxVarintLen32)
+	var tmp [binary.MaxVarintLen32]byte
+	for p := 0; p+k < len(seq); p++ {
+		f := seq[p]
+		buf = buf[:0]
+		for j := 1; j <= k; j++ {
+			n := binary.PutUvarint(tmp[:], uint64(seq[p+j]))
+			buf = append(buf, tmp[:n]...)
+		}
+		d, ok := dists[f]
+		if !ok {
+			d = &dist{symbols: make(map[string]int, 2)}
+			dists[f] = d
+		}
+		d.occ++
+		d.symbols[string(buf)]++
+	}
+
+	// Weighted average over files occurring more than once.
+	var totalOcc int
+	for _, d := range dists {
+		if d.occ > 1 {
+			totalOcc += d.occ
+		}
+	}
+	if totalOcc == 0 {
+		return res, nil
+	}
+	var h float64
+	for _, d := range dists {
+		if d.occ <= 1 {
+			continue
+		}
+		h += float64(d.occ) / float64(totalOcc) * conditionalEntropy(d.symbols, d.occ)
+		res.Files++
+		res.Occurrences += d.occ
+	}
+	res.Bits = h
+	return res, nil
+}
+
+// conditionalEntropy computes -sum p log2 p over the symbol counts.
+func conditionalEntropy(symbols map[string]int, total int) float64 {
+	var h float64
+	ft := float64(total)
+	for _, n := range symbols {
+		p := float64(n) / ft
+		h -= p * math.Log2(p)
+	}
+	return h
+}
+
+// Sweep computes SuccessorEntropy for each symbol length in ks, in order —
+// the x-axis of Figures 7 and 8.
+func Sweep(seq []trace.FileID, ks []int) ([]Result, error) {
+	out := make([]Result, len(ks))
+	for i, k := range ks {
+		r, err := SuccessorEntropy(seq, k)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = r
+	}
+	return out, nil
+}
+
+// Distribution computes the plain Shannon entropy (bits) of an arbitrary
+// integer-keyed count distribution. Exposed for tools that want to report
+// unconditioned access entropy next to successor entropy.
+func Distribution(counts map[trace.FileID]int) float64 {
+	var total int
+	for _, n := range counts {
+		total += n
+	}
+	if total == 0 {
+		return 0
+	}
+	var h float64
+	ft := float64(total)
+	for _, n := range counts {
+		if n == 0 {
+			continue
+		}
+		p := float64(n) / ft
+		h -= p * math.Log2(p)
+	}
+	return h
+}
+
+// ConditionalEntropy generalizes SuccessorEntropy to higher-order
+// conditioning: the condition C is the last ctxLen files (ctxLen = 1 is
+// Equation 2 exactly), and the predicted symbol is the next symbolLen
+// files. Comparing ctxLen 1 vs 2 quantifies how much predictability the
+// context-modeling predictors of §5 (PPM and the compression-based
+// schemes) can exploit beyond per-file successor lists — at the price of
+// state that grows with the number of distinct contexts rather than the
+// number of files.
+func ConditionalEntropy(seq []trace.FileID, ctxLen, symbolLen int) (Result, error) {
+	if ctxLen < 1 {
+		return Result{}, fmt.Errorf("entropy: context length must be >= 1, got %d", ctxLen)
+	}
+	if symbolLen < 1 {
+		return Result{}, fmt.Errorf("entropy: symbol length must be >= 1, got %d", symbolLen)
+	}
+	res := Result{SymbolLength: symbolLen}
+
+	type dist struct {
+		occ     int
+		symbols map[string]int
+	}
+	dists := make(map[string]*dist)
+	encode := func(ids []trace.FileID) string {
+		buf := make([]byte, 0, len(ids)*binary.MaxVarintLen32)
+		var tmp [binary.MaxVarintLen32]byte
+		for _, id := range ids {
+			n := binary.PutUvarint(tmp[:], uint64(id))
+			buf = append(buf, tmp[:n]...)
+		}
+		return string(buf)
+	}
+	for p := ctxLen - 1; p+symbolLen < len(seq); p++ {
+		ctx := encode(seq[p-ctxLen+1 : p+1])
+		sym := encode(seq[p+1 : p+1+symbolLen])
+		d, ok := dists[ctx]
+		if !ok {
+			d = &dist{symbols: make(map[string]int, 2)}
+			dists[ctx] = d
+		}
+		d.occ++
+		d.symbols[sym]++
+	}
+
+	var totalOcc int
+	for _, d := range dists {
+		if d.occ > 1 {
+			totalOcc += d.occ
+		}
+	}
+	if totalOcc == 0 {
+		return res, nil
+	}
+	var h float64
+	for _, d := range dists {
+		if d.occ <= 1 {
+			continue
+		}
+		h += float64(d.occ) / float64(totalOcc) * conditionalEntropy(d.symbols, d.occ)
+		res.Files++
+		res.Occurrences += d.occ
+	}
+	res.Bits = h
+	return res, nil
+}

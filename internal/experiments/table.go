@@ -1,0 +1,124 @@
+package experiments
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Table is the output of one experiment: a labelled grid of series, the
+// textual analogue of one paper figure.
+type Table struct {
+	ID     string
+	Title  string
+	XLabel string
+	// Columns names each column; Columns[0] describes the x value
+	// except for claim-style tables, which use RowLabels.
+	Columns []string
+	// Rows holds the numeric data, one row per x value (or per claim).
+	Rows [][]float64
+	// RowLabels, when non-empty, names each row (claim-style tables).
+	RowLabels []string
+	// Notes records workload parameters and axis semantics.
+	Notes []string
+}
+
+// addClaim appends a labelled (measured, low, high) row.
+func (t *Table) addClaim(label string, measured, low, high float64) {
+	t.RowLabels = append(t.RowLabels, label)
+	t.Rows = append(t.Rows, []float64{measured, low, high})
+}
+
+// Format renders the table as aligned text for terminals and experiment
+// logs.
+func (t *Table) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	if t.XLabel != "" {
+		fmt.Fprintf(&b, "x: %s\n", t.XLabel)
+	}
+
+	// Assemble the string matrix: header + rows.
+	header := make([]string, 0, len(t.Columns)+1)
+	if len(t.RowLabels) > 0 {
+		header = append(header, "")
+	}
+	header = append(header, t.Columns...)
+	matrix := [][]string{header}
+	for i, row := range t.Rows {
+		line := make([]string, 0, len(row)+1)
+		if len(t.RowLabels) > 0 {
+			line = append(line, t.RowLabels[i])
+		}
+		for _, v := range row {
+			line = append(line, formatCell(v))
+		}
+		matrix = append(matrix, line)
+	}
+
+	widths := make([]int, 0, len(header))
+	for _, line := range matrix {
+		for i, cell := range line {
+			if i >= len(widths) {
+				widths = append(widths, 0)
+			}
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	for _, line := range matrix {
+		for i, cell := range line {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			if i == 0 && len(t.RowLabels) > 0 {
+				fmt.Fprintf(&b, "%-*s", widths[i], cell)
+			} else {
+				fmt.Fprintf(&b, "%*s", widths[i], cell)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values for plotting.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	if len(t.RowLabels) > 0 {
+		b.WriteString("label,")
+	}
+	b.WriteString(strings.Join(t.Columns, ","))
+	b.WriteByte('\n')
+	for i, row := range t.Rows {
+		var cells []string
+		if len(t.RowLabels) > 0 {
+			cells = append(cells, csvQuote(t.RowLabels[i]))
+		}
+		for _, v := range row {
+			cells = append(cells, formatCell(v))
+		}
+		b.WriteString(strings.Join(cells, ","))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// formatCell prints integers bare and fractions with fixed precision.
+func formatCell(v float64) string {
+	if v == float64(int64(v)) && v < 1e15 && v > -1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'f', 3, 64)
+}
+
+func csvQuote(s string) string {
+	if strings.ContainsAny(s, ",\"\n") {
+		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+	}
+	return s
+}

@@ -1,0 +1,50 @@
+package fsnet
+
+import (
+	"fmt"
+	"net"
+	"testing"
+)
+
+// BenchmarkOpenLoopback measures end-to-end opens per second through the
+// full protocol stack on a loopback socket, cycling through a working set
+// larger than the client cache so misses and group replies are exercised.
+func BenchmarkOpenLoopback(b *testing.B) {
+	store := NewStore()
+	const files = 512
+	for i := 0; i < files; i++ {
+		path := fmt.Sprintf("/bench/f%04d", i)
+		if err := store.Put(path, make([]byte, 512)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	srv, err := NewServer(store, ServerConfig{GroupSize: 5, CacheCapacity: 256})
+	if err != nil {
+		b.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	go func() { _ = srv.Serve(l) }()
+	defer srv.Close()
+
+	client, err := Dial(l.Addr().String(), ClientConfig{CacheCapacity: 128})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer client.Close()
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := client.Open(fmt.Sprintf("/bench/f%04d", i%files)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	s := client.Stats()
+	if s.Opens > 0 {
+		b.ReportMetric(100*float64(s.Hits)/float64(s.Opens), "local_hit_%")
+	}
+}

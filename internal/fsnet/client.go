@@ -1,0 +1,298 @@
+package fsnet
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"aggcache/internal/cache"
+	"aggcache/internal/trace"
+)
+
+// ClientConfig parameterizes a client cache manager.
+type ClientConfig struct {
+	// CacheCapacity is the local whole-file cache size (default 128).
+	CacheCapacity int
+	// DisablePiggyback stops the client from forwarding its access
+	// history (hits included) to the server with each request. By
+	// default the history is piggybacked, giving the server unfiltered
+	// metadata (§3); disabling it models the uncooperative client of
+	// §4.3.
+	DisablePiggyback bool
+}
+
+// ClientStats is a snapshot of client cache activity.
+type ClientStats struct {
+	// Opens counts Open calls that succeeded.
+	Opens uint64
+	// Hits counts opens served from the local cache; Fetches counts
+	// requests sent to the server (== Opens - Hits).
+	Hits    uint64
+	Fetches uint64
+	// FilesReceived and BytesReceived count everything delivered in
+	// group replies, demanded and opportunistic.
+	FilesReceived uint64
+	BytesReceived uint64
+	// PrefetchHits counts opens served by a file that arrived as a
+	// non-demanded group member and had not been demanded since.
+	PrefetchHits uint64
+	// Writes counts successful Write calls.
+	Writes uint64
+}
+
+// Client is the client-side cache manager of Figure 2. It is safe for
+// concurrent use by multiple goroutines; requests are serialized over one
+// connection.
+type Client struct {
+	cfg ClientConfig
+
+	mu         sync.Mutex
+	conn       net.Conn
+	r          *bufio.Reader
+	w          *bufio.Writer
+	ids        *trace.Interner
+	lru        *cache.LRU
+	data       map[trace.FileID][]byte
+	prefetched map[trace.FileID]bool
+	pending    []string // access history awaiting piggybacking
+	stats      ClientStats
+	closed     bool
+}
+
+// Dial connects a new client to the server at addr.
+func Dial(addr string, cfg ClientConfig) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("fsnet: dial %s: %w", addr, err)
+	}
+	return NewClient(conn, cfg)
+}
+
+// NewClient wraps an established connection (useful for tests and custom
+// transports).
+func NewClient(conn net.Conn, cfg ClientConfig) (*Client, error) {
+	if cfg.CacheCapacity == 0 {
+		cfg.CacheCapacity = 128
+	}
+	lru, err := cache.NewLRU(cfg.CacheCapacity)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{
+		cfg:        cfg,
+		conn:       conn,
+		r:          bufio.NewReader(conn),
+		w:          bufio.NewWriter(conn),
+		ids:        trace.NewInterner(),
+		lru:        lru,
+		data:       make(map[trace.FileID][]byte),
+		prefetched: make(map[trace.FileID]bool),
+	}
+	lru.OnEvict(func(id trace.FileID) {
+		delete(c.data, id)
+		delete(c.prefetched, id)
+	})
+	return c, nil
+}
+
+// Close shuts the connection down. Open fails afterwards.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	return c.conn.Close()
+}
+
+// Stats returns a snapshot of client activity.
+func (c *Client) Stats() ClientStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// Contains reports whether path is in the local cache.
+func (c *Client) Contains(path string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	id, ok := c.ids.Lookup(path)
+	return ok && c.lru.Contains(id)
+}
+
+// Open returns the contents of path, from the local cache when possible,
+// otherwise via a group fetch from the server.
+func (c *Client) Open(path string) ([]byte, error) {
+	if path == "" || len(path) > maxPath {
+		return nil, fmt.Errorf("fsnet: invalid path %q", path)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, errors.New("fsnet: client closed")
+	}
+
+	id := c.ids.Intern(path)
+	if !c.cfg.DisablePiggyback && len(c.pending) < maxStatPaths {
+		c.pending = append(c.pending, path)
+	}
+	if c.lru.Contains(id) {
+		c.stats.Opens++
+		c.stats.Hits++
+		if c.prefetched[id] {
+			c.stats.PrefetchHits++
+			delete(c.prefetched, id)
+		}
+		c.lru.Touch(id)
+		out := make([]byte, len(c.data[id]))
+		copy(out, c.data[id])
+		return out, nil
+	}
+
+	resp, err := c.fetch(path)
+	if err != nil {
+		return nil, err
+	}
+	c.stats.Opens++
+	c.stats.Fetches++
+	c.install(id, resp)
+	out := make([]byte, len(c.data[id]))
+	copy(out, c.data[id])
+	return out, nil
+}
+
+// Write stores a whole file on the server (write-through) and refreshes
+// the local cached copy if resident. Writes are not access events: the
+// grouping model tracks opens (§2.2), so a write does not perturb the
+// piggybacked history.
+func (c *Client) Write(path string, data []byte) error {
+	if path == "" || len(path) > maxPath {
+		return fmt.Errorf("fsnet: invalid path %q", path)
+	}
+	if len(data) > maxFileSize {
+		return fmt.Errorf("fsnet: file of %d bytes exceeds limit %d", len(data), maxFileSize)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return errors.New("fsnet: client closed")
+	}
+	if err := writeFrame(c.w, msgWrite, encodeWriteRequest(writeRequest{Path: path, Data: data})); err != nil {
+		return fmt.Errorf("fsnet: send: %w", err)
+	}
+	typ, payload, err := readFrame(c.r)
+	if err != nil {
+		return fmt.Errorf("fsnet: receive: %w", err)
+	}
+	switch typ {
+	case msgWriteOK:
+		// Refresh the local copy so our own reads see the write.
+		if id, ok := c.ids.Lookup(path); ok && c.lru.Contains(id) {
+			cp := make([]byte, len(data))
+			copy(cp, data)
+			c.data[id] = cp
+		}
+		c.stats.Writes++
+		return nil
+	case msgError:
+		e, err := decodeErrorResponse(payload)
+		if err != nil {
+			return err
+		}
+		return fmt.Errorf("fsnet: server error %d: %s", e.Code, e.Message)
+	default:
+		return fmt.Errorf("fsnet: unexpected reply type %d", typ)
+	}
+}
+
+// fetch performs the request round trip. Called with mu held.
+func (c *Client) fetch(path string) (groupResponse, error) {
+	req := openRequest{Path: path}
+	if !c.cfg.DisablePiggyback {
+		// The history includes this open itself (appended by Open);
+		// the server learns everything up to but excluding the
+		// demanded path, then the demanded open, so exclude the final
+		// entry here.
+		if n := len(c.pending); n > 0 && c.pending[n-1] == path {
+			req.Accessed = c.pending[:n-1]
+		} else {
+			req.Accessed = c.pending
+		}
+	}
+	if err := writeFrame(c.w, msgOpen, encodeOpenRequest(req)); err != nil {
+		return groupResponse{}, fmt.Errorf("fsnet: send: %w", err)
+	}
+	c.pending = c.pending[:0]
+
+	typ, payload, err := readFrame(c.r)
+	if err != nil {
+		return groupResponse{}, fmt.Errorf("fsnet: receive: %w", err)
+	}
+	switch typ {
+	case msgGroup:
+		resp, err := decodeGroupResponse(payload)
+		if err != nil {
+			return groupResponse{}, err
+		}
+		if resp.Files[0].Path != path {
+			return groupResponse{}, fmt.Errorf("fsnet: reply leads with %q, want %q", resp.Files[0].Path, path)
+		}
+		return resp, nil
+	case msgError:
+		e, err := decodeErrorResponse(payload)
+		if err != nil {
+			return groupResponse{}, err
+		}
+		if e.Code == CodeNotFound {
+			return groupResponse{}, fmt.Errorf("%w: %s", ErrNotFound, e.Message)
+		}
+		return groupResponse{}, fmt.Errorf("fsnet: server error %d: %s", e.Code, e.Message)
+	default:
+		return groupResponse{}, fmt.Errorf("fsnet: unexpected reply type %d", typ)
+	}
+}
+
+// install applies the aggregating-cache placement: demanded file at the
+// head, other members appended at the tail, never evicting the incoming
+// group's own files to make room. Called with mu held.
+func (c *Client) install(id trace.FileID, resp groupResponse) {
+	protected := make(map[trace.FileID]bool, len(resp.Files))
+	memberIDs := make([]trace.FileID, len(resp.Files))
+	for i, f := range resp.Files {
+		memberIDs[i] = c.ids.Intern(f.Path)
+		protected[memberIDs[i]] = true
+		c.stats.FilesReceived++
+		c.stats.BytesReceived += uint64(len(f.Data))
+	}
+
+	for c.lru.Len() >= c.cfg.CacheCapacity {
+		if _, ok := c.lru.EvictVictimExcept(protected); ok {
+			continue
+		}
+		if _, ok := c.lru.EvictVictim(); !ok {
+			break
+		}
+	}
+	c.lru.InsertHead(id)
+	c.data[id] = resp.Files[0].Data
+	delete(c.prefetched, id)
+
+	for i := 1; i < len(resp.Files); i++ {
+		mid := memberIDs[i]
+		if c.lru.Contains(mid) {
+			c.data[mid] = resp.Files[i].Data // refresh contents
+			continue
+		}
+		if c.lru.Len() >= c.cfg.CacheCapacity {
+			if _, ok := c.lru.EvictVictimExcept(protected); !ok {
+				break
+			}
+		}
+		c.lru.InsertTail(mid)
+		c.data[mid] = resp.Files[i].Data
+		c.prefetched[mid] = true
+	}
+}

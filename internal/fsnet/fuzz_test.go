@@ -1,0 +1,69 @@
+package fsnet
+
+import (
+	"bytes"
+	"testing"
+)
+
+// Fuzz targets: the protocol decoders must never panic on arbitrary
+// input; they either parse or return an error. (Seeds below double as
+// regular unit cases under plain `go test`.)
+
+func FuzzDecodeOpenRequest(f *testing.F) {
+	f.Add(encodeOpenRequest(openRequest{Path: "/x", Accessed: []string{"/a", "/b"}}))
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff, 0xff})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req, err := decodeOpenRequest(data)
+		if err == nil {
+			// A successful parse must round-trip.
+			again, err2 := decodeOpenRequest(encodeOpenRequest(req))
+			if err2 != nil {
+				t.Fatalf("re-decode failed: %v", err2)
+			}
+			if again.Path != req.Path || len(again.Accessed) != len(req.Accessed) {
+				t.Fatal("round-trip mismatch")
+			}
+		}
+	})
+}
+
+func FuzzDecodeGroupResponse(f *testing.F) {
+	f.Add(encodeGroupResponse(groupResponse{Files: []fileData{{Path: "/x", Data: []byte("d")}}}))
+	f.Add([]byte{})
+	f.Add([]byte{0x01})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		resp, err := decodeGroupResponse(data)
+		if err == nil {
+			again, err2 := decodeGroupResponse(encodeGroupResponse(resp))
+			if err2 != nil {
+				t.Fatalf("re-decode failed: %v", err2)
+			}
+			if len(again.Files) != len(resp.Files) {
+				t.Fatal("round-trip mismatch")
+			}
+		}
+	})
+}
+
+func FuzzDecodeWriteRequest(f *testing.F) {
+	f.Add(encodeWriteRequest(writeRequest{Path: "/x", Data: []byte("abc")}))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req, err := decodeWriteRequest(data)
+		if err == nil {
+			if !bytes.Equal(encodeWriteRequest(req)[:0], []byte{}) {
+				// no-op; ensure encode does not panic
+				_ = encodeWriteRequest(req)
+			}
+		}
+	})
+}
+
+func FuzzDecodeErrorResponse(f *testing.F) {
+	f.Add(encodeErrorResponse(errorResponse{Code: CodeNotFound, Message: "x"}))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		_, _ = decodeErrorResponse(data)
+	})
+}

@@ -1,0 +1,316 @@
+// Package fsnet realizes the paper's Figure-2 architecture as a real
+// networked system: a file server that maintains relationship metadata and
+// answers every open request with a *group* of files, and a client-side
+// cache manager that installs the group per the aggregating-cache rules
+// and piggybacks its access statistics onto subsequent requests (§3).
+//
+// The wire protocol is a simple length-prefixed binary framing over TCP,
+// built only on the standard library.
+package fsnet
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Message types.
+const (
+	// msgOpen is a client->server open request: the demanded path plus
+	// the piggybacked list of paths the client accessed (hit or miss)
+	// since its previous request, in order.
+	msgOpen = uint8(iota + 1)
+	// msgGroup is the server->client reply: the demanded file first,
+	// then the opportunistically fetched group members.
+	msgGroup
+	// msgError is the server->client failure reply.
+	msgError
+	// msgWrite is a client->server whole-file write (write-through).
+	msgWrite
+	// msgWriteOK acknowledges a write.
+	msgWriteOK
+)
+
+// Protocol limits; violations terminate the connection.
+const (
+	maxFrame     = 16 << 20
+	maxPath      = 4096
+	maxStatPaths = 1024
+	maxGroup     = 64
+	maxFileSize  = 8 << 20
+)
+
+// Error codes carried by msgError.
+const (
+	// CodeNotFound reports that the demanded path does not exist.
+	CodeNotFound = uint32(iota + 1)
+	// CodeBadRequest reports a malformed or limit-violating request.
+	CodeBadRequest
+)
+
+// ErrNotFound is returned by Client.Open for missing files.
+var ErrNotFound = errors.New("fsnet: file not found")
+
+// openRequest is the payload of msgOpen.
+type openRequest struct {
+	// Path is the demanded file.
+	Path string
+	// Accessed is the piggybacked access history since the last
+	// request, oldest first. It excludes the demanded Path itself,
+	// which the server appends to the learned stream on arrival.
+	Accessed []string
+}
+
+// fileData is one file in a group reply.
+type fileData struct {
+	Path string
+	Data []byte
+}
+
+// groupResponse is the payload of msgGroup.
+type groupResponse struct {
+	Files []fileData
+}
+
+// errorResponse is the payload of msgError.
+type errorResponse struct {
+	Code    uint32
+	Message string
+}
+
+// writeFrame emits one frame: u32 length (type+payload), u8 type, payload.
+func writeFrame(w *bufio.Writer, typ uint8, payload []byte) error {
+	if len(payload)+1 > maxFrame {
+		return fmt.Errorf("fsnet: frame of %d bytes exceeds limit", len(payload)+1)
+	}
+	var hdr [5]byte
+	binary.BigEndian.PutUint32(hdr[:4], uint32(len(payload)+1))
+	hdr[4] = typ
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := w.Write(payload); err != nil {
+		return err
+	}
+	return w.Flush()
+}
+
+// readFrame reads one frame, returning its type and payload.
+func readFrame(r *bufio.Reader) (uint8, []byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n == 0 || n > maxFrame {
+		return 0, nil, fmt.Errorf("fsnet: frame length %d out of range", n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return 0, nil, fmt.Errorf("fsnet: short frame: %w", err)
+	}
+	return body[0], body[1:], nil
+}
+
+// Payload encoding helpers: strings and byte blobs are uvarint length +
+// bytes; counts are uvarints.
+
+func appendUvarint(b []byte, v uint64) []byte {
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], v)
+	return append(b, tmp[:n]...)
+}
+
+func appendString(b []byte, s string) []byte {
+	b = appendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+func appendBytes(b, data []byte) []byte {
+	b = appendUvarint(b, uint64(len(data)))
+	return append(b, data...)
+}
+
+// decoder consumes a payload buffer.
+type decoder struct {
+	buf []byte
+}
+
+func (d *decoder) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(d.buf)
+	if n <= 0 {
+		return 0, errors.New("fsnet: truncated varint")
+	}
+	d.buf = d.buf[n:]
+	return v, nil
+}
+
+func (d *decoder) str(limit int) (string, error) {
+	n, err := d.uvarint()
+	if err != nil {
+		return "", err
+	}
+	if n > uint64(limit) {
+		return "", fmt.Errorf("fsnet: string of %d bytes exceeds limit %d", n, limit)
+	}
+	if uint64(len(d.buf)) < n {
+		return "", errors.New("fsnet: truncated string")
+	}
+	s := string(d.buf[:n])
+	d.buf = d.buf[n:]
+	return s, nil
+}
+
+func (d *decoder) bytes(limit int) ([]byte, error) {
+	n, err := d.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(limit) {
+		return nil, fmt.Errorf("fsnet: blob of %d bytes exceeds limit %d", n, limit)
+	}
+	if uint64(len(d.buf)) < n {
+		return nil, errors.New("fsnet: truncated blob")
+	}
+	out := make([]byte, n)
+	copy(out, d.buf[:n])
+	d.buf = d.buf[n:]
+	return out, nil
+}
+
+func (d *decoder) done() error {
+	if len(d.buf) != 0 {
+		return fmt.Errorf("fsnet: %d trailing payload bytes", len(d.buf))
+	}
+	return nil
+}
+
+func encodeOpenRequest(req openRequest) []byte {
+	b := appendString(nil, req.Path)
+	b = appendUvarint(b, uint64(len(req.Accessed)))
+	for _, p := range req.Accessed {
+		b = appendString(b, p)
+	}
+	return b
+}
+
+func decodeOpenRequest(payload []byte) (openRequest, error) {
+	d := decoder{buf: payload}
+	var req openRequest
+	var err error
+	if req.Path, err = d.str(maxPath); err != nil {
+		return req, err
+	}
+	if req.Path == "" {
+		return req, errors.New("fsnet: empty path")
+	}
+	n, err := d.uvarint()
+	if err != nil {
+		return req, err
+	}
+	if n > maxStatPaths {
+		return req, fmt.Errorf("fsnet: %d piggybacked paths exceed limit %d", n, maxStatPaths)
+	}
+	req.Accessed = make([]string, 0, n)
+	for i := uint64(0); i < n; i++ {
+		p, err := d.str(maxPath)
+		if err != nil {
+			return req, err
+		}
+		req.Accessed = append(req.Accessed, p)
+	}
+	if err := d.done(); err != nil {
+		return req, err
+	}
+	return req, nil
+}
+
+// writeRequest is the payload of msgWrite.
+type writeRequest struct {
+	Path string
+	Data []byte
+}
+
+func encodeWriteRequest(req writeRequest) []byte {
+	b := appendString(nil, req.Path)
+	return appendBytes(b, req.Data)
+}
+
+func decodeWriteRequest(payload []byte) (writeRequest, error) {
+	d := decoder{buf: payload}
+	var req writeRequest
+	var err error
+	if req.Path, err = d.str(maxPath); err != nil {
+		return req, err
+	}
+	if req.Path == "" {
+		return req, errors.New("fsnet: empty path")
+	}
+	if req.Data, err = d.bytes(maxFileSize); err != nil {
+		return req, err
+	}
+	if err := d.done(); err != nil {
+		return req, err
+	}
+	return req, nil
+}
+
+func encodeGroupResponse(resp groupResponse) []byte {
+	b := appendUvarint(nil, uint64(len(resp.Files)))
+	for _, f := range resp.Files {
+		b = appendString(b, f.Path)
+		b = appendBytes(b, f.Data)
+	}
+	return b
+}
+
+func decodeGroupResponse(payload []byte) (groupResponse, error) {
+	d := decoder{buf: payload}
+	var resp groupResponse
+	n, err := d.uvarint()
+	if err != nil {
+		return resp, err
+	}
+	if n == 0 || n > maxGroup {
+		return resp, fmt.Errorf("fsnet: group of %d files out of range", n)
+	}
+	resp.Files = make([]fileData, 0, n)
+	for i := uint64(0); i < n; i++ {
+		var f fileData
+		if f.Path, err = d.str(maxPath); err != nil {
+			return resp, err
+		}
+		if f.Data, err = d.bytes(maxFileSize); err != nil {
+			return resp, err
+		}
+		resp.Files = append(resp.Files, f)
+	}
+	if err := d.done(); err != nil {
+		return resp, err
+	}
+	return resp, nil
+}
+
+func encodeErrorResponse(resp errorResponse) []byte {
+	b := appendUvarint(nil, uint64(resp.Code))
+	return appendString(b, resp.Message)
+}
+
+func decodeErrorResponse(payload []byte) (errorResponse, error) {
+	d := decoder{buf: payload}
+	var resp errorResponse
+	code, err := d.uvarint()
+	if err != nil {
+		return resp, err
+	}
+	resp.Code = uint32(code)
+	if resp.Message, err = d.str(maxPath); err != nil {
+		return resp, err
+	}
+	if err := d.done(); err != nil {
+		return resp, err
+	}
+	return resp, nil
+}

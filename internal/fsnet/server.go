@@ -1,0 +1,325 @@
+package fsnet
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"os"
+	"sync"
+	"time"
+
+	"aggcache/internal/core"
+	"aggcache/internal/trace"
+)
+
+// ServerConfig parameterizes a file server.
+type ServerConfig struct {
+	// GroupSize is the best-effort retrieval group size g (default 5).
+	GroupSize int
+	// CacheCapacity is the server's memory cache in whole files
+	// (default 256). The cache is an aggregating cache: when a demanded
+	// file misses, the whole group is staged from the store.
+	CacheCapacity int
+	// SuccessorCapacity bounds the per-file successor lists (default 3).
+	SuccessorCapacity int
+	// IdleTimeout closes connections that send no request for this
+	// long. Zero disables the timeout.
+	IdleTimeout time.Duration
+	// Logger receives connection-level errors; nil discards them.
+	Logger *log.Logger
+}
+
+// ServerStats is a snapshot of server activity.
+type ServerStats struct {
+	// Requests counts open requests served (including errors).
+	Requests uint64
+	// Errors counts error replies.
+	Errors uint64
+	// FilesSent counts files transferred in group replies.
+	FilesSent uint64
+	// Cache is the server memory cache accounting (hits are requests
+	// served without staging from the store).
+	Cache core.Stats
+}
+
+// Server is the remote file server of Figure 2: it owns the relationship
+// metadata, answers opens with groups, and keeps its own aggregating
+// memory cache in front of the store.
+type Server struct {
+	cfg    ServerConfig
+	store  *Store
+	logger *log.Logger
+
+	mu       sync.Mutex // guards agg, ids, stats
+	agg      *core.AggregatingCache
+	ids      *trace.Interner
+	requests uint64
+	errors   uint64
+	sent     uint64
+
+	connMu   sync.Mutex
+	conns    map[net.Conn]struct{}
+	listener net.Listener
+	closed   bool
+	nextSrc  uint64
+	wg       sync.WaitGroup
+}
+
+// NewServer builds a server over the given store.
+func NewServer(store *Store, cfg ServerConfig) (*Server, error) {
+	if store == nil {
+		return nil, errors.New("fsnet: store must not be nil")
+	}
+	if cfg.GroupSize == 0 {
+		cfg.GroupSize = 5
+	}
+	if cfg.GroupSize < 1 || cfg.GroupSize > maxGroup {
+		return nil, fmt.Errorf("fsnet: group size %d out of range [1,%d]", cfg.GroupSize, maxGroup)
+	}
+	if cfg.CacheCapacity == 0 {
+		cfg.CacheCapacity = 256
+	}
+	agg, err := core.New(core.Config{
+		Capacity:          cfg.CacheCapacity,
+		GroupSize:         cfg.GroupSize,
+		SuccessorCapacity: cfg.SuccessorCapacity,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Server{
+		cfg:    cfg,
+		store:  store,
+		logger: cfg.Logger,
+		agg:    agg,
+		ids:    trace.NewInterner(),
+		conns:  make(map[net.Conn]struct{}),
+	}, nil
+}
+
+// Serve accepts connections on l until Close is called. It blocks; run it
+// in a goroutine for concurrent use. Serve returns nil after a graceful
+// Close.
+func (s *Server) Serve(l net.Listener) error {
+	s.connMu.Lock()
+	if s.closed {
+		s.connMu.Unlock()
+		return errors.New("fsnet: server already closed")
+	}
+	s.listener = l
+	s.connMu.Unlock()
+
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			s.connMu.Lock()
+			closed := s.closed
+			s.connMu.Unlock()
+			if closed {
+				return nil
+			}
+			return fmt.Errorf("fsnet: accept: %w", err)
+		}
+		s.connMu.Lock()
+		if s.closed {
+			s.connMu.Unlock()
+			_ = conn.Close()
+			return nil
+		}
+		s.conns[conn] = struct{}{}
+		s.connMu.Unlock()
+
+		s.connMu.Lock()
+		s.nextSrc++
+		src := s.nextSrc
+		s.connMu.Unlock()
+
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer s.forget(conn, src)
+			s.handleConn(conn, src)
+		}()
+	}
+}
+
+// Close stops accepting, closes live connections, and waits for handlers
+// to drain.
+func (s *Server) Close() error {
+	s.connMu.Lock()
+	if s.closed {
+		s.connMu.Unlock()
+		return nil
+	}
+	s.closed = true
+	l := s.listener
+	for conn := range s.conns {
+		_ = conn.Close()
+	}
+	s.connMu.Unlock()
+
+	var err error
+	if l != nil {
+		err = l.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+// Stats returns a snapshot of server activity.
+func (s *Server) Stats() ServerStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return ServerStats{
+		Requests:  s.requests,
+		Errors:    s.errors,
+		FilesSent: s.sent,
+		Cache:     s.agg.Stats(),
+	}
+}
+
+func (s *Server) forget(conn net.Conn, src uint64) {
+	s.connMu.Lock()
+	delete(s.conns, conn)
+	s.connMu.Unlock()
+	s.mu.Lock()
+	s.agg.Tracker().ForgetSource(src)
+	s.mu.Unlock()
+	_ = conn.Close()
+}
+
+func (s *Server) logf(format string, args ...interface{}) {
+	if s.logger != nil {
+		s.logger.Printf(format, args...)
+	}
+}
+
+// handleConn serves one client until EOF, protocol error, or idle
+// timeout. src is the connection's learning context: transitions are only
+// recorded within one client's stream, so interleaved clients cannot
+// manufacture relationships that never happened on any machine (§2.2).
+func (s *Server) handleConn(conn net.Conn, src uint64) {
+	r := bufio.NewReader(conn)
+	w := bufio.NewWriter(conn)
+	for {
+		if s.cfg.IdleTimeout > 0 {
+			if err := conn.SetReadDeadline(time.Now().Add(s.cfg.IdleTimeout)); err != nil {
+				return
+			}
+		}
+		typ, payload, err := readFrame(r)
+		if err != nil {
+			// EOF, closed connections and idle timeouts are normal
+			// departures; anything else is worth logging.
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) && !errors.Is(err, os.ErrDeadlineExceeded) {
+				s.logf("fsnet: %s: read: %v", conn.RemoteAddr(), err)
+			}
+			return
+		}
+		switch typ {
+		case msgOpen:
+			req, err := decodeOpenRequest(payload)
+			if err != nil {
+				_ = s.reply(w, nil, errorResponse{Code: CodeBadRequest, Message: err.Error()})
+				return
+			}
+			group, errResp := s.open(req, src)
+			if err := s.reply(w, group, errResp); err != nil {
+				s.logf("fsnet: %s: write: %v", conn.RemoteAddr(), err)
+				return
+			}
+		case msgWrite:
+			req, err := decodeWriteRequest(payload)
+			if err != nil {
+				_ = s.reply(w, nil, errorResponse{Code: CodeBadRequest, Message: err.Error()})
+				return
+			}
+			errResp := s.write(req)
+			var sendErr error
+			if errResp.Code != 0 {
+				sendErr = s.reply(w, nil, errResp)
+			} else {
+				sendErr = writeFrame(w, msgWriteOK, nil)
+			}
+			if sendErr != nil {
+				s.logf("fsnet: %s: write: %v", conn.RemoteAddr(), sendErr)
+				return
+			}
+		default:
+			s.logf("fsnet: %s: unexpected message type %d", conn.RemoteAddr(), typ)
+			return
+		}
+	}
+}
+
+func (s *Server) reply(w *bufio.Writer, group []fileData, errResp errorResponse) error {
+	if errResp.Code != 0 {
+		s.mu.Lock()
+		s.errors++
+		s.mu.Unlock()
+		return writeFrame(w, msgError, encodeErrorResponse(errResp))
+	}
+	return writeFrame(w, msgGroup, encodeGroupResponse(groupResponse{Files: group}))
+}
+
+// write stores a whole-file update. Writes are write-through to the
+// store, so later group replies pick the new contents up automatically
+// (the server cache tracks identities, not bytes). Consistency across
+// clients is last-writer-wins; like the paper's model, the system is
+// read-mostly and provides no cross-client invalidation.
+func (s *Server) write(req writeRequest) errorResponse {
+	s.mu.Lock()
+	s.requests++
+	s.mu.Unlock()
+	if err := s.store.Put(req.Path, req.Data); err != nil {
+		return errorResponse{Code: CodeBadRequest, Message: err.Error()}
+	}
+	return errorResponse{}
+}
+
+// open runs one request through the metadata and the server cache and
+// assembles the group reply.
+func (s *Server) open(req openRequest, src uint64) ([]fileData, errorResponse) {
+	data, ok := s.store.Get(req.Path)
+	if !ok {
+		s.mu.Lock()
+		s.requests++
+		s.mu.Unlock()
+		return nil, errorResponse{Code: CodeNotFound, Message: req.Path}
+	}
+
+	s.mu.Lock()
+	s.requests++
+	// Piggybacked history first (oldest..newest), then the demanded
+	// open, preserving the client's true access order.
+	for _, p := range req.Accessed {
+		if p == "" || len(p) > maxPath {
+			continue
+		}
+		s.agg.LearnFrom(src, s.ids.Intern(p))
+	}
+	id := s.ids.Intern(req.Path)
+	s.agg.LearnFrom(src, id)
+	s.agg.Serve(id) // stage the group into the server memory cache
+	groupIDs := s.agg.BuildGroup(id)
+	paths := make([]string, 0, len(groupIDs))
+	for _, gid := range groupIDs {
+		paths = append(paths, s.ids.Path(gid))
+	}
+	s.mu.Unlock()
+
+	files := make([]fileData, 0, len(paths))
+	files = append(files, fileData{Path: req.Path, Data: data})
+	for _, p := range paths[1:] {
+		if d, ok := s.store.Get(p); ok {
+			files = append(files, fileData{Path: p, Data: d})
+		}
+	}
+	s.mu.Lock()
+	s.sent += uint64(len(files))
+	s.mu.Unlock()
+	return files, errorResponse{}
+}

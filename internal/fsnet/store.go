@@ -1,0 +1,80 @@
+package fsnet
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Store is the server file store of Figure 2: a concurrency-safe
+// in-memory path -> contents map standing in for the storage server's
+// disk.
+type Store struct {
+	mu    sync.RWMutex
+	files map[string][]byte
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{files: make(map[string][]byte)}
+}
+
+// Put stores contents under path, copying the data so later caller
+// mutations cannot corrupt the store.
+func (s *Store) Put(path string, data []byte) error {
+	if path == "" || len(path) > maxPath {
+		return fmt.Errorf("fsnet: invalid path %q", path)
+	}
+	if len(data) > maxFileSize {
+		return fmt.Errorf("fsnet: file %q of %d bytes exceeds limit %d", path, len(data), maxFileSize)
+	}
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.files[path] = cp
+	return nil
+}
+
+// Get returns a copy of the contents of path.
+func (s *Store) Get(path string) ([]byte, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	data, ok := s.files[path]
+	if !ok {
+		return nil, false
+	}
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	return cp, true
+}
+
+// Delete removes path, reporting whether it existed.
+func (s *Store) Delete(path string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.files[path]; !ok {
+		return false
+	}
+	delete(s.files, path)
+	return true
+}
+
+// Len returns the number of stored files.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.files)
+}
+
+// Paths returns the stored paths in sorted order.
+func (s *Store) Paths() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.files))
+	for p := range s.files {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}

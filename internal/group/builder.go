@@ -1,0 +1,150 @@
+// Package group constructs retrieval groups from successor metadata: the
+// demanded file plus a best-effort chain of its most-likely transitive
+// successors (§2 of the paper). It also builds the overlapping
+// minimal-covering-set groupings of §2.1 used when grouping drives data
+// placement rather than caching.
+package group
+
+import (
+	"fmt"
+
+	"aggcache/internal/successor"
+	"aggcache/internal/trace"
+)
+
+// Strategy selects how a group is extended beyond the demanded file.
+type Strategy int
+
+// Group-construction strategies.
+const (
+	// StrategyChain follows the most-likely immediate successor
+	// recursively (the paper's transitive-successor chaining), falling
+	// back to lower-ranked successors of earlier members when the chain
+	// dead-ends or cycles.
+	StrategyChain Strategy = iota + 1
+	// StrategyBreadth takes the demanded file's ranked successors first,
+	// then their successors, breadth-first. Used for the ablation bench;
+	// the paper's design is StrategyChain.
+	StrategyBreadth
+)
+
+// Builder assembles groups of a fixed target size from a tracker's
+// metadata. The tracker stays owned by the caller and keeps learning as the
+// workload proceeds; Build reads the current metadata.
+type Builder struct {
+	tracker  *successor.Tracker
+	size     int
+	strategy Strategy
+}
+
+// NewBuilder returns a Builder producing groups of up to size files.
+func NewBuilder(t *successor.Tracker, size int, strategy Strategy) (*Builder, error) {
+	if t == nil {
+		return nil, fmt.Errorf("group: tracker must not be nil")
+	}
+	if size < 1 {
+		return nil, fmt.Errorf("group: size must be >= 1, got %d", size)
+	}
+	if strategy != StrategyChain && strategy != StrategyBreadth {
+		return nil, fmt.Errorf("group: unknown strategy %d", strategy)
+	}
+	return &Builder{tracker: t, size: size, strategy: strategy}, nil
+}
+
+// Size returns the target group size g.
+func (b *Builder) Size() int { return b.size }
+
+// SetSize changes the target group size; the adaptive aggregating cache
+// tunes g online through this.
+func (b *Builder) SetSize(n int) error {
+	if n < 1 {
+		return fmt.Errorf("group: size must be >= 1, got %d", n)
+	}
+	b.size = n
+	return nil
+}
+
+// Build returns a best-effort group for a demand access to id: id itself
+// first, then up to size-1 predicted members, without duplicates. The
+// result length is in [1, size].
+func (b *Builder) Build(id trace.FileID) []trace.FileID {
+	group := make([]trace.FileID, 1, b.size)
+	group[0] = id
+	if b.size == 1 {
+		return group
+	}
+	seen := make(map[trace.FileID]bool, b.size)
+	seen[id] = true
+
+	switch b.strategy {
+	case StrategyChain:
+		group = b.extendChain(group, seen)
+	case StrategyBreadth:
+		group = b.extendBreadth(group, seen)
+	}
+	return group
+}
+
+// extendChain follows most-likely successors as far as possible; when the
+// chain revisits a member or runs out of metadata it scans earlier members'
+// remaining ranked successors for a fresh continuation point.
+func (b *Builder) extendChain(group []trace.FileID, seen map[trace.FileID]bool) []trace.FileID {
+	cur := group[0]
+	for len(group) < b.size {
+		next, ok := b.chainNext(cur, seen)
+		if !ok {
+			next, ok = b.fallback(group, seen)
+			if !ok {
+				break
+			}
+		}
+		group = append(group, next)
+		seen[next] = true
+		cur = next
+	}
+	return group
+}
+
+// chainNext picks the best-ranked unseen successor of cur.
+func (b *Builder) chainNext(cur trace.FileID, seen map[trace.FileID]bool) (trace.FileID, bool) {
+	for _, s := range b.tracker.Successors(cur) {
+		if !seen[s] {
+			return s, true
+		}
+	}
+	return 0, false
+}
+
+// fallback finds the first unseen successor of any existing member, in
+// member order, so stalled chains restart from the most confirmed context.
+func (b *Builder) fallback(group []trace.FileID, seen map[trace.FileID]bool) (trace.FileID, bool) {
+	for _, m := range group {
+		for _, s := range b.tracker.Successors(m) {
+			if !seen[s] {
+				return s, true
+			}
+		}
+	}
+	return 0, false
+}
+
+// extendBreadth performs a BFS over ranked successors.
+func (b *Builder) extendBreadth(group []trace.FileID, seen map[trace.FileID]bool) []trace.FileID {
+	queue := []trace.FileID{group[0]}
+	for len(queue) > 0 && len(group) < b.size {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, s := range b.tracker.Successors(cur) {
+			if seen[s] {
+				continue
+			}
+			group = append(group, s)
+			seen[s] = true
+			queue = append(queue, s)
+			if len(group) >= b.size {
+				break
+			}
+		}
+	}
+	return group
+}

@@ -1,0 +1,250 @@
+package group
+
+import (
+	"testing"
+	"testing/quick"
+
+	"aggcache/internal/successor"
+	"aggcache/internal/trace"
+)
+
+func newTracker(t *testing.T, seq []trace.FileID) *successor.Tracker {
+	t.Helper()
+	tr, err := successor.NewTracker(successor.PolicyLRU, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.ObserveAll(seq)
+	return tr
+}
+
+func TestNewBuilderValidation(t *testing.T) {
+	tr := newTracker(t, nil)
+	if _, err := NewBuilder(nil, 3, StrategyChain); err == nil {
+		t.Error("nil tracker accepted")
+	}
+	if _, err := NewBuilder(tr, 0, StrategyChain); err == nil {
+		t.Error("size 0 accepted")
+	}
+	if _, err := NewBuilder(tr, 3, Strategy(99)); err == nil {
+		t.Error("bad strategy accepted")
+	}
+}
+
+func TestBuildSize1IsJustTheFile(t *testing.T) {
+	tr := newTracker(t, []trace.FileID{1, 2, 3})
+	b, _ := NewBuilder(tr, 1, StrategyChain)
+	g := b.Build(1)
+	if len(g) != 1 || g[0] != 1 {
+		t.Errorf("Build = %v, want [1]", g)
+	}
+}
+
+func TestBuildChainsTransitiveSuccessors(t *testing.T) {
+	// Deterministic chain 1->2->3->4 repeated.
+	tr := newTracker(t, []trace.FileID{1, 2, 3, 4, 1, 2, 3, 4, 1, 2, 3, 4})
+	b, _ := NewBuilder(tr, 3, StrategyChain)
+	g := b.Build(1)
+	want := []trace.FileID{1, 2, 3}
+	if len(g) != 3 {
+		t.Fatalf("Build = %v, want %v", g, want)
+	}
+	for i := range want {
+		if g[i] != want[i] {
+			t.Fatalf("Build = %v, want %v", g, want)
+		}
+	}
+}
+
+func TestBuildNoMetadataReturnsSingleton(t *testing.T) {
+	tr := newTracker(t, nil)
+	b, _ := NewBuilder(tr, 5, StrategyChain)
+	g := b.Build(42)
+	if len(g) != 1 || g[0] != 42 {
+		t.Errorf("Build = %v, want [42]", g)
+	}
+}
+
+func TestBuildBreaksCycles(t *testing.T) {
+	// 1->2->1 cycle; group of 4 must not loop forever or duplicate, and
+	// falls back to other successors when available.
+	tr := newTracker(t, []trace.FileID{1, 2, 1, 2, 1, 2})
+	b, _ := NewBuilder(tr, 4, StrategyChain)
+	g := b.Build(1)
+	seen := make(map[trace.FileID]bool)
+	for _, m := range g {
+		if seen[m] {
+			t.Fatalf("duplicate member in %v", g)
+		}
+		seen[m] = true
+	}
+	if len(g) != 2 {
+		t.Errorf("Build = %v, want [1 2] (cycle exhausts candidates)", g)
+	}
+}
+
+func TestBuildFallbackUsesLowerRankedSuccessors(t *testing.T) {
+	// 1 is followed by 2 (most recent) and 3; 2 dead-ends back to 1.
+	// Chain: 1 -> 2 -> (1 seen, dead end) -> fallback picks 3 from 1's
+	// list.
+	tr := newTracker(t, []trace.FileID{1, 3, 9, 1, 2, 1, 2, 1, 2})
+	b, _ := NewBuilder(tr, 3, StrategyChain)
+	g := b.Build(1)
+	if len(g) != 3 {
+		t.Fatalf("Build = %v, want 3 members", g)
+	}
+	if g[0] != 1 || g[1] != 2 {
+		t.Fatalf("Build = %v, want prefix [1 2]", g)
+	}
+	if g[2] != 3 {
+		t.Errorf("Build = %v, want fallback member 3", g)
+	}
+}
+
+func TestBuildBreadthTakesRankedSuccessorsFirst(t *testing.T) {
+	// 1's successors by recency: 4, 3, 2 (capacity 3). Breadth group of
+	// 3 takes 4 and 3; chain group of 3 would take 4 then 4's successor.
+	tr := newTracker(t, []trace.FileID{1, 2, 9, 1, 3, 9, 1, 4, 5, 9})
+	bb, _ := NewBuilder(tr, 3, StrategyBreadth)
+	g := bb.Build(1)
+	if len(g) != 3 || g[0] != 1 || g[1] != 4 || g[2] != 3 {
+		t.Errorf("breadth Build = %v, want [1 4 3]", g)
+	}
+	bc, _ := NewBuilder(tr, 3, StrategyChain)
+	g = bc.Build(1)
+	if len(g) != 3 || g[0] != 1 || g[1] != 4 || g[2] != 5 {
+		t.Errorf("chain Build = %v, want [1 4 5]", g)
+	}
+}
+
+// Property: for any sequence and size, Build(id) starts with id, has no
+// duplicates, and has length in [1, size].
+func TestBuildInvariants(t *testing.T) {
+	for _, strat := range []Strategy{StrategyChain, StrategyBreadth} {
+		strat := strat
+		f := func(raw []uint8, sizeRaw uint8, startRaw uint8) bool {
+			seq := make([]trace.FileID, len(raw))
+			for i, r := range raw {
+				seq[i] = trace.FileID(r % 20)
+			}
+			tr, err := successor.NewTracker(successor.PolicyLRU, 3)
+			if err != nil {
+				return false
+			}
+			tr.ObserveAll(seq)
+			size := int(sizeRaw%10) + 1
+			b, err := NewBuilder(tr, size, strat)
+			if err != nil {
+				return false
+			}
+			id := trace.FileID(startRaw % 20)
+			g := b.Build(id)
+			if len(g) < 1 || len(g) > size || g[0] != id {
+				return false
+			}
+			seen := make(map[trace.FileID]bool, len(g))
+			for _, m := range g {
+				if seen[m] {
+					return false
+				}
+				seen[m] = true
+			}
+			return true
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+			t.Errorf("strategy %d: %v", strat, err)
+		}
+	}
+}
+
+func TestBuildCover(t *testing.T) {
+	seq := []trace.FileID{1, 2, 3, 1, 2, 3, 4, 5, 4, 5, 1, 2}
+	tr := newTracker(t, seq)
+	b, _ := NewBuilder(tr, 3, StrategyChain)
+	c := BuildCover(tr, b, seq)
+
+	// Every file in the sequence must be covered.
+	for _, id := range seq {
+		if !c.Covers(id) {
+			t.Errorf("file %d not covered", id)
+		}
+	}
+	if c.Covers(99) {
+		t.Error("Covers(99) = true for absent file")
+	}
+	if c.OverlapFactor() < 1.0 {
+		t.Errorf("OverlapFactor = %v, want >= 1", c.OverlapFactor())
+	}
+	if c.Members() < 5 {
+		t.Errorf("Members = %d, want >= 5 distinct files covered", c.Members())
+	}
+}
+
+func TestBuildCoverEmpty(t *testing.T) {
+	tr := newTracker(t, nil)
+	b, _ := NewBuilder(tr, 3, StrategyChain)
+	c := BuildCover(tr, b, nil)
+	if len(c.Groups) != 0 {
+		t.Errorf("Groups = %v, want empty", c.Groups)
+	}
+	if c.OverlapFactor() != 0 {
+		t.Errorf("OverlapFactor = %v, want 0", c.OverlapFactor())
+	}
+}
+
+func TestBuildCoverAllowsOverlap(t *testing.T) {
+	// Shared hub file 0 follows everything (like /bin/sh): appears in
+	// the successor lists of several seeds, so it should land in more
+	// than one group.
+	seq := []trace.FileID{1, 0, 2, 0, 3, 0, 1, 0, 2, 0, 3, 0}
+	tr := newTracker(t, seq)
+	b, _ := NewBuilder(tr, 2, StrategyChain)
+	c := BuildCover(tr, b, seq)
+	var containing int
+	for _, g := range c.Groups {
+		for _, m := range g {
+			if m == 0 {
+				containing++
+				break
+			}
+		}
+	}
+	if containing < 2 {
+		t.Errorf("hub file in %d groups, want >= 2 (overlap permitted)", containing)
+	}
+}
+
+func TestCoverStats(t *testing.T) {
+	seq := []trace.FileID{1, 0, 2, 0, 3, 0, 1, 0, 2, 0, 3, 0}
+	tr := newTracker(t, seq)
+	b, _ := NewBuilder(tr, 2, StrategyChain)
+	c := BuildCover(tr, b, seq)
+	st := c.Stats()
+	if st.Groups != len(c.Groups) {
+		t.Errorf("Groups = %d, want %d", st.Groups, len(c.Groups))
+	}
+	if st.Members != c.Members() {
+		t.Errorf("Members = %d, want %d", st.Members, c.Members())
+	}
+	if st.Distinct != 4 {
+		t.Errorf("Distinct = %d, want 4", st.Distinct)
+	}
+	if st.Replicas != st.Members-st.Distinct {
+		t.Errorf("Replicas inconsistent: %+v", st)
+	}
+	// The hub file 0 appears in several groups.
+	if st.MaxMemberships < 2 {
+		t.Errorf("MaxMemberships = %d, want >= 2 for the hub", st.MaxMemberships)
+	}
+	if st.MeanGroupLen <= 0 || st.MeanGroupLen > 2 {
+		t.Errorf("MeanGroupLen = %v", st.MeanGroupLen)
+	}
+}
+
+func TestCoverStatsEmpty(t *testing.T) {
+	var c Cover
+	st := c.Stats()
+	if st != (CoverStats{}) {
+		t.Errorf("empty stats = %+v", st)
+	}
+}

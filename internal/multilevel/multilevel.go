@@ -1,0 +1,165 @@
+// Package multilevel simulates cache hierarchies of arbitrary depth with
+// a latency model, generalizing the two-level client/server scenario of
+// the paper's §4.3 (and the second-level-cache setting of Zhou et al.,
+// which the paper cites). Each level may run LRU, LFU, or the aggregating
+// cache; a demand access probes levels in order, the first hit pays that
+// level's latency, and a miss everywhere pays the backend latency. Every
+// level inserts on its misses (fill on the way back), exactly like the
+// paper's simulations.
+package multilevel
+
+import (
+	"fmt"
+	"time"
+
+	"aggcache/internal/cache"
+	"aggcache/internal/core"
+	"aggcache/internal/trace"
+)
+
+// Scheme selects a level's cache policy.
+type Scheme string
+
+// Level cache schemes.
+const (
+	SchemeLRU         Scheme = "lru"
+	SchemeLFU         Scheme = "lfu"
+	SchemeAggregating Scheme = "agg"
+)
+
+// Level describes one tier of the hierarchy, nearest first.
+type Level struct {
+	// Name labels the level in results ("client", "server", ...).
+	Name string
+	// Capacity is the level's size in whole files.
+	Capacity int
+	// Scheme is the level's policy.
+	Scheme Scheme
+	// GroupSize applies to SchemeAggregating (default 5).
+	GroupSize int
+	// HitLatency is the total cost of an access served by this level
+	// (cumulative: it should include the cost of probing the levels
+	// above it).
+	HitLatency time.Duration
+}
+
+// Config describes a hierarchy run.
+type Config struct {
+	Levels []Level
+	// BackendLatency is the cost of an access that misses every level.
+	BackendLatency time.Duration
+}
+
+// LevelStats is one level's activity.
+type LevelStats struct {
+	Name string
+	// Requests is how many accesses reached this level.
+	Requests uint64
+	// Hits is how many of those it served.
+	Hits uint64
+}
+
+// HitRate is hits over requests at this level.
+func (s LevelStats) HitRate() float64 {
+	if s.Requests == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Requests)
+}
+
+// Result is the outcome of a hierarchy run.
+type Result struct {
+	Levels []LevelStats
+	// Accesses is the number of demand accesses replayed.
+	Accesses uint64
+	// BackendFetches is how many accesses missed everywhere.
+	BackendFetches uint64
+	// TotalLatency is the summed cost of all accesses.
+	TotalLatency time.Duration
+}
+
+// MeanLatency is the average cost per access.
+func (r Result) MeanLatency() time.Duration {
+	if r.Accesses == 0 {
+		return 0
+	}
+	return r.TotalLatency / time.Duration(r.Accesses)
+}
+
+// level is the runtime form of a Level.
+type level struct {
+	spec  Level
+	plain cache.Cache
+	agg   *core.AggregatingCache
+	stats LevelStats
+}
+
+// access probes the level, learning and filling per its scheme.
+func (l *level) access(id trace.FileID) bool {
+	l.stats.Requests++
+	var hit bool
+	if l.agg != nil {
+		l.agg.Learn(id)
+		hit = l.agg.Serve(id)
+	} else {
+		hit = l.plain.Access(id)
+	}
+	if hit {
+		l.stats.Hits++
+	}
+	return hit
+}
+
+// Run replays the open sequence through the hierarchy.
+func Run(ids []trace.FileID, cfg Config) (Result, error) {
+	if len(cfg.Levels) == 0 {
+		return Result{}, fmt.Errorf("multilevel: at least one level required")
+	}
+	levels := make([]*level, len(cfg.Levels))
+	for i, spec := range cfg.Levels {
+		l := &level{spec: spec}
+		l.stats.Name = spec.Name
+		switch spec.Scheme {
+		case SchemeLRU, SchemeLFU:
+			c, err := cache.New(cache.Policy(spec.Scheme), spec.Capacity)
+			if err != nil {
+				return Result{}, fmt.Errorf("multilevel: level %q: %w", spec.Name, err)
+			}
+			l.plain = c
+		case SchemeAggregating:
+			g := spec.GroupSize
+			if g == 0 {
+				g = 5
+			}
+			a, err := core.New(core.Config{Capacity: spec.Capacity, GroupSize: g})
+			if err != nil {
+				return Result{}, fmt.Errorf("multilevel: level %q: %w", spec.Name, err)
+			}
+			l.agg = a
+		default:
+			return Result{}, fmt.Errorf("multilevel: level %q: unknown scheme %q", spec.Name, spec.Scheme)
+		}
+		levels[i] = l
+	}
+
+	var res Result
+	for _, id := range ids {
+		res.Accesses++
+		served := false
+		for _, l := range levels {
+			if l.access(id) {
+				res.TotalLatency += l.spec.HitLatency
+				served = true
+				break
+			}
+		}
+		if !served {
+			res.BackendFetches++
+			res.TotalLatency += cfg.BackendLatency
+		}
+	}
+	for _, l := range levels {
+		res.Levels = append(res.Levels, l.stats)
+	}
+	return res, nil
+}

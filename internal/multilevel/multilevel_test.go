@@ -1,0 +1,151 @@
+package multilevel
+
+import (
+	"testing"
+	"time"
+
+	"aggcache/internal/trace"
+	"aggcache/internal/workload"
+)
+
+func ids(t *testing.T, opens int) []trace.FileID {
+	t.Helper()
+	tr, err := workload.Standard(workload.ProfileWorkstation, 1, opens)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr.OpenIDs()
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(nil, Config{}); err == nil {
+		t.Error("empty hierarchy accepted")
+	}
+	if _, err := Run(nil, Config{Levels: []Level{{Name: "x", Capacity: 10, Scheme: "arc"}}}); err == nil {
+		t.Error("unknown scheme accepted")
+	}
+	if _, err := Run(nil, Config{Levels: []Level{{Name: "x", Capacity: 0, Scheme: SchemeLRU}}}); err == nil {
+		t.Error("zero capacity accepted")
+	}
+}
+
+func TestRunSingleLevelMatchesPlainCache(t *testing.T) {
+	seq := []trace.FileID{1, 2, 1, 2, 3, 1}
+	res, err := Run(seq, Config{
+		Levels:         []Level{{Name: "only", Capacity: 2, Scheme: SchemeLRU, HitLatency: time.Millisecond}},
+		BackendLatency: 10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// LRU(2) over 1,2,1,2,3,1: misses 1,2, hits 1,2, miss 3, miss 1.
+	if res.Levels[0].Hits != 2 {
+		t.Errorf("hits = %d, want 2", res.Levels[0].Hits)
+	}
+	if res.BackendFetches != 4 {
+		t.Errorf("backend = %d, want 4", res.BackendFetches)
+	}
+	want := 2*time.Millisecond + 4*10*time.Millisecond
+	if res.TotalLatency != want {
+		t.Errorf("TotalLatency = %v, want %v", res.TotalLatency, want)
+	}
+}
+
+func TestRunRequestsCascade(t *testing.T) {
+	seq := ids(t, 8000)
+	res, err := Run(seq, Config{
+		Levels: []Level{
+			{Name: "client", Capacity: 100, Scheme: SchemeLRU, HitLatency: 100 * time.Microsecond},
+			{Name: "server", Capacity: 300, Scheme: SchemeLRU, HitLatency: 2 * time.Millisecond},
+		},
+		BackendLatency: 12 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, s := res.Levels[0], res.Levels[1]
+	if c.Requests != res.Accesses {
+		t.Errorf("client requests %d != accesses %d", c.Requests, res.Accesses)
+	}
+	if s.Requests != c.Requests-c.Hits {
+		t.Errorf("server requests %d != client misses %d", s.Requests, c.Requests-c.Hits)
+	}
+	if res.BackendFetches != s.Requests-s.Hits {
+		t.Errorf("backend %d != server misses %d", res.BackendFetches, s.Requests-s.Hits)
+	}
+	if res.MeanLatency() <= 0 {
+		t.Error("mean latency not positive")
+	}
+}
+
+// The latency version of Figure 4's story: swapping the server level from
+// LRU to aggregating cuts mean open latency.
+func TestAggregatingServerLevelCutsLatency(t *testing.T) {
+	seq := ids(t, 20000)
+	base := Config{
+		Levels: []Level{
+			{Name: "client", Capacity: 300, Scheme: SchemeLRU, HitLatency: 100 * time.Microsecond},
+			{Name: "server", Capacity: 300, Scheme: SchemeLRU, HitLatency: 2 * time.Millisecond},
+		},
+		BackendLatency: 12 * time.Millisecond,
+	}
+	lru, err := Run(seq, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base.Levels[1].Scheme = SchemeAggregating
+	base.Levels[1].GroupSize = 5
+	agg, err := Run(seq, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("mean open latency: lru-server=%v agg-server=%v", lru.MeanLatency(), agg.MeanLatency())
+	if agg.MeanLatency() >= lru.MeanLatency() {
+		t.Errorf("aggregating server latency %v >= lru %v", agg.MeanLatency(), lru.MeanLatency())
+	}
+}
+
+func TestThreeLevelHierarchy(t *testing.T) {
+	seq := ids(t, 15000)
+	res, err := Run(seq, Config{
+		Levels: []Level{
+			{Name: "ram", Capacity: 50, Scheme: SchemeLRU, HitLatency: 10 * time.Microsecond},
+			{Name: "ssd", Capacity: 200, Scheme: SchemeAggregating, GroupSize: 5, HitLatency: 500 * time.Microsecond},
+			{Name: "remote", Capacity: 800, Scheme: SchemeAggregating, GroupSize: 5, HitLatency: 5 * time.Millisecond},
+		},
+		BackendLatency: 25 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Levels) != 3 {
+		t.Fatalf("levels = %d", len(res.Levels))
+	}
+	// Sanity: deeper levels see fewer requests.
+	for i := 1; i < len(res.Levels); i++ {
+		if res.Levels[i].Requests > res.Levels[i-1].Requests {
+			t.Errorf("level %d requests %d > level %d requests %d",
+				i, res.Levels[i].Requests, i-1, res.Levels[i-1].Requests)
+		}
+	}
+	for _, l := range res.Levels {
+		if hr := l.HitRate(); hr < 0 || hr > 1 {
+			t.Errorf("%s hit rate %v", l.Name, hr)
+		}
+	}
+}
+
+func TestEmptySequence(t *testing.T) {
+	res, err := Run(nil, Config{
+		Levels: []Level{{Name: "l", Capacity: 4, Scheme: SchemeLFU}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MeanLatency() != 0 || res.Accesses != 0 {
+		t.Errorf("empty run = %+v", res)
+	}
+	if res.Levels[0].HitRate() != 0 {
+		t.Error("idle hit rate != 0")
+	}
+}

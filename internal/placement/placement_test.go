@@ -1,0 +1,229 @@
+package placement
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"aggcache/internal/group"
+	"aggcache/internal/successor"
+	"aggcache/internal/trace"
+)
+
+func TestSequentialFirstAppearanceOrder(t *testing.T) {
+	l := Sequential([]trace.FileID{5, 3, 5, 9, 3})
+	for i, id := range []trace.FileID{5, 3, 9} {
+		if p, ok := l.Position(id); !ok || p != i {
+			t.Errorf("Position(%d) = %d,%v want %d", id, p, ok, i)
+		}
+	}
+	if l.Len() != 3 {
+		t.Errorf("Len = %d, want 3", l.Len())
+	}
+	if _, ok := l.Position(99); ok {
+		t.Error("unplaced file reported placed")
+	}
+}
+
+func TestOrganPipeHottestCentred(t *testing.T) {
+	// 1 hottest, then 2, then 3, then 4.
+	var seq []trace.FileID
+	for i, n := range []int{8, 4, 2, 1} {
+		for j := 0; j < n; j++ {
+			seq = append(seq, trace.FileID(i+1))
+		}
+	}
+	l := OrganPipe(seq)
+	if l.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", l.Len())
+	}
+	// The hottest file sits strictly closer to the centre than the
+	// coldest.
+	centre := float64(l.Len()-1) / 2
+	dist := func(id trace.FileID) float64 {
+		p, ok := l.Position(id)
+		if !ok {
+			t.Fatalf("file %d unplaced", id)
+		}
+		d := float64(p) - centre
+		if d < 0 {
+			d = -d
+		}
+		return d
+	}
+	if dist(1) >= dist(4) {
+		t.Errorf("hottest file (dist %.1f) not more central than coldest (dist %.1f)", dist(1), dist(4))
+	}
+	// All slots distinct and within range.
+	used := make(map[int]bool)
+	for _, id := range []trace.FileID{1, 2, 3, 4} {
+		p, _ := l.Position(id)
+		if p < 0 || p >= 4 || used[p] {
+			t.Fatalf("bad slot %d for file %d", p, id)
+		}
+		used[p] = true
+	}
+}
+
+// Property: OrganPipe always produces a permutation of 0..n-1.
+func TestOrganPipePermutationProperty(t *testing.T) {
+	f := func(raw []uint8) bool {
+		seq := make([]trace.FileID, len(raw))
+		for i, r := range raw {
+			seq[i] = trace.FileID(r % 30)
+		}
+		l := OrganPipe(seq)
+		used := make(map[int]bool, l.Len())
+		for _, id := range seq {
+			p, ok := l.Position(id)
+			if !ok || p < 0 || p >= l.Len() {
+				return false
+			}
+			used[p] = true
+		}
+		return len(used) == l.Len()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGroupedCollocatesGroups(t *testing.T) {
+	// Two repeating tasks.
+	var seq []trace.FileID
+	for i := 0; i < 20; i++ {
+		seq = append(seq, 1, 2, 3)
+		seq = append(seq, 10, 11, 12)
+	}
+	tr, err := successor.NewTracker(successor.PolicyLRU, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.ObserveAll(seq)
+	b, err := group.NewBuilder(tr, 3, group.StrategyChain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cover := group.BuildCover(tr, b, seq)
+	l := Grouped(cover, seq)
+
+	// Files of the same task must be adjacent (span <= group size).
+	span := func(ids ...trace.FileID) int {
+		min, max := 1<<30, -1
+		for _, id := range ids {
+			p, ok := l.Position(id)
+			if !ok {
+				t.Fatalf("file %d unplaced", id)
+			}
+			if p < min {
+				min = p
+			}
+			if p > max {
+				max = p
+			}
+		}
+		return max - min
+	}
+	if s := span(1, 2, 3); s > 3 {
+		t.Errorf("task A span = %d, want <= 3", s)
+	}
+	if s := span(10, 11, 12); s > 3 {
+		t.Errorf("task B span = %d, want <= 3", s)
+	}
+}
+
+func TestSeekCost(t *testing.T) {
+	l := Sequential([]trace.FileID{1, 2, 3})
+	c, err := SeekCost(l, []trace.FileID{1, 3, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Seeks: 1->3 distance 2, 3->2 distance 1.
+	if c.Seeks != 2 || c.Total != 3 {
+		t.Errorf("cost = %+v, want 2 seeks total 3", c)
+	}
+	if c.Mean() != 1.5 {
+		t.Errorf("Mean = %v, want 1.5", c.Mean())
+	}
+	if _, err := SeekCost(nil, nil); err == nil {
+		t.Error("nil layout accepted")
+	}
+}
+
+func TestSeekCostUnplaced(t *testing.T) {
+	l := Sequential([]trace.FileID{1})
+	c, err := SeekCost(l, []trace.FileID{1, 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Unplaced != 1 {
+		t.Errorf("Unplaced = %d, want 1", c.Unplaced)
+	}
+	if c.Total == 0 {
+		t.Error("unplaced access cost nothing")
+	}
+}
+
+func TestSeekCostEmpty(t *testing.T) {
+	c, err := SeekCost(NewLayout(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Mean() != 0 || c.Seeks != 0 {
+		t.Errorf("empty cost = %+v", c)
+	}
+}
+
+// The paper's placement argument: on a workload with inter-file
+// correlation, group-aware placement beats the frequency-only organ pipe,
+// which is optimal only under independent accesses.
+func TestGroupedBeatsOrganPipeOnCorrelatedWorkload(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	// 30 tasks of 6 files each, executed in runs.
+	var tasks [][]trace.FileID
+	id := trace.FileID(0)
+	for i := 0; i < 30; i++ {
+		var task []trace.FileID
+		for j := 0; j < 6; j++ {
+			task = append(task, id)
+			id++
+		}
+		tasks = append(tasks, task)
+	}
+	var seq []trace.FileID
+	for i := 0; i < 600; i++ {
+		seq = append(seq, tasks[rng.Intn(len(tasks))]...)
+	}
+
+	tr, err := successor.NewTracker(successor.PolicyLRU, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.ObserveAll(seq)
+	b, err := group.NewBuilder(tr, 6, group.StrategyChain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cover := group.BuildCover(tr, b, seq)
+
+	grouped, err := SeekCost(Grouped(cover, seq), seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	organ, err := SeekCost(OrganPipe(seq), seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sequential, err := SeekCost(Sequential(seq), seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("mean seek: grouped=%.1f organ-pipe=%.1f sequential=%.1f",
+		grouped.Mean(), organ.Mean(), sequential.Mean())
+	if grouped.Mean() >= organ.Mean() {
+		t.Errorf("grouped mean seek %.2f >= organ pipe %.2f", grouped.Mean(), organ.Mean())
+	}
+	if grouped.Unplaced != 0 {
+		t.Errorf("grouped layout left %d accesses unplaced", grouped.Unplaced)
+	}
+}

@@ -1,0 +1,152 @@
+package prefetch
+
+import (
+	"fmt"
+
+	"aggcache/internal/cache"
+	"aggcache/internal/trace"
+)
+
+// Stats counts a prefetching cache's activity. Unlike the aggregating
+// cache — where one miss costs exactly one (group) request — an explicit
+// prefetcher issues a separate request per predicted file, so its load on
+// the server is DemandFetches + PrefetchFetches.
+type Stats struct {
+	Hits            uint64
+	Misses          uint64
+	PrefetchFetches uint64
+	// PrefetchHits counts demand hits served by a prefetched file that
+	// had not been demanded since arriving.
+	PrefetchHits uint64
+	Evictions    uint64
+}
+
+// DemandFetches is the number of demand-driven requests (== Misses).
+func (s Stats) DemandFetches() uint64 { return s.Misses }
+
+// TotalRequests is the total load placed on the remote server.
+func (s Stats) TotalRequests() uint64 { return s.Misses + s.PrefetchFetches }
+
+// HitRate returns demand hits over demand accesses.
+func (s Stats) HitRate() float64 {
+	if n := s.Hits + s.Misses; n > 0 {
+		return float64(s.Hits) / float64(n)
+	}
+	return 0
+}
+
+// Accuracy is PrefetchHits over PrefetchFetches.
+func (s Stats) Accuracy() float64 {
+	if s.PrefetchFetches == 0 {
+		return 0
+	}
+	return float64(s.PrefetchHits) / float64(s.PrefetchFetches)
+}
+
+// PrefetchingCache is a classic prefetching client cache: an LRU cache
+// plus a Predictor; after every demand access it issues explicit prefetch
+// requests for the predictor's suggestions. Prefetched files enter at the
+// LRU tail (the same conservative placement the aggregating cache uses)
+// so the comparison isolates *how* data is brought in, not where it is
+// placed.
+type PrefetchingCache struct {
+	capacity   int
+	depth      int
+	lru        *cache.LRU
+	predictor  Predictor
+	prefetched map[trace.FileID]bool
+	stats      Stats
+}
+
+// NewPrefetchingCache builds a prefetching cache of the given capacity
+// that asks predictor for up to depth suggestions per access.
+func NewPrefetchingCache(capacity, depth int, predictor Predictor) (*PrefetchingCache, error) {
+	if predictor == nil {
+		return nil, fmt.Errorf("prefetch: predictor must not be nil")
+	}
+	if depth < 0 {
+		return nil, fmt.Errorf("prefetch: depth must be >= 0, got %d", depth)
+	}
+	lru, err := cache.NewLRU(capacity)
+	if err != nil {
+		return nil, err
+	}
+	c := &PrefetchingCache{
+		capacity:   capacity,
+		depth:      depth,
+		lru:        lru,
+		predictor:  predictor,
+		prefetched: make(map[trace.FileID]bool),
+	}
+	lru.OnEvict(func(id trace.FileID) { delete(c.prefetched, id) })
+	return c, nil
+}
+
+// Access processes a demand open, then prefetches.
+func (c *PrefetchingCache) Access(id trace.FileID) bool {
+	c.predictor.Observe(id)
+	hit := c.lru.Contains(id)
+	if hit {
+		c.stats.Hits++
+		if c.prefetched[id] {
+			c.stats.PrefetchHits++
+			delete(c.prefetched, id)
+		}
+		c.lru.Touch(id)
+	} else {
+		c.stats.Misses++
+		c.lru.InsertHead(id)
+		delete(c.prefetched, id)
+	}
+	c.prefetch(id)
+	return hit
+}
+
+// prefetch issues explicit fetches for the predictor's suggestions that
+// are not already resident. Like the aggregating cache's group install,
+// making room never evicts the batch's own files (or the file just
+// demanded); when only protected residents remain, the deeper (less
+// likely) predictions are dropped.
+func (c *PrefetchingCache) prefetch(current trace.FileID) {
+	if c.depth == 0 {
+		return
+	}
+	preds := c.predictor.Predict(c.depth)
+	if len(preds) == 0 {
+		return
+	}
+	protected := make(map[trace.FileID]bool, len(preds)+1)
+	protected[current] = true
+	for _, id := range preds {
+		protected[id] = true
+	}
+	for _, id := range preds {
+		if c.lru.Contains(id) {
+			continue
+		}
+		if c.lru.Len() >= c.capacity {
+			if _, ok := c.lru.EvictVictimExcept(protected); !ok {
+				break
+			}
+		}
+		c.stats.PrefetchFetches++
+		c.lru.InsertTail(id)
+		c.prefetched[id] = true
+	}
+}
+
+// Contains reports residency without changing state.
+func (c *PrefetchingCache) Contains(id trace.FileID) bool { return c.lru.Contains(id) }
+
+// Len returns the number of resident files.
+func (c *PrefetchingCache) Len() int { return c.lru.Len() }
+
+// Cap returns the capacity in files.
+func (c *PrefetchingCache) Cap() int { return c.capacity }
+
+// Stats returns a copy of the statistics.
+func (c *PrefetchingCache) Stats() Stats {
+	s := c.stats
+	s.Evictions = c.lru.Stats().Evictions
+	return s
+}

@@ -1,0 +1,132 @@
+package prefetch
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"aggcache/internal/trace"
+)
+
+// PPM is a finite-multi-order context model in the style of the
+// prediction-by-partial-match predictors that Kroeger & Long built on
+// Vitter & Krishnan's data-compression approach (paper §5): it keeps
+// successor counts conditioned on the last k accesses for every k up to
+// MaxOrder, and predicts from the longest matching context first, falling
+// back ("escaping") to shorter contexts when a long one has too little
+// evidence.
+type PPM struct {
+	order    int
+	contexts []map[string]map[trace.FileID]uint32 // contexts[k-1]: k-length context -> successor counts
+	history  []trace.FileID
+}
+
+var _ Predictor = (*PPM)(nil)
+
+// NewPPM returns a PPM predictor with contexts of length 1..maxOrder.
+func NewPPM(maxOrder int) (*PPM, error) {
+	if maxOrder < 1 {
+		return nil, fmt.Errorf("prefetch: ppm order must be >= 1, got %d", maxOrder)
+	}
+	ctxs := make([]map[string]map[trace.FileID]uint32, maxOrder)
+	for i := range ctxs {
+		ctxs[i] = make(map[string]map[trace.FileID]uint32)
+	}
+	return &PPM{order: maxOrder, contexts: ctxs}, nil
+}
+
+// Observe implements Predictor: id becomes the successor of every context
+// suffix of the current history.
+func (p *PPM) Observe(id trace.FileID) {
+	for k := 1; k <= p.order && k <= len(p.history); k++ {
+		key := contextKey(p.history[len(p.history)-k:])
+		m, ok := p.contexts[k-1][key]
+		if !ok {
+			m = make(map[trace.FileID]uint32, 2)
+			p.contexts[k-1][key] = m
+		}
+		m[id]++
+	}
+	p.history = append(p.history, id)
+	if len(p.history) > p.order {
+		p.history = p.history[1:]
+	}
+}
+
+// Predict implements Predictor: candidates from the longest matching
+// context first (ranked by count), then progressively shorter contexts
+// for anything still missing.
+func (p *PPM) Predict(n int) []trace.FileID {
+	if n <= 0 || len(p.history) == 0 {
+		return nil
+	}
+	var out []trace.FileID
+	seen := make(map[trace.FileID]bool, n)
+	// The current file must not predict itself in position 0 slot; it
+	// is allowed as a later candidate (self-succession exists), so no
+	// special case — dedup only.
+	for k := min(p.order, len(p.history)); k >= 1 && len(out) < n; k-- {
+		key := contextKey(p.history[len(p.history)-k:])
+		m := p.contexts[k-1][key]
+		if len(m) == 0 {
+			continue
+		}
+		for _, id := range rankCounts(m) {
+			if seen[id] {
+				continue
+			}
+			out = append(out, id)
+			seen[id] = true
+			if len(out) >= n {
+				break
+			}
+		}
+	}
+	return out
+}
+
+// Name implements Predictor.
+func (p *PPM) Name() string { return fmt.Sprintf("ppm(order=%d)", p.order) }
+
+// Contexts returns how many distinct contexts of each length are stored —
+// the model's metadata footprint, which grows far faster than the
+// aggregating cache's single successor list per file.
+func (p *PPM) Contexts() []int {
+	out := make([]int, p.order)
+	for i, m := range p.contexts {
+		out[i] = len(m)
+	}
+	return out
+}
+
+func contextKey(ids []trace.FileID) string {
+	buf := make([]byte, 0, len(ids)*binary.MaxVarintLen32)
+	var tmp [binary.MaxVarintLen32]byte
+	for _, id := range ids {
+		n := binary.PutUvarint(tmp[:], uint64(id))
+		buf = append(buf, tmp[:n]...)
+	}
+	return string(buf)
+}
+
+// rankCounts returns ids by count desc, id asc (deterministic).
+func rankCounts(m map[trace.FileID]uint32) []trace.FileID {
+	ids := make([]trace.FileID, 0, len(m))
+	for id := range m {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		if m[ids[i]] != m[ids[j]] {
+			return m[ids[i]] > m[ids[j]]
+		}
+		return ids[i] < ids[j]
+	})
+	return ids
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

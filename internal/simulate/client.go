@@ -1,0 +1,82 @@
+// Package simulate drives traces through cache configurations: the
+// single-level client simulations of Figure 3, the two-level
+// filter-then-server simulations of Figure 4, and the LRU filtering used
+// by the entropy study of Figure 8.
+package simulate
+
+import (
+	"fmt"
+
+	"aggcache/internal/cache"
+	"aggcache/internal/core"
+	"aggcache/internal/trace"
+)
+
+// ClientResult is one cell of the Figure-3 sweep: an aggregating client
+// cache of a given capacity and group size run over an open sequence.
+type ClientResult struct {
+	Capacity  int
+	GroupSize int
+	// Fetches is the number of demand fetches the client sent to the
+	// remote server — the paper's y-axis, proportional to miss rate.
+	Fetches uint64
+	// HitRate is demand hits over accesses.
+	HitRate float64
+	// Stats is the full aggregating-cache accounting.
+	Stats core.Stats
+}
+
+// RunClient simulates an aggregating client cache over the open sequence.
+// GroupSize 1 is plain LRU.
+func RunClient(ids []trace.FileID, capacity, groupSize int) (ClientResult, error) {
+	agg, err := core.New(core.Config{Capacity: capacity, GroupSize: groupSize})
+	if err != nil {
+		return ClientResult{}, fmt.Errorf("client sim: %w", err)
+	}
+	for _, id := range ids {
+		agg.Access(id)
+	}
+	s := agg.Stats()
+	return ClientResult{
+		Capacity:  capacity,
+		GroupSize: groupSize,
+		Fetches:   s.DemandFetches(),
+		HitRate:   s.HitRate(),
+		Stats:     s,
+	}, nil
+}
+
+// ClientSweep runs RunClient for every (groupSize, capacity) pair,
+// returning results[i][j] for groupSizes[i] x capacities[j] — the exact
+// grid behind each Figure-3 panel.
+func ClientSweep(ids []trace.FileID, groupSizes, capacities []int) ([][]ClientResult, error) {
+	out := make([][]ClientResult, len(groupSizes))
+	for i, g := range groupSizes {
+		out[i] = make([]ClientResult, len(capacities))
+		for j, c := range capacities {
+			r, err := RunClient(ids, c, g)
+			if err != nil {
+				return nil, err
+			}
+			out[i][j] = r
+		}
+	}
+	return out, nil
+}
+
+// FilterLRU returns the miss stream of an LRU cache of the given capacity
+// — the workload an NFS-like server sees after an intervening client cache
+// (§4.3), and the input to the filtered-entropy study of Figure 8.
+func FilterLRU(ids []trace.FileID, capacity int) ([]trace.FileID, error) {
+	c, err := cache.NewLRU(capacity)
+	if err != nil {
+		return nil, fmt.Errorf("filter: %w", err)
+	}
+	var misses []trace.FileID
+	for _, id := range ids {
+		if !c.Access(id) {
+			misses = append(misses, id)
+		}
+	}
+	return misses, nil
+}

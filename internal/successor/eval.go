@@ -1,0 +1,108 @@
+package successor
+
+import (
+	"aggcache/internal/trace"
+)
+
+// ReplacementEval is the outcome of replaying an access sequence against a
+// successor-list replacement policy (Figure 5 of the paper).
+type ReplacementEval struct {
+	// Transitions is the number of observed immediate-successor events
+	// (sequence length minus one, per contiguous run).
+	Transitions uint64
+	// Missed counts transitions whose successor was not retained in the
+	// predecessor's list at the moment of the access.
+	Missed uint64
+}
+
+// MissProbability is the likelihood of the policy failing to keep a future
+// successor: Missed/Transitions. Because every file's transitions are
+// replayed, the average is naturally weighted by file access frequency,
+// matching the paper's definition.
+func (e ReplacementEval) MissProbability() float64 {
+	if e.Transitions == 0 {
+		return 0
+	}
+	return float64(e.Missed) / float64(e.Transitions)
+}
+
+// EvaluateReplacement replays seq and measures how often the policy's
+// bounded per-file lists fail to contain the actual next file. The check
+// happens before the list is updated, so the first observation of a given
+// successor is always a miss — including for the Oracle, which can predict
+// any previously seen successor but not an unseen one.
+func EvaluateReplacement(seq []trace.FileID, policy Policy, capacity int) (ReplacementEval, error) {
+	tr, err := NewTracker(policy, capacity)
+	if err != nil {
+		return ReplacementEval{}, err
+	}
+	var ev ReplacementEval
+	for i, id := range seq {
+		if i > 0 {
+			ev.Transitions++
+			if l := tr.List(seq[i-1]); l == nil || !l.Contains(id) {
+				ev.Missed++
+			}
+		}
+		tr.Observe(id)
+	}
+	return ev, nil
+}
+
+// EvaluateReplacementEvents replays open events, attributing each
+// transition to the issuing client when perClient is true (so transitions
+// never span clients), or treating the merged stream as one sequence when
+// false. The successor lists are shared either way; only the predecessor
+// context differs. This quantifies the §2.2 modeling question about
+// differentiating events by driving client.
+func EvaluateReplacementEvents(events []trace.Event, policy Policy, capacity int, perClient bool) (ReplacementEval, error) {
+	tr, err := NewTracker(policy, capacity)
+	if err != nil {
+		return ReplacementEval{}, err
+	}
+	var ev ReplacementEval
+	prevBySrc := make(map[uint64]trace.FileID)
+	var prev trace.FileID
+	var hasPrev bool
+	for _, e := range events {
+		if e.Op != trace.OpOpen {
+			continue
+		}
+		var p trace.FileID
+		var ok bool
+		if perClient {
+			p, ok = prevBySrc[uint64(e.Client)]
+		} else {
+			p, ok = prev, hasPrev
+		}
+		if ok {
+			ev.Transitions++
+			if l := tr.List(p); l == nil || !l.Contains(e.File) {
+				ev.Missed++
+			}
+		}
+		if perClient {
+			tr.ObserveFrom(uint64(e.Client), e.File)
+			prevBySrc[uint64(e.Client)] = e.File
+		} else {
+			tr.Observe(e.File)
+			prev, hasPrev = e.File, true
+		}
+	}
+	return ev, nil
+}
+
+// EvaluateReplacementSweep runs EvaluateReplacement for every list capacity
+// in capacities, returning miss probabilities in the same order. This is
+// the exact sweep plotted in Figure 5 (capacities 1..10).
+func EvaluateReplacementSweep(seq []trace.FileID, policy Policy, capacities []int) ([]float64, error) {
+	out := make([]float64, len(capacities))
+	for i, c := range capacities {
+		ev, err := EvaluateReplacement(seq, policy, c)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = ev.MissProbability()
+	}
+	return out, nil
+}

@@ -1,0 +1,96 @@
+package successor
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"aggcache/internal/trace"
+)
+
+// Edge is a directed inter-file relationship: From was observed to be
+// immediately followed by To, Weight times (while retained in the list).
+type Edge struct {
+	From   trace.FileID
+	To     trace.FileID
+	Weight uint64
+}
+
+// Graph is the inter-file relationship graph of §2.1, materialized from a
+// tracker's successor lists. Edges from each node are ranked by decreasing
+// likelihood, mirroring the numbered edges of the paper's Figure 1.
+type Graph struct {
+	edges map[trace.FileID][]Edge
+}
+
+// BuildGraph snapshots the tracker's metadata into a relationship graph.
+func BuildGraph(t *Tracker) *Graph {
+	g := &Graph{edges: make(map[trace.FileID][]Edge, len(t.lists))}
+	for from, l := range t.lists {
+		ranked := l.Ranked()
+		if len(ranked) == 0 {
+			continue
+		}
+		es := make([]Edge, 0, len(ranked))
+		for _, to := range ranked {
+			es = append(es, Edge{From: from, To: to, Weight: l.Count(to)})
+		}
+		g.edges[from] = es
+	}
+	return g
+}
+
+// Successors returns the ranked outgoing edges of id (best first).
+func (g *Graph) Successors(id trace.FileID) []Edge {
+	es := g.edges[id]
+	out := make([]Edge, len(es))
+	copy(out, es)
+	return out
+}
+
+// Nodes returns every node with at least one outgoing edge, in ascending
+// id order (deterministic for tests and tools).
+func (g *Graph) Nodes() []trace.FileID {
+	out := make([]trace.FileID, 0, len(g.edges))
+	for id := range g.edges {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// EdgeCount returns the total number of directed edges.
+func (g *Graph) EdgeCount() int {
+	var n int
+	for _, es := range g.edges {
+		n += len(es)
+	}
+	return n
+}
+
+// WriteDOT renders the graph in Graphviz DOT form, labeling each edge with
+// its rank (1 = most likely), like the paper's Figure 1. paths resolves
+// node names; pass nil to use raw ids.
+func (g *Graph) WriteDOT(w io.Writer, paths *trace.Interner) error {
+	name := func(id trace.FileID) string {
+		if paths != nil {
+			if p := paths.Path(id); p != "" {
+				return p
+			}
+		}
+		return fmt.Sprintf("f%d", id)
+	}
+	if _, err := fmt.Fprintln(w, "digraph relationships {"); err != nil {
+		return err
+	}
+	for _, from := range g.Nodes() {
+		for rank, e := range g.edges[from] {
+			_, err := fmt.Fprintf(w, "  %q -> %q [label=\"%d\"];\n", name(from), name(e.To), rank+1)
+			if err != nil {
+				return err
+			}
+		}
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}

@@ -1,0 +1,299 @@
+package successor
+
+import (
+	"testing"
+	"testing/quick"
+
+	"aggcache/internal/trace"
+)
+
+func TestNewListValidation(t *testing.T) {
+	if _, err := NewList("fifo", 3); err == nil {
+		t.Error("unknown policy accepted")
+	}
+	if _, err := NewList(PolicyLRU, 0); err == nil {
+		t.Error("zero capacity accepted for LRU")
+	}
+	if _, err := NewList(PolicyOracle, 0); err != nil {
+		t.Errorf("oracle with capacity 0 rejected: %v", err)
+	}
+}
+
+func TestLRUListKeepsMostRecent(t *testing.T) {
+	l, _ := NewList(PolicyLRU, 2)
+	l.Observe(1)
+	l.Observe(2)
+	l.Observe(3) // evicts 1
+	if l.Contains(1) {
+		t.Error("1 retained, want evicted")
+	}
+	got := l.Ranked()
+	if len(got) != 2 || got[0] != 3 || got[1] != 2 {
+		t.Errorf("Ranked = %v, want [3 2]", got)
+	}
+	if f, ok := l.First(); !ok || f != 3 {
+		t.Errorf("First = %d,%v want 3,true", f, ok)
+	}
+}
+
+func TestLRUListReobservePromotes(t *testing.T) {
+	l, _ := NewList(PolicyLRU, 3)
+	l.Observe(1)
+	l.Observe(2)
+	l.Observe(3)
+	l.Observe(1) // 1 back to front
+	got := l.Ranked()
+	want := []trace.FileID{1, 3, 2}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Ranked = %v, want %v", got, want)
+		}
+	}
+	if l.Count(1) != 2 {
+		t.Errorf("Count(1) = %d, want 2", l.Count(1))
+	}
+}
+
+func TestLFUListKeepsMostFrequent(t *testing.T) {
+	l, _ := NewList(PolicyLFU, 2)
+	l.Observe(1)
+	l.Observe(1)
+	l.Observe(2)
+	l.Observe(3) // must evict 2 (count 1, older than... 3 replaces worst)
+	if !l.Contains(1) {
+		t.Error("frequent 1 evicted")
+	}
+	if l.Contains(2) {
+		t.Error("2 retained, want replaced by newcomer 3")
+	}
+	if f, ok := l.First(); !ok || f != 1 {
+		t.Errorf("First = %d,%v want 1,true", f, ok)
+	}
+}
+
+func TestLFUListRankByCount(t *testing.T) {
+	l, _ := NewList(PolicyLFU, 3)
+	l.Observe(1)
+	l.Observe(2)
+	l.Observe(2)
+	l.Observe(3)
+	l.Observe(3)
+	l.Observe(3)
+	got := l.Ranked()
+	want := []trace.FileID{3, 2, 1}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Ranked = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestLFUTieBrokenByRecency(t *testing.T) {
+	l, _ := NewList(PolicyLFU, 2)
+	l.Observe(1)
+	l.Observe(2) // both count 1, 2 more recent
+	got := l.Ranked()
+	if got[0] != 2 || got[1] != 1 {
+		t.Errorf("Ranked = %v, want [2 1] (recency tie-break)", got)
+	}
+}
+
+func TestOracleUnbounded(t *testing.T) {
+	l, _ := NewList(PolicyOracle, 1)
+	for id := trace.FileID(0); id < 100; id++ {
+		l.Observe(id)
+	}
+	if l.Len() != 100 {
+		t.Errorf("Len = %d, want 100 (unbounded)", l.Len())
+	}
+	if l.Capacity() != 0 {
+		t.Errorf("Capacity = %d, want 0 (unbounded)", l.Capacity())
+	}
+	for id := trace.FileID(0); id < 100; id++ {
+		if !l.Contains(id) {
+			t.Fatalf("oracle lost %d", id)
+		}
+	}
+}
+
+func TestOracleFirstIsMostFrequent(t *testing.T) {
+	l, _ := NewList(PolicyOracle, 0)
+	l.Observe(5)
+	l.Observe(7)
+	l.Observe(7)
+	if f, ok := l.First(); !ok || f != 7 {
+		t.Errorf("First = %d,%v want 7,true", f, ok)
+	}
+	got := l.Ranked()
+	if got[0] != 7 || got[1] != 5 {
+		t.Errorf("Ranked = %v, want [7 5]", got)
+	}
+}
+
+func TestListEmpty(t *testing.T) {
+	l, _ := NewList(PolicyLRU, 2)
+	if _, ok := l.First(); ok {
+		t.Error("First on empty list reported ok")
+	}
+	if l.Contains(1) {
+		t.Error("Contains on empty list")
+	}
+	if got := l.Ranked(); len(got) != 0 {
+		t.Errorf("Ranked = %v, want empty", got)
+	}
+	if l.Count(1) != 0 {
+		t.Error("Count on empty list != 0")
+	}
+}
+
+// Property: bounded lists never exceed capacity, and the most recently
+// observed successor is always retained (for every policy).
+func TestListInvariants(t *testing.T) {
+	for _, p := range []Policy{PolicyLRU, PolicyLFU} {
+		p := p
+		f := func(ids []uint8, capRaw uint8) bool {
+			capacity := int(capRaw%8) + 1
+			l, err := NewList(p, capacity)
+			if err != nil {
+				return false
+			}
+			for _, raw := range ids {
+				id := trace.FileID(raw % 16)
+				l.Observe(id)
+				if l.Len() > capacity {
+					return false
+				}
+				if !l.Contains(id) {
+					return false
+				}
+				if f, ok := l.First(); !ok || (p == PolicyLRU && f != id && capacity > 0 && l.Count(f) < 1) {
+					return false
+				}
+			}
+			return true
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+			t.Errorf("%s: %v", p, err)
+		}
+	}
+}
+
+// Property: for LRU lists the ranked order is exactly the distinct recent
+// successors in reverse observation order.
+func TestLRUListMatchesModel(t *testing.T) {
+	f := func(ids []uint8, capRaw uint8) bool {
+		capacity := int(capRaw%6) + 1
+		l, err := NewList(PolicyLRU, capacity)
+		if err != nil {
+			return false
+		}
+		var model []trace.FileID
+		for _, raw := range ids {
+			id := trace.FileID(raw % 10)
+			l.Observe(id)
+			// Update model: remove if present, prepend, truncate.
+			for i, v := range model {
+				if v == id {
+					model = append(model[:i], model[i+1:]...)
+					break
+				}
+			}
+			model = append([]trace.FileID{id}, model...)
+			if len(model) > capacity {
+				model = model[:capacity]
+			}
+		}
+		got := l.Ranked()
+		if len(got) != len(model) {
+			return false
+		}
+		for i := range model {
+			if got[i] != model[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecayListValidation(t *testing.T) {
+	if _, err := NewDecayList(0, 0.5); err == nil {
+		t.Error("zero capacity accepted")
+	}
+	if _, err := NewDecayList(3, 0); err == nil {
+		t.Error("lambda 0 accepted")
+	}
+	if _, err := NewDecayList(3, 1.5); err == nil {
+		t.Error("lambda > 1 accepted")
+	}
+	if _, err := NewList(PolicyDecay, 3); err != nil {
+		t.Errorf("PolicyDecay via NewList rejected: %v", err)
+	}
+}
+
+func TestDecayLambdaOneMatchesLFUOrdering(t *testing.T) {
+	// With lambda = 1 weights are plain counts, so ranking equals LFU.
+	d, _ := NewDecayList(3, 1.0)
+	f, _ := NewList(PolicyLFU, 3)
+	seq := []trace.FileID{1, 2, 2, 3, 3, 3, 2}
+	for _, id := range seq {
+		d.Observe(id)
+		f.Observe(id)
+	}
+	dr, fr := d.Ranked(), f.Ranked()
+	for i := range fr {
+		if dr[i] != fr[i] {
+			t.Fatalf("decay(1.0) ranked %v, LFU ranked %v", dr, fr)
+		}
+	}
+}
+
+func TestDecaySmallLambdaFollowsRecency(t *testing.T) {
+	// With tiny lambda, one fresh observation outweighs any history.
+	d, _ := NewDecayList(3, 0.01)
+	for i := 0; i < 50; i++ {
+		d.Observe(1)
+	}
+	d.Observe(2)
+	if f, ok := d.First(); !ok || f != 2 {
+		t.Errorf("First = %d,%v want most recent 2", f, ok)
+	}
+}
+
+func TestDecayAdaptsAfterRegimeChange(t *testing.T) {
+	// 1 dominated history, then the workload shifts to 2: decayed
+	// frequency crosses over after a few observations while pure LFU
+	// clings to 1.
+	d, _ := NewDecayList(2, 0.75)
+	f, _ := NewList(PolicyLFU, 2)
+	for i := 0; i < 30; i++ {
+		d.Observe(1)
+		f.Observe(1)
+	}
+	for i := 0; i < 10; i++ {
+		d.Observe(2)
+		f.Observe(2)
+	}
+	if first, _ := d.First(); first != 2 {
+		t.Errorf("decay First = %d, want 2 after regime change", first)
+	}
+	if first, _ := f.First(); first != 1 {
+		t.Errorf("LFU First = %d, want stale 1 (that is its failure mode)", first)
+	}
+}
+
+func TestDecayCapacityBound(t *testing.T) {
+	d, _ := NewDecayList(2, 0.75)
+	for id := trace.FileID(0); id < 20; id++ {
+		d.Observe(id)
+		if d.Len() > 2 {
+			t.Fatalf("Len = %d exceeds capacity", d.Len())
+		}
+		if !d.Contains(id) {
+			t.Fatalf("most recent %d not retained", id)
+		}
+	}
+}

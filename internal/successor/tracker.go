@@ -1,0 +1,187 @@
+package successor
+
+import (
+	"aggcache/internal/trace"
+)
+
+// Tracker consumes a file-access sequence and maintains the per-file
+// successor lists plus the access counts used for weighting. It is the
+// online component the aggregating cache (and the server in fsnet) embeds:
+// one Observe call per open event, O(list capacity) work.
+//
+// Tracker is not safe for concurrent use; callers that share one across
+// goroutines (e.g. a network server) must serialize access.
+type Tracker struct {
+	policy   Policy
+	capacity int
+	lambda   float64
+	lists    map[trace.FileID]*List
+	counts   map[trace.FileID]uint64
+	prev     trace.FileID
+	hasPrev  bool
+	observed uint64
+	// prevBySrc holds per-source predecessor contexts for ObserveFrom:
+	// the paper's §2.2 asks whether events should be differentiated "based
+	// on the identity of the driving client, program, user, or process" -
+	// interleaved sources otherwise manufacture transitions that never
+	// happened on any machine.
+	prevBySrc map[uint64]trace.FileID
+}
+
+// NewTracker returns a tracker whose per-file lists use the given policy
+// and capacity. PolicyDecay uses DefaultDecay; use NewDecayTracker for an
+// explicit factor.
+func NewTracker(policy Policy, capacity int) (*Tracker, error) {
+	// Validate eagerly so Observe never fails.
+	if _, err := NewList(policy, capacity); err != nil {
+		return nil, err
+	}
+	t := &Tracker{
+		policy:   policy,
+		capacity: capacity,
+		lists:    make(map[trace.FileID]*List),
+		counts:   make(map[trace.FileID]uint64),
+	}
+	if policy == PolicyDecay {
+		t.lambda = DefaultDecay
+	}
+	return t, nil
+}
+
+// NewDecayTracker returns a tracker whose lists use PolicyDecay with an
+// explicit decay factor.
+func NewDecayTracker(capacity int, lambda float64) (*Tracker, error) {
+	if _, err := NewDecayList(capacity, lambda); err != nil {
+		return nil, err
+	}
+	return &Tracker{
+		policy:   PolicyDecay,
+		capacity: capacity,
+		lambda:   lambda,
+		lists:    make(map[trace.FileID]*List),
+		counts:   make(map[trace.FileID]uint64),
+	}, nil
+}
+
+// Observe records the next file access in the sequence: it increments the
+// file's access count and registers it as the immediate successor of the
+// previously observed file.
+func (t *Tracker) Observe(id trace.FileID) {
+	t.observed++
+	t.counts[id]++
+	if t.hasPrev {
+		t.listFor(t.prev).Observe(id)
+	}
+	t.prev = id
+	t.hasPrev = true
+}
+
+// ObserveFrom records an access attributed to a specific source (a
+// client, user or process): the transition is taken against the source's
+// own previous access, while the successor lists and counts remain
+// shared. Use this when one tracker ingests interleaved streams, e.g. a
+// server learning from several clients at once.
+func (t *Tracker) ObserveFrom(src uint64, id trace.FileID) {
+	t.observed++
+	t.counts[id]++
+	if t.prevBySrc == nil {
+		t.prevBySrc = make(map[uint64]trace.FileID)
+	}
+	if prev, ok := t.prevBySrc[src]; ok {
+		t.listFor(prev).Observe(id)
+	}
+	t.prevBySrc[src] = id
+}
+
+// ForgetSource drops a source's predecessor context (e.g. when its
+// connection closes); its contributions to the shared lists remain.
+func (t *Tracker) ForgetSource(src uint64) {
+	delete(t.prevBySrc, src)
+}
+
+// ObserveAll feeds a whole sequence through Observe.
+func (t *Tracker) ObserveAll(seq []trace.FileID) {
+	for _, id := range seq {
+		t.Observe(id)
+	}
+}
+
+// Reset clears every predecessor context (e.g. at a session boundary)
+// without discarding accumulated metadata.
+func (t *Tracker) Reset() {
+	t.hasPrev = false
+	t.prevBySrc = nil
+}
+
+// List returns the successor list for id, or nil if id has never been seen
+// in predecessor position. The returned list is live; callers must not
+// mutate it concurrently with Observe.
+func (t *Tracker) List(id trace.FileID) *List {
+	return t.lists[id]
+}
+
+// Successors returns id's candidate successors, best first.
+func (t *Tracker) Successors(id trace.FileID) []trace.FileID {
+	if l, ok := t.lists[id]; ok {
+		return l.Ranked()
+	}
+	return nil
+}
+
+// First returns id's most likely immediate successor.
+func (t *Tracker) First(id trace.FileID) (trace.FileID, bool) {
+	if l, ok := t.lists[id]; ok {
+		return l.First()
+	}
+	return 0, false
+}
+
+// AccessCount returns how many times id has been observed.
+func (t *Tracker) AccessCount(id trace.FileID) uint64 { return t.counts[id] }
+
+// Counts returns a copy of the per-file access counts for every observed
+// file.
+func (t *Tracker) Counts() map[trace.FileID]uint64 {
+	out := make(map[trace.FileID]uint64, len(t.counts))
+	for id, n := range t.counts {
+		out[id] = n
+	}
+	return out
+}
+
+// Observed returns the total number of observations.
+func (t *Tracker) Observed() uint64 { return t.observed }
+
+// TrackedFiles returns how many files have successor lists.
+func (t *Tracker) TrackedFiles() int { return len(t.lists) }
+
+// MetadataEntries returns the total number of retained successor entries —
+// the paper's measure of metadata cost (§4.4 argues it stays tiny).
+func (t *Tracker) MetadataEntries() int {
+	var n int
+	for _, l := range t.lists {
+		n += l.Len()
+	}
+	return n
+}
+
+func (t *Tracker) listFor(id trace.FileID) *List {
+	if l, ok := t.lists[id]; ok {
+		return l
+	}
+	var (
+		l   *List
+		err error
+	)
+	if t.policy == PolicyDecay {
+		l, err = NewDecayList(t.capacity, t.lambda)
+	} else {
+		l, err = NewList(t.policy, t.capacity)
+	}
+	if err != nil {
+		// NewTracker validated the configuration; this is unreachable.
+		panic("successor: invalid tracker configuration: " + err.Error())
+	}
+	t.lists[id] = l
+	return l
+}

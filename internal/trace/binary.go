@@ -1,0 +1,198 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+)
+
+// Binary format
+//
+// A compact streaming encoding. Layout:
+//
+//	magic   "AGTR"            4 bytes
+//	version uvarint           currently 1
+//	records *
+//
+// Each record is:
+//
+//	dtime   uvarint   microsecond delta from the previous record
+//	client  uvarint
+//	pid     uvarint
+//	uid     uvarint
+//	op      1 byte
+//	file    uvarint   interned FileID
+//	[path]  uvarint length + bytes, present only when file equals the
+//	        number of distinct files seen so far (i.e. the ID is new)
+//
+// Because the Interner assigns IDs densely in first-use order, the reader
+// knows an ID is new exactly when it equals its running file count, so no
+// separate string table or flag byte is needed.
+
+var binaryMagic = [4]byte{'A', 'G', 'T', 'R'}
+
+const (
+	binaryVersion = 1
+	maxPathLen    = 4096
+)
+
+// ErrBadMagic is returned by ReadBinary when the input does not start with
+// the trace magic bytes.
+var ErrBadMagic = errors.New("trace: bad magic, not a binary trace")
+
+// WriteBinary encodes the trace in the binary format described above.
+func WriteBinary(w io.Writer, t *Trace) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(binaryMagic[:]); err != nil {
+		return err
+	}
+	var buf [binary.MaxVarintLen64]byte
+	putUvarint := func(v uint64) error {
+		n := binary.PutUvarint(buf[:], v)
+		_, err := bw.Write(buf[:n])
+		return err
+	}
+	if err := putUvarint(binaryVersion); err != nil {
+		return err
+	}
+
+	var prevUS int64
+	seen := FileID(0)
+	for i := range t.Events {
+		ev := &t.Events[i]
+		us := ev.Time.Microseconds()
+		d := us - prevUS
+		if d < 0 {
+			return fmt.Errorf("trace: event %d time goes backwards", i)
+		}
+		prevUS = us
+		if err := putUvarint(uint64(d)); err != nil {
+			return err
+		}
+		if err := putUvarint(uint64(ev.Client)); err != nil {
+			return err
+		}
+		if err := putUvarint(uint64(ev.PID)); err != nil {
+			return err
+		}
+		if err := putUvarint(uint64(ev.UID)); err != nil {
+			return err
+		}
+		if err := bw.WriteByte(byte(ev.Op)); err != nil {
+			return err
+		}
+		if err := putUvarint(uint64(ev.File)); err != nil {
+			return err
+		}
+		if ev.File > seen {
+			return fmt.Errorf("trace: event %d file id %d skips ahead of interner order (%d seen)", i, ev.File, seen)
+		}
+		if ev.File == seen {
+			path := t.Paths.Path(ev.File)
+			if path == "" {
+				return fmt.Errorf("trace: event %d references unknown file id %d", i, ev.File)
+			}
+			if err := putUvarint(uint64(len(path))); err != nil {
+				return err
+			}
+			if _, err := bw.WriteString(path); err != nil {
+				return err
+			}
+			seen++
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBinary decodes a trace in the binary format produced by WriteBinary.
+func ReadBinary(r io.Reader) (*Trace, error) {
+	br := bufio.NewReader(r)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("trace: read magic: %w", err)
+	}
+	if magic != binaryMagic {
+		return nil, ErrBadMagic
+	}
+	version, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("trace: read version: %w", err)
+	}
+	if version != binaryVersion {
+		return nil, fmt.Errorf("trace: unsupported version %d", version)
+	}
+
+	t := NewTrace()
+	var (
+		prevUS int64
+		seen   FileID
+	)
+	for rec := 0; ; rec++ {
+		dtime, err := binary.ReadUvarint(br)
+		if err == io.EOF {
+			return t, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("trace: record %d: %w", rec, err)
+		}
+		client, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("trace: record %d client: %w", rec, err)
+		}
+		if client > 0xffff {
+			return nil, fmt.Errorf("trace: record %d client %d out of range", rec, client)
+		}
+		pid, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("trace: record %d pid: %w", rec, err)
+		}
+		uid, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("trace: record %d uid: %w", rec, err)
+		}
+		opByte, err := br.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("trace: record %d op: %w", rec, err)
+		}
+		op := Op(opByte)
+		if !op.Valid() {
+			return nil, fmt.Errorf("trace: record %d invalid op %d", rec, opByte)
+		}
+		file, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("trace: record %d file: %w", rec, err)
+		}
+		if file > uint64(seen) {
+			return nil, fmt.Errorf("trace: record %d file id %d skips ahead (%d seen)", rec, file, seen)
+		}
+		var path string
+		if FileID(file) == seen {
+			n, err := binary.ReadUvarint(br)
+			if err != nil {
+				return nil, fmt.Errorf("trace: record %d path len: %w", rec, err)
+			}
+			if n == 0 || n > maxPathLen {
+				return nil, fmt.Errorf("trace: record %d path length %d out of range", rec, n)
+			}
+			raw := make([]byte, n)
+			if _, err := io.ReadFull(br, raw); err != nil {
+				return nil, fmt.Errorf("trace: record %d path: %w", rec, err)
+			}
+			path = string(raw)
+			seen++
+		} else {
+			path = t.Paths.Path(FileID(file))
+		}
+		prevUS += int64(dtime)
+		t.Append(Event{
+			Time:   time.Duration(prevUS) * time.Microsecond,
+			Client: uint16(client),
+			PID:    uint32(pid),
+			UID:    uint32(uid),
+			Op:     op,
+		}, path)
+	}
+}

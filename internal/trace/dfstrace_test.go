@@ -1,0 +1,143 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+const sampleDFS = `# DFSTrace ASCII dump, host mozart
+100.250000 mozart 712 1017 open /usr/bin/make
+100.260000 mozart 712 1017 read /usr/bin/make
+100.300000 mozart 713 1017 open /src/Makefile
+100.350000 mozart 713 1017 seek /src/Makefile
+100.400000 mozart 713 1017 stat /src/main.c
+100.500000 ives 42 2001 creat /tmp/out
+100.600000 mozart 713 1017 close /src/Makefile
+`
+
+func TestReadDFSTraceBasic(t *testing.T) {
+	tr, imp, err := ReadDFSTrace(strings.NewReader(sampleDFS))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if imp.Records != 6 {
+		t.Errorf("Records = %d, want 6", imp.Records)
+	}
+	if imp.SkippedOps != 1 {
+		t.Errorf("SkippedOps = %d, want 1 (seek)", imp.SkippedOps)
+	}
+	if imp.Malformed != 0 {
+		t.Errorf("Malformed = %d, want 0", imp.Malformed)
+	}
+	if len(imp.Hosts) != 2 || imp.Hosts["mozart"] != 1 || imp.Hosts["ives"] != 2 {
+		t.Errorf("Hosts = %v", imp.Hosts)
+	}
+	if tr.Len() != 6 {
+		t.Fatalf("trace len = %d, want 6", tr.Len())
+	}
+
+	first := tr.Events[0]
+	if first.Op != OpOpen || first.PID != 712 || first.UID != 1017 || first.Client != 1 {
+		t.Errorf("first event = %+v", first)
+	}
+	if first.Time != 0 {
+		t.Errorf("first time = %v, want rebased 0", first.Time)
+	}
+	// 100.30 - 100.25 = 50ms offset for the third record.
+	if got := tr.Events[2].Time; got != 50*time.Millisecond {
+		t.Errorf("third time = %v, want 50ms", got)
+	}
+	if p := tr.Paths.Path(tr.Events[0].File); p != "/usr/bin/make" {
+		t.Errorf("first path = %q", p)
+	}
+	// Op mapping: creat -> create.
+	if tr.Events[4].Op != OpCreate {
+		t.Errorf("creat mapped to %v", tr.Events[4].Op)
+	}
+}
+
+func TestReadDFSTraceTolerance(t *testing.T) {
+	in := `garbage line
+-5.0 host 1 2 open /x
+100 host notanumber 2 open /x
+100 host 1 2 open relative/path
+100 host 1 2 open /ok
+`
+	tr, imp, err := ReadDFSTrace(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if imp.Records != 1 {
+		t.Errorf("Records = %d, want 1", imp.Records)
+	}
+	if imp.Malformed != 4 {
+		t.Errorf("Malformed = %d, want 4", imp.Malformed)
+	}
+	if tr.Len() != 1 {
+		t.Errorf("trace len = %d", tr.Len())
+	}
+}
+
+func TestReadDFSTraceAllGarbageFails(t *testing.T) {
+	if _, _, err := ReadDFSTrace(strings.NewReader("nonsense\nmore nonsense\n")); err == nil {
+		t.Error("import with zero recognized records succeeded")
+	}
+}
+
+func TestReadDFSTraceEmptyInput(t *testing.T) {
+	tr, imp, err := ReadDFSTrace(strings.NewReader("\n# only comments\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 0 || imp.Records != 0 {
+		t.Errorf("empty import = %d records", imp.Records)
+	}
+}
+
+func TestReadDFSTraceOpMappings(t *testing.T) {
+	tests := []struct {
+		syscall string
+		want    Op
+	}{
+		{"open", OpOpen}, {"OPENAT", OpOpen},
+		{"close", OpClose},
+		{"read", OpRead}, {"readv", OpRead},
+		{"write", OpWrite}, {"writev", OpWrite},
+		{"creat", OpCreate}, {"mkdir", OpCreate},
+		{"unlink", OpUnlink}, {"rmdir", OpUnlink},
+		{"stat", OpStat}, {"lstat", OpStat}, {"access", OpStat}, {"getattr", OpStat},
+	}
+	for _, tt := range tests {
+		in := "1.0 h 1 2 " + tt.syscall + " /f\n"
+		tr, imp, err := ReadDFSTrace(strings.NewReader(in))
+		if err != nil {
+			t.Fatalf("%s: %v", tt.syscall, err)
+		}
+		if imp.Records != 1 {
+			t.Fatalf("%s: records = %d", tt.syscall, imp.Records)
+		}
+		if tr.Events[0].Op != tt.want {
+			t.Errorf("%s mapped to %v, want %v", tt.syscall, tr.Events[0].Op, tt.want)
+		}
+	}
+}
+
+func TestReadDFSTraceRoundTripThroughNativeFormat(t *testing.T) {
+	// An imported DFS trace must survive our own codecs.
+	tr, _, err := ReadDFSTrace(strings.NewReader(sampleDFS))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	if err := WriteText(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadText(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tracesEqual(tr, back) {
+		t.Error("DFS import did not round-trip through the text codec")
+	}
+}

@@ -1,0 +1,74 @@
+package trace
+
+// ByOp returns the events whose operation is one of ops, in order.
+func ByOp(events []Event, ops ...Op) []Event {
+	var out []Event
+	for _, ev := range events {
+		for _, op := range ops {
+			if ev.Op == op {
+				out = append(out, ev)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// ByClient returns the events issued by client, in order.
+func ByClient(events []Event, client uint16) []Event {
+	var out []Event
+	for _, ev := range events {
+		if ev.Client == client {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+// ByUID returns the events issued by uid, in order.
+func ByUID(events []Event, uid uint32) []Event {
+	var out []Event
+	for _, ev := range events {
+		if ev.UID == uid {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+// Head returns the first n events (or all of them if the trace is shorter).
+// The returned slice is freshly allocated.
+func Head(events []Event, n int) []Event {
+	if n > len(events) {
+		n = len(events)
+	}
+	if n < 0 {
+		n = 0
+	}
+	out := make([]Event, n)
+	copy(out, events[:n])
+	return out
+}
+
+// Clients returns the distinct client IDs appearing in events, in order of
+// first appearance.
+func Clients(events []Event) []uint16 {
+	seen := make(map[uint16]bool)
+	var out []uint16
+	for _, ev := range events {
+		if !seen[ev.Client] {
+			seen[ev.Client] = true
+			out = append(out, ev.Client)
+		}
+	}
+	return out
+}
+
+// IDs extracts the FileID sequence from events.
+func IDs(events []Event) []FileID {
+	out := make([]FileID, len(events))
+	for i, ev := range events {
+		out[i] = ev.File
+	}
+	return out
+}

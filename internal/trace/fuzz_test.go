@@ -1,0 +1,59 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// Fuzz targets for the trace codecs: arbitrary bytes must parse or error,
+// never panic, and successful parses must re-encode cleanly.
+
+func FuzzReadBinary(f *testing.F) {
+	tr := randomTraceForBench(64)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, tr); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte("AGTR"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := ReadBinary(bytes.NewReader(data))
+		if err == nil {
+			var out bytes.Buffer
+			if werr := WriteBinary(&out, got); werr != nil {
+				t.Fatalf("re-encode of valid trace failed: %v", werr)
+			}
+		}
+	})
+}
+
+func FuzzReadText(f *testing.F) {
+	tr := randomTraceForBench(32)
+	var buf bytes.Buffer
+	if err := WriteText(&buf, tr); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.String())
+	f.Add("#aggtrace v1\n")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, data string) {
+		got, err := ReadText(strings.NewReader(data))
+		if err == nil {
+			var out bytes.Buffer
+			if werr := WriteText(&out, got); werr != nil {
+				t.Fatalf("re-encode of valid trace failed: %v", werr)
+			}
+		}
+	})
+}
+
+func FuzzReadDFSTrace(f *testing.F) {
+	f.Add("1.0 host 1 2 open /x\n")
+	f.Add("garbage\n")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, data string) {
+		_, _, _ = ReadDFSTrace(strings.NewReader(data))
+	})
+}

@@ -1,0 +1,59 @@
+package trace
+
+// Interner maps file path names to dense FileIDs and back. IDs are assigned
+// in first-use order starting at zero so they can index per-file tables
+// directly. The zero value is not usable; call NewInterner.
+//
+// Interner is not safe for concurrent use; trace construction is
+// single-threaded by design (a trace is a totally ordered event sequence).
+type Interner struct {
+	ids   map[string]FileID
+	paths []string
+}
+
+// NewInterner returns an empty interner.
+func NewInterner() *Interner {
+	return &Interner{ids: make(map[string]FileID)}
+}
+
+// Intern returns the FileID for path, assigning the next dense ID if the
+// path has not been seen before.
+func (in *Interner) Intern(path string) FileID {
+	if id, ok := in.ids[path]; ok {
+		return id
+	}
+	id := FileID(len(in.paths))
+	in.ids[path] = id
+	in.paths = append(in.paths, path)
+	return id
+}
+
+// Lookup returns the FileID for path and whether it has been interned.
+func (in *Interner) Lookup(path string) (FileID, bool) {
+	id, ok := in.ids[path]
+	return id, ok
+}
+
+// Path returns the path for id, or "" if id has not been assigned.
+func (in *Interner) Path(id FileID) string {
+	if int(id) >= len(in.paths) {
+		return ""
+	}
+	return in.paths[id]
+}
+
+// Len returns the number of interned paths.
+func (in *Interner) Len() int { return len(in.paths) }
+
+// Clone returns an independent copy of the interner.
+func (in *Interner) Clone() *Interner {
+	out := &Interner{
+		ids:   make(map[string]FileID, len(in.ids)),
+		paths: make([]string, len(in.paths)),
+	}
+	for p, id := range in.ids {
+		out.ids[p] = id
+	}
+	copy(out.paths, in.paths)
+	return out
+}

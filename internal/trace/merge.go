@@ -1,0 +1,86 @@
+package trace
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Merge combines several traces into one, ordering events by time (ties
+// broken by input order, preserving each input's internal order). Each
+// input keeps its own path namespace — identical paths in different
+// inputs refer to the same file in the output, which is what you want
+// when merging per-client captures of one file system.
+func Merge(traces ...*Trace) (*Trace, error) {
+	for i, t := range traces {
+		if t == nil {
+			return nil, fmt.Errorf("trace: merge input %d is nil", i)
+		}
+	}
+	out := NewTrace()
+	h := make(mergeHeap, 0, len(traces))
+	for i, t := range traces {
+		if len(t.Events) > 0 {
+			h = append(h, mergeCursor{src: i, trace: t})
+		}
+	}
+	heap.Init(&h)
+	for h.Len() > 0 {
+		cur := &h[0]
+		ev := cur.trace.Events[cur.pos]
+		out.Append(ev, cur.trace.Paths.Path(ev.File))
+		cur.pos++
+		if cur.pos >= len(cur.trace.Events) {
+			heap.Pop(&h)
+		} else {
+			heap.Fix(&h, 0)
+		}
+	}
+	return out, nil
+}
+
+type mergeCursor struct {
+	src   int
+	trace *Trace
+	pos   int
+}
+
+type mergeHeap []mergeCursor
+
+func (h mergeHeap) Len() int { return len(h) }
+
+func (h mergeHeap) Less(i, j int) bool {
+	a := h[i].trace.Events[h[i].pos]
+	b := h[j].trace.Events[h[j].pos]
+	if a.Time != b.Time {
+		return a.Time < b.Time
+	}
+	return h[i].src < h[j].src
+}
+
+func (h mergeHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *mergeHeap) Push(x interface{}) { *h = append(*h, x.(mergeCursor)) }
+
+func (h *mergeHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// SplitByClient partitions a trace into one trace per client id, in order
+// of first appearance. Each output shares path names (not FileIDs) with
+// the input.
+func SplitByClient(t *Trace) map[uint16]*Trace {
+	out := make(map[uint16]*Trace)
+	for _, ev := range t.Events {
+		sub, ok := out[ev.Client]
+		if !ok {
+			sub = NewTrace()
+			out[ev.Client] = sub
+		}
+		sub.Append(ev, t.Paths.Path(ev.File))
+	}
+	return out
+}

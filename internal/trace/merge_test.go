@@ -1,0 +1,154 @@
+package trace
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestMergeOrdersByTime(t *testing.T) {
+	a := NewTrace()
+	a.Append(Event{Time: 10 * time.Microsecond, Client: 1, Op: OpOpen}, "/a1")
+	a.Append(Event{Time: 30 * time.Microsecond, Client: 1, Op: OpOpen}, "/a2")
+	b := NewTrace()
+	b.Append(Event{Time: 20 * time.Microsecond, Client: 2, Op: OpOpen}, "/b1")
+	b.Append(Event{Time: 40 * time.Microsecond, Client: 2, Op: OpOpen}, "/b2")
+
+	m, err := Merge(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	for _, ev := range m.Events {
+		got = append(got, m.Paths.Path(ev.File))
+	}
+	want := []string{"/a1", "/b1", "/a2", "/b2"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("merged order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestMergeSharedPathsUnify(t *testing.T) {
+	a := NewTrace()
+	a.Append(Event{Time: 1, Op: OpOpen}, "/shared/sh")
+	b := NewTrace()
+	b.Append(Event{Time: 2, Op: OpOpen}, "/shared/sh")
+	m, err := Merge(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Paths.Len() != 1 {
+		t.Errorf("merged paths = %d, want 1 (same path unified)", m.Paths.Len())
+	}
+	if m.Events[0].File != m.Events[1].File {
+		t.Error("same path got different ids after merge")
+	}
+}
+
+func TestMergeTieBreakByInputOrder(t *testing.T) {
+	a := NewTrace()
+	a.Append(Event{Time: 5, Op: OpOpen}, "/a")
+	b := NewTrace()
+	b.Append(Event{Time: 5, Op: OpOpen}, "/b")
+	m, err := Merge(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Paths.Path(m.Events[0].File) != "/a" {
+		t.Error("tie not broken by input order")
+	}
+}
+
+func TestMergeRejectsNil(t *testing.T) {
+	if _, err := Merge(NewTrace(), nil); err == nil {
+		t.Error("nil input accepted")
+	}
+}
+
+func TestMergeEmpty(t *testing.T) {
+	m, err := Merge()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Len() != 0 {
+		t.Errorf("Len = %d", m.Len())
+	}
+	m, err = Merge(NewTrace(), NewTrace())
+	if err != nil || m.Len() != 0 {
+		t.Errorf("merge of empties: %v len %d", err, m.Len())
+	}
+}
+
+// Property: merging preserves every event and each input's internal
+// order, and the output is time-sorted.
+func TestMergeProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nRaw%4) + 1
+		inputs := make([]*Trace, n)
+		total := 0
+		for i := range inputs {
+			tr := NewTrace()
+			now := time.Duration(0)
+			for j := 0; j < rng.Intn(30); j++ {
+				now += time.Duration(rng.Intn(100)) * time.Microsecond
+				tr.Append(Event{Time: now, Client: uint16(i), Op: OpOpen},
+					string(rune('a'+rng.Intn(8))))
+				total++
+			}
+			inputs[i] = tr
+		}
+		m, err := Merge(inputs...)
+		if err != nil || m.Len() != total {
+			return false
+		}
+		for i := 1; i < len(m.Events); i++ {
+			if m.Events[i].Time < m.Events[i-1].Time {
+				return false
+			}
+		}
+		// Per-client subsequence preservation.
+		split := SplitByClient(m)
+		for i, in := range inputs {
+			sub, ok := split[uint16(i)]
+			if !ok {
+				if in.Len() == 0 {
+					continue
+				}
+				return false
+			}
+			if sub.Len() != in.Len() {
+				return false
+			}
+			for j := range in.Events {
+				if in.Paths.Path(in.Events[j].File) != sub.Paths.Path(sub.Events[j].File) {
+					return false
+				}
+				if in.Events[j].Time != sub.Events[j].Time {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSplitByClient(t *testing.T) {
+	tr := NewTrace()
+	tr.Append(Event{Client: 1, Op: OpOpen}, "/a")
+	tr.Append(Event{Client: 2, Op: OpOpen}, "/b")
+	tr.Append(Event{Client: 1, Op: OpWrite}, "/a")
+	split := SplitByClient(tr)
+	if len(split) != 2 {
+		t.Fatalf("split into %d, want 2", len(split))
+	}
+	if split[1].Len() != 2 || split[2].Len() != 1 {
+		t.Errorf("split lens = %d, %d", split[1].Len(), split[2].Len())
+	}
+}

@@ -1,0 +1,98 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Stats summarizes a trace. It is what the workload generator's calibration
+// tests assert against: the paper's workloads are characterized by heavy
+// access skew, a high repeat fraction, and (for the write workload) a large
+// write share.
+type Stats struct {
+	Events      int
+	Opens       int
+	Writes      int
+	UniqueFiles int
+	Clients     int
+
+	// RepeatFraction is the share of open events whose file had been
+	// opened before. A non-repeating trace cannot be predicted by any
+	// online model (§4.5 of the paper).
+	RepeatFraction float64
+
+	// WriteFraction is writes+creates+unlinks over all events.
+	WriteFraction float64
+
+	// Top10Share is the fraction of open events absorbed by the most
+	// popular 10% of files — the access skew the paper's placement
+	// discussion relies on.
+	Top10Share float64
+}
+
+// Summarize computes Stats over a trace.
+func Summarize(t *Trace) Stats {
+	var s Stats
+	s.Events = len(t.Events)
+	s.UniqueFiles = t.Paths.Len()
+	s.Clients = len(Clients(t.Events))
+
+	counts := make(map[FileID]int)
+	var mutating int
+	for _, ev := range t.Events {
+		switch ev.Op {
+		case OpOpen:
+			s.Opens++
+			counts[ev.File]++
+		case OpWrite, OpCreate, OpUnlink:
+			mutating++
+			if ev.Op == OpWrite {
+				s.Writes++
+			}
+		}
+	}
+	if s.Events > 0 {
+		s.WriteFraction = float64(mutating) / float64(s.Events)
+	}
+
+	var repeats int
+	for _, n := range counts {
+		repeats += n - 1
+	}
+	if s.Opens > 0 {
+		s.RepeatFraction = float64(repeats) / float64(s.Opens)
+	}
+
+	if len(counts) > 0 && s.Opens > 0 {
+		byCount := make([]int, 0, len(counts))
+		for _, n := range counts {
+			byCount = append(byCount, n)
+		}
+		sort.Sort(sort.Reverse(sort.IntSlice(byCount)))
+		top := len(byCount) / 10
+		if top == 0 {
+			top = 1
+		}
+		var sum int
+		for _, n := range byCount[:top] {
+			sum += n
+		}
+		s.Top10Share = float64(sum) / float64(s.Opens)
+	}
+	return s
+}
+
+// String renders the stats as a small aligned report.
+func (s Stats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "events        %d\n", s.Events)
+	fmt.Fprintf(&b, "opens         %d\n", s.Opens)
+	fmt.Fprintf(&b, "writes        %d\n", s.Writes)
+	fmt.Fprintf(&b, "unique files  %d\n", s.UniqueFiles)
+	fmt.Fprintf(&b, "clients       %d\n", s.Clients)
+	fmt.Fprintf(&b, "repeat frac   %.3f\n", s.RepeatFraction)
+	fmt.Fprintf(&b, "write frac    %.3f\n", s.WriteFraction)
+	fmt.Fprintf(&b, "top10%% share  %.3f", s.Top10Share)
+	return b.String()
+}

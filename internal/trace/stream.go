@@ -1,0 +1,280 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// Streaming I/O
+//
+// The in-memory codecs (ReadText/ReadBinary) are convenient for the
+// simulator, but the paper's traces span up to a year; Scanner and Writer
+// process the same two formats record-at-a-time so tools can filter or
+// transform traces whose event list does not fit in memory. Only the
+// path table (one entry per distinct file) is kept resident.
+
+// Scanner reads trace records one at a time.
+type Scanner struct {
+	next  func() (Event, string, error)
+	paths *Interner
+	ev    Event
+	path  string
+	err   error
+	done  bool
+}
+
+// NewTextScanner returns a Scanner over the text format; it consumes and
+// validates the header immediately.
+func NewTextScanner(r io.Reader) (*Scanner, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("trace: empty input, want %q header", textHeader)
+	}
+	if got := strings.TrimRight(sc.Text(), "\r"); got != textHeader {
+		return nil, fmt.Errorf("trace: bad header %q, want %q", got, textHeader)
+	}
+	line := 1
+	next := func() (Event, string, error) {
+		for sc.Scan() {
+			line++
+			raw := strings.TrimRight(sc.Text(), "\r")
+			if raw == "" || strings.HasPrefix(raw, "#") {
+				continue
+			}
+			ev, path, err := parseTextLine(raw)
+			if err != nil {
+				return Event{}, "", fmt.Errorf("trace: line %d: %w", line, err)
+			}
+			return ev, path, nil
+		}
+		if err := sc.Err(); err != nil {
+			return Event{}, "", err
+		}
+		return Event{}, "", io.EOF
+	}
+	return &Scanner{next: next, paths: NewInterner()}, nil
+}
+
+// NewBinaryScanner returns a Scanner over the binary format; it consumes
+// and validates the magic and version immediately.
+func NewBinaryScanner(r io.Reader) (*Scanner, error) {
+	br := bufio.NewReader(r)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("trace: read magic: %w", err)
+	}
+	if magic != binaryMagic {
+		return nil, ErrBadMagic
+	}
+	version, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("trace: read version: %w", err)
+	}
+	if version != binaryVersion {
+		return nil, fmt.Errorf("trace: unsupported version %d", version)
+	}
+
+	s := &Scanner{paths: NewInterner()}
+	var (
+		prevUS int64
+		rec    int
+	)
+	s.next = func() (Event, string, error) {
+		dtime, err := binary.ReadUvarint(br)
+		if err == io.EOF {
+			return Event{}, "", io.EOF
+		}
+		if err != nil {
+			return Event{}, "", fmt.Errorf("trace: record %d: %w", rec, err)
+		}
+		client, err := binary.ReadUvarint(br)
+		if err != nil || client > 0xffff {
+			return Event{}, "", fmt.Errorf("trace: record %d client: %v", rec, err)
+		}
+		pid, err := binary.ReadUvarint(br)
+		if err != nil {
+			return Event{}, "", fmt.Errorf("trace: record %d pid: %w", rec, err)
+		}
+		uid, err := binary.ReadUvarint(br)
+		if err != nil {
+			return Event{}, "", fmt.Errorf("trace: record %d uid: %w", rec, err)
+		}
+		opByte, err := br.ReadByte()
+		if err != nil {
+			return Event{}, "", fmt.Errorf("trace: record %d op: %w", rec, err)
+		}
+		op := Op(opByte)
+		if !op.Valid() {
+			return Event{}, "", fmt.Errorf("trace: record %d invalid op %d", rec, opByte)
+		}
+		file, err := binary.ReadUvarint(br)
+		if err != nil {
+			return Event{}, "", fmt.Errorf("trace: record %d file: %w", rec, err)
+		}
+		seen := FileID(s.paths.Len())
+		if file > uint64(seen) {
+			return Event{}, "", fmt.Errorf("trace: record %d file id %d skips ahead", rec, file)
+		}
+		var path string
+		if FileID(file) == seen {
+			n, err := binary.ReadUvarint(br)
+			if err != nil || n == 0 || n > maxPathLen {
+				return Event{}, "", fmt.Errorf("trace: record %d path length: %v", rec, err)
+			}
+			raw := make([]byte, n)
+			if _, err := io.ReadFull(br, raw); err != nil {
+				return Event{}, "", fmt.Errorf("trace: record %d path: %w", rec, err)
+			}
+			path = string(raw)
+		} else {
+			path = s.paths.Path(FileID(file))
+		}
+		prevUS += int64(dtime)
+		rec++
+		return Event{
+			Time:   time.Duration(prevUS) * time.Microsecond,
+			Client: uint16(client),
+			PID:    uint32(pid),
+			UID:    uint32(uid),
+			Op:     op,
+		}, path, nil
+	}
+	return s, nil
+}
+
+// Scan advances to the next record, reporting whether one is available.
+func (s *Scanner) Scan() bool {
+	if s.done {
+		return false
+	}
+	ev, path, err := s.next()
+	if err != nil {
+		s.done = true
+		if err != io.EOF {
+			s.err = err
+		}
+		return false
+	}
+	ev.File = s.paths.Intern(path)
+	s.ev = ev
+	s.path = path
+	return true
+}
+
+// Event returns the current record.
+func (s *Scanner) Event() Event { return s.ev }
+
+// Path returns the current record's path.
+func (s *Scanner) Path() string { return s.path }
+
+// Paths returns the interner accumulated so far (dense ids in
+// first-appearance order, matching the in-memory readers).
+func (s *Scanner) Paths() *Interner { return s.paths }
+
+// Err returns the first non-EOF error encountered.
+func (s *Scanner) Err() error { return s.err }
+
+// Writer emits trace records one at a time.
+type Writer struct {
+	emit  func(ev Event, path string) error
+	flush func() error
+	ids   *Interner
+}
+
+// NewTextWriter returns a Writer in the text format; the header is
+// written immediately.
+func NewTextWriter(w io.Writer) (*Writer, error) {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, textHeader); err != nil {
+		return nil, err
+	}
+	return &Writer{
+		ids: NewInterner(),
+		emit: func(ev Event, path string) error {
+			_, err := fmt.Fprintf(bw, "%d\t%d\t%d\t%d\t%s\t%s\n",
+				ev.Time.Microseconds(), ev.Client, ev.PID, ev.UID, ev.Op, path)
+			return err
+		},
+		flush: bw.Flush,
+	}, nil
+}
+
+// NewBinaryWriter returns a Writer in the binary format; the magic and
+// version are written immediately.
+func NewBinaryWriter(w io.Writer) (*Writer, error) {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(binaryMagic[:]); err != nil {
+		return nil, err
+	}
+	var tmp [binary.MaxVarintLen64]byte
+	putUvarint := func(v uint64) error {
+		n := binary.PutUvarint(tmp[:], v)
+		_, err := bw.Write(tmp[:n])
+		return err
+	}
+	if err := putUvarint(binaryVersion); err != nil {
+		return nil, err
+	}
+	ids := NewInterner()
+	var prevUS int64
+	return &Writer{
+		ids: ids,
+		emit: func(ev Event, path string) error {
+			us := ev.Time.Microseconds()
+			if us < prevUS {
+				return fmt.Errorf("trace: event time goes backwards")
+			}
+			known := ids.Len()
+			id := ids.Intern(path)
+			if err := putUvarint(uint64(us - prevUS)); err != nil {
+				return err
+			}
+			prevUS = us
+			if err := putUvarint(uint64(ev.Client)); err != nil {
+				return err
+			}
+			if err := putUvarint(uint64(ev.PID)); err != nil {
+				return err
+			}
+			if err := putUvarint(uint64(ev.UID)); err != nil {
+				return err
+			}
+			if err := bw.WriteByte(byte(ev.Op)); err != nil {
+				return err
+			}
+			if err := putUvarint(uint64(id)); err != nil {
+				return err
+			}
+			if int(id) == known { // first use: append the path
+				if err := putUvarint(uint64(len(path))); err != nil {
+					return err
+				}
+				if _, err := bw.WriteString(path); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+		flush: bw.Flush,
+	}, nil
+}
+
+// Write emits one record. The event's File field is ignored; identity
+// comes from path.
+func (w *Writer) Write(ev Event, path string) error {
+	if path == "" || len(path) > maxPathLen {
+		return fmt.Errorf("trace: invalid path %q", path)
+	}
+	return w.emit(ev, path)
+}
+
+// Flush forces buffered records out. Call it once after the last Write.
+func (w *Writer) Flush() error { return w.flush() }

@@ -1,0 +1,117 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Text format
+//
+// A human-readable, line-oriented trace encoding, one record per line:
+//
+//	#aggtrace v1
+//	<time_us> <client> <pid> <uid> <op> <path>
+//
+// Fields are tab-separated. time_us is a decimal offset in microseconds
+// from the start of the trace. op is a mnemonic from Op.String. Paths must
+// not contain tabs or newlines. Lines that are empty or start with '#'
+// (other than the header) are ignored, which allows annotated traces.
+
+const textHeader = "#aggtrace v1"
+
+// WriteText encodes the trace in the text format described above.
+func WriteText(w io.Writer, t *Trace) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, textHeader); err != nil {
+		return err
+	}
+	for i := range t.Events {
+		ev := &t.Events[i]
+		path := t.Paths.Path(ev.File)
+		if path == "" {
+			return fmt.Errorf("trace: event %d references unknown file id %d", i, ev.File)
+		}
+		_, err := fmt.Fprintf(bw, "%d\t%d\t%d\t%d\t%s\t%s\n",
+			ev.Time.Microseconds(), ev.Client, ev.PID, ev.UID, ev.Op, path)
+		if err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadText decodes a trace in the text format produced by WriteText.
+func ReadText(r io.Reader) (*Trace, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("trace: empty input, want %q header", textHeader)
+	}
+	if got := strings.TrimRight(sc.Text(), "\r"); got != textHeader {
+		return nil, fmt.Errorf("trace: bad header %q, want %q", got, textHeader)
+	}
+
+	t := NewTrace()
+	line := 1
+	for sc.Scan() {
+		line++
+		raw := strings.TrimRight(sc.Text(), "\r")
+		if raw == "" || strings.HasPrefix(raw, "#") {
+			continue
+		}
+		ev, path, err := parseTextLine(raw)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+		}
+		t.Append(ev, path)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+func parseTextLine(raw string) (Event, string, error) {
+	fields := strings.SplitN(raw, "\t", 6)
+	if len(fields) != 6 {
+		return Event{}, "", fmt.Errorf("want 6 tab-separated fields, got %d", len(fields))
+	}
+	us, err := strconv.ParseInt(fields[0], 10, 64)
+	if err != nil {
+		return Event{}, "", fmt.Errorf("time: %w", err)
+	}
+	client, err := strconv.ParseUint(fields[1], 10, 16)
+	if err != nil {
+		return Event{}, "", fmt.Errorf("client: %w", err)
+	}
+	pid, err := strconv.ParseUint(fields[2], 10, 32)
+	if err != nil {
+		return Event{}, "", fmt.Errorf("pid: %w", err)
+	}
+	uid, err := strconv.ParseUint(fields[3], 10, 32)
+	if err != nil {
+		return Event{}, "", fmt.Errorf("uid: %w", err)
+	}
+	op, err := ParseOp(fields[4])
+	if err != nil {
+		return Event{}, "", err
+	}
+	if fields[5] == "" {
+		return Event{}, "", fmt.Errorf("empty path")
+	}
+	ev := Event{
+		Time:   time.Duration(us) * time.Microsecond,
+		Client: uint16(client),
+		PID:    uint32(pid),
+		UID:    uint32(uid),
+		Op:     op,
+	}
+	return ev, fields[5], nil
+}

@@ -1,0 +1,185 @@
+package workload
+
+import (
+	"testing"
+
+	"aggcache/internal/core"
+	"aggcache/internal/entropy"
+	"aggcache/internal/trace"
+)
+
+func gen(t *testing.T, p Profile, opens int) *trace.Trace {
+	t.Helper()
+	tr, err := Standard(p, 1, opens)
+	if err != nil {
+		t.Fatalf("Standard(%s): %v", p, err)
+	}
+	return tr
+}
+
+func TestGenerateOpensBudget(t *testing.T) {
+	for _, p := range Profiles() {
+		tr := gen(t, p, 5000)
+		if got := len(tr.OpenIDs()); got != 5000 {
+			t.Errorf("%s: opens = %d, want 5000", p, got)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := gen(t, ProfileServer, 3000)
+	b := gen(t, ProfileServer, 3000)
+	if len(a.Events) != len(b.Events) {
+		t.Fatal("same seed produced different lengths")
+	}
+	for i := range a.Events {
+		if a.Events[i] != b.Events[i] {
+			t.Fatalf("same seed diverged at event %d", i)
+		}
+	}
+	c, err := Standard(ProfileServer, 2, 3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := len(c.Events) == len(a.Events)
+	if same {
+		same = false
+		for i := range a.Events {
+			if a.Events[i] != c.Events[i] {
+				same = false
+				break
+			}
+			same = true
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical traces")
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	if _, err := ProfileConfig("bogus", 1, 100); err == nil {
+		t.Error("bogus profile accepted")
+	}
+	bad := []Config{
+		{Opens: -1},
+		{Clients: -2},
+		{ZipfS: 0.5, Tasks: 10, TaskLen: 5},
+		{Noise: 1.5},
+		{WriteFraction: -0.1},
+		{ChurnProb: 2},
+		{FreshProb: -1},
+	}
+	for _, cfg := range bad {
+		if _, err := Generate(cfg); err == nil {
+			t.Errorf("Generate(%+v) succeeded", cfg)
+		}
+	}
+}
+
+func TestGenerateDefaults(t *testing.T) {
+	tr, err := Generate(Config{Opens: 1000, ZipfS: 1.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.OpenIDs()) != 1000 {
+		t.Errorf("opens = %d, want 1000", len(tr.OpenIDs()))
+	}
+}
+
+// Calibration: the structural properties the paper's experiments rely on.
+
+func TestCalibrationAccessSkew(t *testing.T) {
+	for _, p := range Profiles() {
+		s := trace.Summarize(gen(t, p, 20000))
+		if s.Top10Share < 0.3 {
+			t.Errorf("%s: Top10Share = %.3f, want >= 0.3 (heavy skew)", p, s.Top10Share)
+		}
+		if s.RepeatFraction < 0.5 {
+			t.Errorf("%s: RepeatFraction = %.3f, want >= 0.5", p, s.RepeatFraction)
+		}
+	}
+}
+
+func TestCalibrationWriteProfileWritesMost(t *testing.T) {
+	writeStats := trace.Summarize(gen(t, ProfileWrite, 15000))
+	for _, p := range []Profile{ProfileServer, ProfileWorkstation, ProfileUsers} {
+		s := trace.Summarize(gen(t, p, 15000))
+		if writeStats.WriteFraction <= s.WriteFraction {
+			t.Errorf("write profile write fraction %.3f <= %s %.3f",
+				writeStats.WriteFraction, p, s.WriteFraction)
+		}
+	}
+}
+
+func TestCalibrationUsersHasMostClients(t *testing.T) {
+	s := trace.Summarize(gen(t, ProfileUsers, 10000))
+	if s.Clients < 4 {
+		t.Errorf("users clients = %d, want several", s.Clients)
+	}
+	for _, p := range []Profile{ProfileServer, ProfileWorkstation} {
+		if got := trace.Summarize(gen(t, p, 10000)).Clients; got != 1 {
+			t.Errorf("%s clients = %d, want 1", p, got)
+		}
+	}
+}
+
+// The paper's Figure 7 ordering: the server workload is by far the most
+// predictable (successor entropy well under 1 bit at symbol length 1);
+// every other profile is strictly less predictable.
+func TestCalibrationEntropyOrdering(t *testing.T) {
+	const opens = 30000
+	bits := make(map[Profile]float64, 4)
+	for _, p := range Profiles() {
+		r, err := entropy.SuccessorEntropy(gen(t, p, opens).OpenIDs(), 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bits[p] = r.Bits
+		t.Logf("%s: successor entropy = %.3f bits", p, r.Bits)
+	}
+	if bits[ProfileServer] >= 1.0 {
+		t.Errorf("server entropy = %.3f, want < 1 bit (paper §4.5)", bits[ProfileServer])
+	}
+	for _, p := range []Profile{ProfileWorkstation, ProfileUsers, ProfileWrite} {
+		if bits[p] <= bits[ProfileServer] {
+			t.Errorf("%s entropy %.3f <= server %.3f; server must be most predictable",
+				p, bits[p], bits[ProfileServer])
+		}
+	}
+}
+
+// The paper's headline client-side result: on the server workload, a g5
+// aggregating cache cuts demand fetches dramatically versus plain LRU; on
+// the write workload the gain exists but is the most modest.
+func TestCalibrationGroupingGains(t *testing.T) {
+	reduction := func(p Profile) float64 {
+		ids := gen(t, p, 30000).OpenIDs()
+		run := func(g int) uint64 {
+			agg, err := core.New(core.Config{Capacity: 300, GroupSize: g})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, id := range ids {
+				agg.Access(id)
+			}
+			return agg.Stats().DemandFetches()
+		}
+		lru := run(1)
+		g5 := run(5)
+		return 1 - float64(g5)/float64(lru)
+	}
+	server := reduction(ProfileServer)
+	write := reduction(ProfileWrite)
+	t.Logf("fetch reduction: server=%.1f%% write=%.1f%%", 100*server, 100*write)
+	if server < 0.40 {
+		t.Errorf("server g5 reduction = %.1f%%, want >= 40%%", 100*server)
+	}
+	if write <= 0 {
+		t.Errorf("write g5 reduction = %.1f%%, want > 0", 100*write)
+	}
+	if write >= server {
+		t.Errorf("write reduction %.1f%% >= server %.1f%%; server must gain most",
+			100*write, 100*server)
+	}
+}
