@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench experiments examples fuzz clean
+.PHONY: all build vet test race bench chaos experiments examples fuzz clean
 
 all: build vet test
 
@@ -20,6 +20,11 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Fault-injection chaos suite (client x server under deterministic faults),
+# always with the race detector.
+chaos:
+	$(GO) test -race -run 'TestChaos' -v ./internal/fsnet/
 
 # Regenerate every paper figure at full scale (see EXPERIMENTS.md).
 experiments:

@@ -327,10 +327,17 @@ type (
 	ClientStats = fsnet.ClientStats
 	// Store is the server's backing file store.
 	Store = fsnet.Store
+	// Backoff shapes the client's redial/retry delay schedule.
+	Backoff = fsnet.Backoff
 )
 
 // ErrNotFound is returned by Client.Open for missing files.
 var ErrNotFound = fsnet.ErrNotFound
+
+// ErrConnBroken marks a client connection poisoned by an I/O or protocol
+// error; with a Dialer configured the client redials with exponential
+// backoff, and cache hits keep being served in the meantime.
+var ErrConnBroken = fsnet.ErrConnBroken
 
 // NewStore returns an empty file store.
 func NewStore() *Store { return fsnet.NewStore() }

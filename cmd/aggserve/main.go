@@ -7,10 +7,16 @@
 // synthetic files (-synthetic N). The server runs until SIGINT/SIGTERM,
 // then shuts down gracefully and prints its statistics.
 //
+// Robustness knobs: -idle-timeout drops silent connections,
+// -write-timeout unwedges handlers facing stalled readers, and
+// -max-conns caps concurrent connections (excess clients receive a
+// graceful busy rejection and, with retry configured, back off).
+//
 // Examples:
 //
 //	aggserve -addr :7070 -root ./testdata
 //	aggserve -addr 127.0.0.1:7070 -synthetic 1000 -group 5 -cache 256
+//	aggserve -addr :7070 -synthetic 1000 -max-conns 512 -write-timeout 10s
 package main
 
 import (
@@ -23,6 +29,7 @@ import (
 	"os/signal"
 	"path/filepath"
 	"syscall"
+	"time"
 
 	"aggcache/internal/fsnet"
 )
@@ -37,13 +44,16 @@ func main() {
 func run(args []string) error {
 	fl := flag.NewFlagSet("aggserve", flag.ContinueOnError)
 	var (
-		addr      = fl.String("addr", "127.0.0.1:7070", "listen address")
-		root      = fl.String("root", "", "seed the store from this directory tree")
-		synthetic = fl.Int("synthetic", 0, "seed the store with N synthetic files instead")
-		group     = fl.Int("group", 5, "retrieval group size g")
-		capacity  = fl.Int("cache", 256, "server memory cache capacity (files)")
-		succCap   = fl.Int("successors", 3, "per-file successor list capacity")
-		metadata  = fl.String("metadata", "", "persist learned relationships to this file (loaded at start if present, saved at shutdown)")
+		addr         = fl.String("addr", "127.0.0.1:7070", "listen address")
+		root         = fl.String("root", "", "seed the store from this directory tree")
+		synthetic    = fl.Int("synthetic", 0, "seed the store with N synthetic files instead")
+		group        = fl.Int("group", 5, "retrieval group size g")
+		capacity     = fl.Int("cache", 256, "server memory cache capacity (files)")
+		succCap      = fl.Int("successors", 3, "per-file successor list capacity")
+		metadata     = fl.String("metadata", "", "persist learned relationships to this file (loaded at start if present, saved at shutdown)")
+		idleTimeout  = fl.Duration("idle-timeout", 5*time.Minute, "drop connections idle for this long (0 disables)")
+		writeTimeout = fl.Duration("write-timeout", 30*time.Second, "per-reply write deadline so stalled readers cannot wedge handlers (0 disables)")
+		maxConns     = fl.Int("max-conns", 0, "cap on concurrently served connections; excess get a busy rejection (0 = unlimited)")
 	)
 	if err := fl.Parse(args); err != nil {
 		return err
@@ -69,10 +79,16 @@ func run(args []string) error {
 		return fmt.Errorf("provide -root DIR or -synthetic N to populate the store")
 	}
 
+	if *maxConns < 0 {
+		return fmt.Errorf("-max-conns must be >= 0, got %d", *maxConns)
+	}
 	srv, err := fsnet.NewServer(store, fsnet.ServerConfig{
 		GroupSize:         *group,
 		CacheCapacity:     *capacity,
 		SuccessorCapacity: *succCap,
+		IdleTimeout:       *idleTimeout,
+		WriteTimeout:      *writeTimeout,
+		MaxConns:          *maxConns,
 		Logger:            log.New(os.Stderr, "", log.LstdFlags),
 	})
 	if err != nil {
@@ -119,8 +135,8 @@ func run(args []string) error {
 		return err
 	}
 	st := srv.Stats()
-	log.Printf("aggserve: requests=%d errors=%d files-sent=%d cache{%s}",
-		st.Requests, st.Errors, st.FilesSent, st.Cache.String())
+	log.Printf("aggserve: requests=%d errors=%d files-sent=%d rejected=%d panics=%d disconnects=%d cache{%s}",
+		st.Requests, st.Errors, st.FilesSent, st.Rejected, st.Panics, st.Disconnects, st.Cache.String())
 	return nil
 }
 

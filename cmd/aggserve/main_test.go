@@ -51,6 +51,8 @@ func TestRunErrors(t *testing.T) {
 		{"-synthetic", "5", "-addr", "256.0.0.1:bad"}, // bad address
 		{"-root", "/no/such/dir"},
 		{"-synthetic", "5", "-group", "-3"},
+		{"-synthetic", "5", "-max-conns", "-1"},
+		{"-synthetic", "5", "-idle-timeout", "nonsense"},
 		{"-badflag"},
 	}
 	for _, args := range cases {

@@ -5,12 +5,19 @@
 // replies turn round trips into local cache hits — and how a second,
 // completely cold client benefits immediately from what the server
 // learned.
+//
+// The final act kills the server mid-session and restarts it on the same
+// address: the hardened client keeps serving cache hits while the server
+// is down (degraded mode) and transparently redials with backoff on the
+// next miss, visible in ClientStats.Reconnects.
 package main
 
 import (
+	"errors"
 	"fmt"
 	"net"
 	"os"
+	"time"
 
 	"aggcache"
 )
@@ -93,5 +100,71 @@ func run() error {
 	st := srv.Stats()
 	fmt.Printf("\nserver: %d requests, %d files sent, memory cache %s\n",
 		st.Requests, st.FilesSent, st.Cache.String())
+
+	return faultTolerance(store, l.Addr().String(), srv)
+}
+
+// faultTolerance restarts the server under a live hardened client: cache
+// hits survive the outage, the first miss during the outage fails with
+// ErrConnBroken, and after the restart the client redials transparently.
+func faultTolerance(store *aggcache.Store, addr string, srv *aggcache.Server) error {
+	fmt.Println("\n--- fault tolerance: full server restart under a live client ---")
+	tough, err := aggcache.Dial(addr, aggcache.ClientConfig{
+		CacheCapacity: 16,
+		Timeout:       2 * time.Second,
+		MaxRetries:    8,
+		Backoff:       aggcache.Backoff{Base: 5 * time.Millisecond, Max: 100 * time.Millisecond},
+	})
+	if err != nil {
+		return err
+	}
+	defer tough.Close()
+
+	// Warm the client with one build task.
+	for _, p := range tasks()[0] {
+		if _, err := tough.Open(p); err != nil {
+			return err
+		}
+	}
+
+	// Stop the server entirely.
+	if err := srv.Close(); err != nil {
+		return err
+	}
+	fmt.Println("server stopped")
+
+	// A miss during the outage fails fast with a typed error (and marks
+	// the connection broken); cached files stay readable regardless.
+	if _, err := tough.Open("/home/u/notes.txt"); err != nil && !errors.Is(err, aggcache.ErrConnBroken) {
+		return fmt.Errorf("miss during outage: unexpected error: %w", err)
+	}
+	if _, err := tough.Open("/src/main.c"); err != nil {
+		return fmt.Errorf("degraded hit failed: %w", err)
+	}
+	ds := tough.Stats()
+	fmt.Printf("during outage: cache hits keep working (%d degraded hits), misses fail fast\n", ds.DegradedHits)
+
+	// Restart on the same address; the client's next miss redials.
+	srv2, err := aggcache.NewServer(store, aggcache.ServerConfig{GroupSize: 4, CacheCapacity: 64})
+	if err != nil {
+		return err
+	}
+	l2, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	go func() { _ = srv2.Serve(l2) }()
+	defer srv2.Close()
+
+	for _, task := range tasks() {
+		for _, p := range task {
+			if _, err := tough.Open(p); err != nil {
+				return fmt.Errorf("post-restart open %s: %w", p, err)
+			}
+		}
+	}
+	ds = tough.Stats()
+	fmt.Printf("after restart: all opens succeed again; reconnects=%d retries=%d broken conns=%d\n",
+		ds.Reconnects, ds.Retries, ds.BrokenConns)
 	return nil
 }

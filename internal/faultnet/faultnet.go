@@ -1,0 +1,299 @@
+// Package faultnet injects deterministic, seedable network faults into
+// net.Conn and net.Listener values. It is the test substrate for the
+// robustness features of internal/fsnet: the chaos suite wraps both sides
+// of a client/server pair and drives real workloads through latency
+// spikes, partial writes, injected I/O errors, mid-frame connection
+// resets, and read blackholes.
+//
+// Determinism: every wrapped connection owns a PRNG derived from the
+// configured Seed (and, for listener- or dialer-produced connections, the
+// connection's accept/dial ordinal). Given the same seed and the same
+// sequence of Read/Write calls on a connection, the same faults fire at
+// the same points. Concurrency across connections does not perturb any
+// single connection's schedule.
+package faultnet
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrInjected is the base error for every fault this package injects.
+// Wrapped errors satisfy errors.Is(err, ErrInjected).
+var ErrInjected = errors.New("faultnet: injected fault")
+
+// Faults configures which faults fire and how often. All probabilities
+// are per Read/Write call in [0,1]; zero disables that fault class. At
+// most one error-class fault (partial write, read/write error, reset,
+// blackhole) fires per call; latency is independent and may combine with
+// any of them.
+type Faults struct {
+	// Seed drives the deterministic fault schedule. Connections accepted
+	// by a Listener or produced by a Dialer fold their ordinal into the
+	// seed so each connection gets an independent but reproducible
+	// schedule.
+	Seed int64
+
+	// LatencyProb is the chance an operation sleeps for Latency before
+	// touching the wire.
+	LatencyProb float64
+	// Latency is the injected delay (default 1ms when LatencyProb > 0).
+	Latency time.Duration
+
+	// PartialWriteProb is the chance a Write transmits only a prefix of
+	// the buffer and then fails, leaving the peer with a truncated frame.
+	PartialWriteProb float64
+	// ReadErrProb is the chance a Read fails outright without consuming
+	// anything from the wire.
+	ReadErrProb float64
+	// WriteErrProb is the chance a Write fails outright without
+	// transmitting anything.
+	WriteErrProb float64
+	// ResetProb is the chance an operation hard-closes the underlying
+	// connection mid-call, the way a TCP RST tears a stream down.
+	ResetProb float64
+	// BlackholeProb is the chance a Read blocks silently — no data, no
+	// error — until the read deadline expires or the connection is
+	// closed. Pair with deadlines: a blackholed read with no deadline
+	// blocks until Close.
+	BlackholeProb float64
+}
+
+// Stats counts the faults a connection (or every connection of a shared
+// Listener/Dialer) has injected. All counters are atomic.
+type Stats struct {
+	Latencies     atomic.Uint64
+	PartialWrites atomic.Uint64
+	ReadErrs      atomic.Uint64
+	WriteErrs     atomic.Uint64
+	Resets        atomic.Uint64
+	Blackholes    atomic.Uint64
+}
+
+// Total returns the number of injected faults of every class, latency
+// included.
+func (s *Stats) Total() uint64 {
+	return s.Latencies.Load() + s.PartialWrites.Load() + s.ReadErrs.Load() +
+		s.WriteErrs.Load() + s.Resets.Load() + s.Blackholes.Load()
+}
+
+// Conn wraps a net.Conn with fault injection. Methods not listed here
+// forward to the underlying connection.
+type Conn struct {
+	inner net.Conn
+	f     Faults
+	stats *Stats
+
+	mu           sync.Mutex // guards rng and readDeadline
+	rng          *rand.Rand
+	readDeadline time.Time
+
+	closed    chan struct{}
+	closeOnce sync.Once
+}
+
+// Wrap returns a fault-injecting view of conn. The caller keeps ownership
+// of stats, which may be shared across connections; pass nil to have the
+// Conn allocate its own (retrievable via Stats).
+func Wrap(conn net.Conn, f Faults, stats *Stats) *Conn {
+	if stats == nil {
+		stats = &Stats{}
+	}
+	if f.Latency == 0 && f.LatencyProb > 0 {
+		f.Latency = time.Millisecond
+	}
+	return &Conn{
+		inner:  conn,
+		f:      f,
+		stats:  stats,
+		rng:    rand.New(rand.NewSource(f.Seed)),
+		closed: make(chan struct{}),
+	}
+}
+
+// Stats returns the fault counters this connection reports into.
+func (c *Conn) Stats() *Stats { return c.stats }
+
+// roll draws one uniform variate; a single draw per fault check keeps the
+// schedule deterministic for a fixed call sequence.
+func (c *Conn) roll(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	c.mu.Lock()
+	v := c.rng.Float64()
+	c.mu.Unlock()
+	return v < p
+}
+
+func (c *Conn) maybeLatency() {
+	if c.roll(c.f.LatencyProb) {
+		c.stats.Latencies.Add(1)
+		select {
+		case <-time.After(c.f.Latency):
+		case <-c.closed:
+		}
+	}
+}
+
+// reset hard-closes the underlying connection, approximating a RST.
+func (c *Conn) reset(op string) error {
+	c.stats.Resets.Add(1)
+	c.closeOnce.Do(func() { close(c.closed) })
+	_ = c.inner.Close()
+	return fmt.Errorf("%w: connection reset during %s", ErrInjected, op)
+}
+
+// Read implements net.Conn.
+func (c *Conn) Read(p []byte) (int, error) {
+	c.maybeLatency()
+	switch {
+	case c.roll(c.f.ReadErrProb):
+		c.stats.ReadErrs.Add(1)
+		return 0, fmt.Errorf("%w: read error", ErrInjected)
+	case c.roll(c.f.ResetProb):
+		return 0, c.reset("read")
+	case c.roll(c.f.BlackholeProb):
+		c.stats.Blackholes.Add(1)
+		return 0, c.blackhole()
+	}
+	return c.inner.Read(p)
+}
+
+// blackhole blocks until the read deadline passes or the connection
+// closes, then reports the corresponding error — the wire went silent.
+func (c *Conn) blackhole() error {
+	c.mu.Lock()
+	d := c.readDeadline
+	c.mu.Unlock()
+	var expire <-chan time.Time
+	if !d.IsZero() {
+		t := time.NewTimer(time.Until(d))
+		defer t.Stop()
+		expire = t.C
+	}
+	select {
+	case <-expire:
+		return os.ErrDeadlineExceeded
+	case <-c.closed:
+		return net.ErrClosed
+	}
+}
+
+// Write implements net.Conn.
+func (c *Conn) Write(p []byte) (int, error) {
+	c.maybeLatency()
+	switch {
+	case c.roll(c.f.WriteErrProb):
+		c.stats.WriteErrs.Add(1)
+		return 0, fmt.Errorf("%w: write error", ErrInjected)
+	case c.roll(c.f.ResetProb):
+		return 0, c.reset("write")
+	case len(p) > 1 && c.roll(c.f.PartialWriteProb):
+		c.stats.PartialWrites.Add(1)
+		c.mu.Lock()
+		n := 1 + c.rng.Intn(len(p)-1)
+		c.mu.Unlock()
+		wrote, err := c.inner.Write(p[:n])
+		if err != nil {
+			return wrote, err
+		}
+		return wrote, fmt.Errorf("%w: partial write (%d of %d bytes)", ErrInjected, wrote, len(p))
+	}
+	return c.inner.Write(p)
+}
+
+// Close implements net.Conn.
+func (c *Conn) Close() error {
+	c.closeOnce.Do(func() { close(c.closed) })
+	return c.inner.Close()
+}
+
+// LocalAddr implements net.Conn.
+func (c *Conn) LocalAddr() net.Addr { return c.inner.LocalAddr() }
+
+// RemoteAddr implements net.Conn.
+func (c *Conn) RemoteAddr() net.Addr { return c.inner.RemoteAddr() }
+
+// SetDeadline implements net.Conn.
+func (c *Conn) SetDeadline(t time.Time) error {
+	c.mu.Lock()
+	c.readDeadline = t
+	c.mu.Unlock()
+	return c.inner.SetDeadline(t)
+}
+
+// SetReadDeadline implements net.Conn.
+func (c *Conn) SetReadDeadline(t time.Time) error {
+	c.mu.Lock()
+	c.readDeadline = t
+	c.mu.Unlock()
+	return c.inner.SetReadDeadline(t)
+}
+
+// SetWriteDeadline implements net.Conn.
+func (c *Conn) SetWriteDeadline(t time.Time) error {
+	return c.inner.SetWriteDeadline(t)
+}
+
+// Listener wraps a net.Listener so every accepted connection carries
+// fault injection. Accepted connections share one Stats and derive their
+// seeds from the configured Seed plus their accept ordinal.
+type Listener struct {
+	net.Listener
+	f     Faults
+	stats *Stats
+	n     atomic.Uint64
+}
+
+// WrapListener returns a fault-injecting view of l.
+func WrapListener(l net.Listener, f Faults) *Listener {
+	return &Listener{Listener: l, f: f, stats: &Stats{}}
+}
+
+// Accept implements net.Listener.
+func (l *Listener) Accept() (net.Conn, error) {
+	conn, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	f := l.f
+	f.Seed = deriveSeed(l.f.Seed, l.n.Add(1))
+	return Wrap(conn, f, l.stats), nil
+}
+
+// Stats returns the counters shared by every accepted connection.
+func (l *Listener) Stats() *Stats { return l.stats }
+
+// Dialer returns a dial function producing fault-injecting connections to
+// addr, suitable for fsnet's ClientConfig.Dialer. Connections share the
+// returned Stats and derive their seeds from their dial ordinal.
+func Dialer(addr string, f Faults) (func() (net.Conn, error), *Stats) {
+	stats := &Stats{}
+	var n atomic.Uint64
+	return func() (net.Conn, error) {
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			return nil, err
+		}
+		df := f
+		df.Seed = deriveSeed(f.Seed, n.Add(1))
+		return Wrap(conn, df, stats), nil
+	}, stats
+}
+
+// deriveSeed mixes a per-connection ordinal into the base seed
+// (splitmix64 finalizer) so each connection's schedule is independent yet
+// reproducible.
+func deriveSeed(base int64, ordinal uint64) int64 {
+	z := uint64(base) + ordinal*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int64(z ^ (z >> 31))
+}

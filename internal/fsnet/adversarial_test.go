@@ -1,0 +1,384 @@
+package fsnet
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// Adversarial server tests: hostile or broken peers must get a typed
+// msgError or a clean departure — with ServerStats.Errors advancing —
+// and must never disturb service to healthy clients.
+
+// rawDial opens an unmanaged connection for crafting hostile frames.
+func rawDial(t *testing.T, addr string) net.Conn {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = conn.Close() })
+	return conn
+}
+
+// waitServerErrors polls until the server error counter reaches want (or
+// times out), absorbing handler-goroutine scheduling delay.
+func waitServerErrors(t *testing.T, srv *Server, want uint64) uint64 {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if got := srv.Stats().Errors; got >= want || time.Now().After(deadline) {
+			return got
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// assertHealthy proves the server still serves a well-behaved client.
+func assertHealthy(t *testing.T, addr string) {
+	t.Helper()
+	client, err := Dial(addr, ClientConfig{})
+	if err != nil {
+		t.Fatalf("healthy dial: %v", err)
+	}
+	defer client.Close()
+	if _, err := client.Open("/data/f000"); err != nil {
+		t.Errorf("healthy client failed: %v", err)
+	}
+}
+
+func TestAdversarialOversizedFrame(t *testing.T) {
+	srv, addr := startServer(t, seededStore(t, 2), ServerConfig{})
+	conn := rawDial(t, addr)
+	var hdr [5]byte
+	binary.BigEndian.PutUint32(hdr[:4], maxFrame+1)
+	hdr[4] = msgOpen
+	if _, err := conn.Write(hdr[:]); err != nil {
+		t.Fatal(err)
+	}
+	if got := waitServerErrors(t, srv, 1); got == 0 {
+		t.Error("oversized frame did not advance ServerStats.Errors")
+	}
+	// The connection is gone: the next read sees EOF/reset.
+	_ = conn.SetReadDeadline(time.Now().Add(time.Second))
+	if _, err := conn.Read(make([]byte, 1)); err == nil {
+		t.Error("server kept the connection after an oversized frame")
+	}
+	assertHealthy(t, addr)
+}
+
+func TestAdversarialZeroLengthFrame(t *testing.T) {
+	srv, addr := startServer(t, seededStore(t, 2), ServerConfig{})
+	conn := rawDial(t, addr)
+	if _, err := conn.Write([]byte{0, 0, 0, 0}); err != nil {
+		t.Fatal(err)
+	}
+	if got := waitServerErrors(t, srv, 1); got == 0 {
+		t.Error("zero-length frame did not advance ServerStats.Errors")
+	}
+	assertHealthy(t, addr)
+}
+
+func TestAdversarialTruncatedFrameMidPayload(t *testing.T) {
+	srv, addr := startServer(t, seededStore(t, 2), ServerConfig{})
+	conn := rawDial(t, addr)
+	// Header promises 100 payload bytes; send 10 and hang up mid-frame.
+	var hdr [5]byte
+	binary.BigEndian.PutUint32(hdr[:4], 101)
+	hdr[4] = msgOpen
+	if _, err := conn.Write(hdr[:]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Write(make([]byte, 10)); err != nil {
+		t.Fatal(err)
+	}
+	if err := conn.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := waitServerErrors(t, srv, 1); got == 0 {
+		t.Error("truncated frame did not advance ServerStats.Errors")
+	}
+	assertHealthy(t, addr)
+}
+
+func TestAdversarialUnknownMessageType(t *testing.T) {
+	srv, addr := startServer(t, seededStore(t, 2), ServerConfig{})
+	conn := rawDial(t, addr)
+	var hdr [5]byte
+	binary.BigEndian.PutUint32(hdr[:4], 1)
+	hdr[4] = 0x7f // no such message type
+	if _, err := conn.Write(hdr[:]); err != nil {
+		t.Fatal(err)
+	}
+	// The server must reply with a typed msgError before departing.
+	r := bufio.NewReader(conn)
+	_ = conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	typ, payload, err := readFrame(r)
+	if err != nil {
+		t.Fatalf("no reply to unknown message type: %v", err)
+	}
+	if typ != msgError {
+		t.Fatalf("reply type = %d, want msgError", typ)
+	}
+	e, err := decodeErrorResponse(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Code != CodeBadRequest {
+		t.Errorf("error code = %d, want CodeBadRequest", e.Code)
+	}
+	if got := waitServerErrors(t, srv, 1); got == 0 {
+		t.Error("unknown message type did not advance ServerStats.Errors")
+	}
+	// And then the connection closes.
+	if _, _, err := readFrame(r); err == nil {
+		t.Error("server kept the connection after an unknown message type")
+	}
+	assertHealthy(t, addr)
+}
+
+func TestAdversarialMalformedOpenPayload(t *testing.T) {
+	srv, addr := startServer(t, seededStore(t, 2), ServerConfig{})
+	conn := rawDial(t, addr)
+	// A syntactically framed msgOpen whose payload is garbage.
+	payload := []byte{0xff, 0xff, 0xff, 0xff, 0xff}
+	var hdr [5]byte
+	binary.BigEndian.PutUint32(hdr[:4], uint32(len(payload)+1))
+	hdr[4] = msgOpen
+	if _, err := conn.Write(append(hdr[:], payload...)); err != nil {
+		t.Fatal(err)
+	}
+	r := bufio.NewReader(conn)
+	_ = conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	typ, body, err := readFrame(r)
+	if err != nil {
+		t.Fatalf("no reply to malformed open: %v", err)
+	}
+	if typ != msgError {
+		t.Fatalf("reply type = %d, want msgError", typ)
+	}
+	e, err := decodeErrorResponse(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Code != CodeBadRequest {
+		t.Errorf("error code = %d, want CodeBadRequest", e.Code)
+	}
+	if got := waitServerErrors(t, srv, 1); got == 0 {
+		t.Error("malformed open did not advance ServerStats.Errors")
+	}
+	assertHealthy(t, addr)
+}
+
+// TestAdversarialSilentClientDepartsCleanly: a connection that never
+// writes must be dropped by the IdleTimeout path without counting as a
+// protocol error.
+func TestAdversarialSilentClientDepartsCleanly(t *testing.T) {
+	srv, addr := startServer(t, seededStore(t, 2), ServerConfig{IdleTimeout: 60 * time.Millisecond})
+	conn := rawDial(t, addr)
+	// Never write; wait for the idle deadline to fire.
+	_ = conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	buf := make([]byte, 1)
+	if _, err := conn.Read(buf); !errors.Is(err, io.EOF) {
+		// The server closes without writing, so EOF is the clean signal.
+		t.Fatalf("idle departure read = %v, want EOF", err)
+	}
+	if got := srv.Stats().Errors; got != 0 {
+		t.Errorf("idle departure advanced Errors to %d; want clean departure", got)
+	}
+	assertHealthy(t, addr)
+}
+
+// TestServerMaxConnsRejectsGracefully: the accept limit turns excess
+// connections away with CodeBusy instead of hanging or crashing them.
+func TestServerMaxConnsRejectsGracefully(t *testing.T) {
+	srv, addr := startServer(t, seededStore(t, 4), ServerConfig{MaxConns: 2})
+	// Two live clients occupy both slots.
+	c1, err := Dial(addr, ClientConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c1.Close()
+	c2, err := Dial(addr, ClientConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	if _, err := c1.Open("/data/f000"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c2.Open("/data/f001"); err != nil {
+		t.Fatal(err)
+	}
+
+	// The third connection gets a CodeBusy error frame, then close.
+	conn := rawDial(t, addr)
+	r := bufio.NewReader(conn)
+	_ = conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	typ, payload, err := readFrame(r)
+	if err != nil {
+		t.Fatalf("no rejection frame: %v", err)
+	}
+	if typ != msgError {
+		t.Fatalf("rejection type = %d, want msgError", typ)
+	}
+	e, err := decodeErrorResponse(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Code != CodeBusy {
+		t.Errorf("rejection code = %d, want CodeBusy", e.Code)
+	}
+	if got := srv.Stats().Rejected; got != 1 {
+		t.Errorf("Rejected = %d, want 1", got)
+	}
+	// Both admitted clients still work.
+	if _, err := c1.Open("/data/f002"); err != nil {
+		t.Errorf("admitted client failed after rejection: %v", err)
+	}
+
+	// Freeing a slot readmits new connections.
+	if err := c2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		c3, err := Dial(addr, ClientConfig{})
+		if err == nil {
+			_, err = c3.Open("/data/f003")
+			_ = c3.Close()
+			if err == nil {
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("slot never freed after client close")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestServerWriteTimeoutUnwedgesStalledReader: a peer that requests a
+// large group and then never reads must not pin its handler forever; the
+// write deadline fires and the connection is dropped (Disconnects
+// advances).
+func TestServerWriteTimeoutUnwedgesStalledReader(t *testing.T) {
+	store := NewStore()
+	// One big file so the reply overwhelms kernel socket buffers.
+	big := make([]byte, 4<<20)
+	for i := range big {
+		big[i] = byte(i)
+	}
+	if err := store.Put("/big", big); err != nil {
+		t.Fatal(err)
+	}
+	srv, addr := startServer(t, store, ServerConfig{WriteTimeout: 150 * time.Millisecond})
+
+	conn := rawDial(t, addr)
+	w := bufio.NewWriter(conn)
+	if err := writeFrame(w, msgOpen, encodeOpenRequest(openRequest{Path: "/big"})); err != nil {
+		t.Fatal(err)
+	}
+	// Never read the multi-megabyte reply. The handler must give up on
+	// its own (not because we closed).
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.Stats().Disconnects == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("stalled reader never disconnected; handler wedged")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	assertHealthyPath(t, addr, "/big", big)
+}
+
+// assertHealthyPath checks a full round trip for an explicit path.
+func assertHealthyPath(t *testing.T, addr, path string, want []byte) {
+	t.Helper()
+	client, err := Dial(addr, ClientConfig{})
+	if err != nil {
+		t.Fatalf("healthy dial: %v", err)
+	}
+	defer client.Close()
+	data, err := client.Open(path)
+	if err != nil {
+		t.Fatalf("healthy open: %v", err)
+	}
+	if len(data) != len(want) {
+		t.Errorf("healthy open returned %d bytes, want %d", len(data), len(want))
+	}
+}
+
+// TestServerPanicRecovery: a handler panic must be converted into a
+// msgError (CodeInternal) reply, counted, and must not take the process
+// or the accept loop down.
+func TestServerPanicRecovery(t *testing.T) {
+	srv, addr := startServer(t, seededStore(t, 2), ServerConfig{})
+	// Drive handleConn directly over a pipe whose second Read panics,
+	// simulating a request whose handling blows up mid-connection.
+	srvConn, clientConn := net.Pipe()
+	defer clientConn.Close()
+	go srv.handleConn(&panicConn{Conn: srvConn, panicAt: 2}, 999)
+
+	w := bufio.NewWriter(clientConn)
+	if err := writeFrame(w, msgOpen, encodeOpenRequest(openRequest{Path: "/data/f000"})); err != nil {
+		t.Fatal(err)
+	}
+	r := bufio.NewReader(clientConn)
+	_ = clientConn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	// First reply is the normal group/error reply.
+	if _, _, err := readFrame(r); err != nil {
+		t.Fatalf("first reply: %v", err)
+	}
+	// The second request hits the injected panic; the handler must
+	// recover and reply CodeInternal.
+	if err := writeFrame(w, msgOpen, encodeOpenRequest(openRequest{Path: "/data/f001"})); err != nil {
+		t.Fatal(err)
+	}
+	typ, payload, err := readFrame(r)
+	if err != nil {
+		t.Fatalf("no panic-recovery reply: %v", err)
+	}
+	if typ != msgError {
+		t.Fatalf("recovery reply type = %d, want msgError", typ)
+	}
+	e, err := decodeErrorResponse(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Code != CodeInternal {
+		t.Errorf("recovery code = %d, want CodeInternal", e.Code)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for srv.Stats().Panics == 0 && !time.Now().After(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if srv.Stats().Panics == 0 {
+		t.Error("panic not counted")
+	}
+	// The server proper is unharmed.
+	assertHealthy(t, addr)
+}
+
+// panicConn panics on the panicAt-th Read call, simulating a request
+// whose handling blows up mid-connection. With net.Pipe and a buffered
+// writer flushing whole frames, each request arrives as exactly one Read.
+type panicConn struct {
+	net.Conn
+	reads   int
+	panicAt int
+}
+
+func (p *panicConn) Read(b []byte) (int, error) {
+	n, err := p.Conn.Read(b)
+	p.reads++
+	if p.reads == p.panicAt {
+		// Consume the request first (net.Pipe writes block until read),
+		// then blow up while "handling" it.
+		panic("injected handler panic")
+	}
+	return n, err
+}

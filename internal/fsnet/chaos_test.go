@@ -1,0 +1,471 @@
+package fsnet
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"aggcache/internal/faultnet"
+	"aggcache/internal/trace"
+	"aggcache/internal/workload"
+)
+
+// The chaos suite drives real client/server pairs through
+// workload-generated traces while faultnet injects every fault class on
+// both sides of the wire. Invariants, per the robustness model in
+// DESIGN.md: no panics, every successful open returns exactly the stored
+// bytes, client stats stay consistent, and a retry-configured client
+// survives a full server restart mid-trace.
+
+// chaosTrace generates a deterministic workload trace and returns the
+// per-client open sequences as path slices, plus a store seeded with
+// every path.
+func chaosTrace(t *testing.T, seed int64, opens int) (map[uint16][]string, *Store) {
+	t.Helper()
+	tr, err := workload.Generate(workload.Config{
+		Seed:            seed,
+		Opens:           opens,
+		Clients:         3,
+		InterleaveChunk: 2,
+		Tasks:           12,
+		TaskLen:         8,
+		SharedFiles:     6,
+		ZipfS:           1.3,
+		Noise:           0.05,
+		NoiseUniverse:   200,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := NewStore()
+	seqs := make(map[uint16][]string)
+	for _, ev := range tr.Events {
+		if ev.Op != trace.OpOpen {
+			continue
+		}
+		path := tr.Paths.Path(ev.File)
+		seqs[ev.Client] = append(seqs[ev.Client], path)
+		if _, ok := store.Get(path); !ok {
+			if err := store.Put(path, []byte("contents of "+path)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if len(seqs) == 0 {
+		t.Fatal("workload produced no opens")
+	}
+	return seqs, store
+}
+
+// chaosClientConfig is the shared hardened-client shape: tight deadlines,
+// generous retries, fast backoff so the suite stays quick.
+func chaosClientConfig(seed int64) ClientConfig {
+	return ClientConfig{
+		CacheCapacity: 16,
+		Timeout:       250 * time.Millisecond,
+		MaxRetries:    12,
+		Backoff:       Backoff{Base: time.Millisecond, Max: 20 * time.Millisecond, Multiplier: 2, Jitter: 0.2},
+		Seed:          seed,
+	}
+}
+
+// runChaosTrace replays every per-client sequence concurrently through
+// fault-wrapped connections and asserts the invariants.
+func runChaosTrace(t *testing.T, name string, clientFaults, serverFaults faultnet.Faults) {
+	t.Helper()
+	seqs, store := chaosTrace(t, 0xC0FFEE, 400)
+
+	srv, err := NewServer(store, ServerConfig{
+		GroupSize:     4,
+		CacheCapacity: 64,
+		IdleTimeout:   500 * time.Millisecond,
+		WriteTimeout:  500 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rawL, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var l net.Listener = rawL
+	if serverFaults != (faultnet.Faults{}) {
+		l = faultnet.WrapListener(rawL, serverFaults)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(l) }()
+	defer func() {
+		if err := srv.Close(); err != nil {
+			t.Errorf("server close: %v", err)
+		}
+		if err := <-done; err != nil {
+			t.Errorf("serve returned: %v", err)
+		}
+	}()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, len(seqs))
+	var faultStats []*faultnet.Stats
+	var clients []*Client
+	var mu sync.Mutex
+	i := 0
+	for cid, seq := range seqs {
+		i++
+		cfg := chaosClientConfig(int64(i))
+		var stats *faultnet.Stats
+		if clientFaults != (faultnet.Faults{}) {
+			cf := clientFaults
+			cf.Seed = clientFaults.Seed + int64(cid)
+			cfg.Dialer, stats = faultnet.Dialer(rawL.Addr().String(), cf)
+		} else {
+			addr := rawL.Addr().String()
+			cfg.Dialer = func() (net.Conn, error) { return net.Dial("tcp", addr) }
+		}
+		if stats != nil {
+			faultStats = append(faultStats, stats)
+		}
+		conn, err := cfg.Dialer()
+		if err != nil {
+			t.Fatal(err)
+		}
+		client, err := NewClient(conn, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mu.Lock()
+		clients = append(clients, client)
+		mu.Unlock()
+		wg.Add(1)
+		go func(cid uint16, seq []string, client *Client) {
+			defer wg.Done()
+			defer client.Close()
+			for n, path := range seq {
+				data, err := client.Open(path)
+				if err != nil {
+					errs <- fmt.Errorf("%s: client %d open %d (%s): %w", name, cid, n, path, err)
+					return
+				}
+				if want := "contents of " + path; string(data) != want {
+					errs <- fmt.Errorf("%s: client %d open %s returned wrong bytes %q", name, cid, path, data)
+					return
+				}
+			}
+		}(cid, seq, client)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	// Stats consistency on every client: opens split exactly into hits
+	// and fetches, and received files cover the fetches.
+	var total ClientStats
+	for _, c := range clients {
+		st := c.Stats()
+		if st.Opens != st.Hits+st.Fetches {
+			t.Errorf("%s: inconsistent client stats: %+v", name, st)
+		}
+		if st.FilesReceived < st.Fetches {
+			t.Errorf("%s: FilesReceived %d < Fetches %d", name, st.FilesReceived, st.Fetches)
+		}
+		total.Retries += st.Retries
+		total.Reconnects += st.Reconnects
+		total.BrokenConns += st.BrokenConns
+	}
+	// When faults were configured, the schedule must actually have fired
+	// and the clients must actually have recovered through it.
+	var injected uint64
+	for _, fs := range faultStats {
+		injected += fs.Total()
+	}
+	if fl, ok := l.(*faultnet.Listener); ok {
+		injected += fl.Stats().Total()
+	}
+	if clientFaults != (faultnet.Faults{}) || serverFaults != (faultnet.Faults{}) {
+		if injected == 0 {
+			t.Errorf("%s: no faults injected; chaos run was vacuous", name)
+		}
+		t.Logf("%s: injected=%d retries=%d reconnects=%d broken=%d",
+			name, injected, total.Retries, total.Reconnects, total.BrokenConns)
+	}
+}
+
+func TestChaosBaselineNoFaults(t *testing.T) {
+	runChaosTrace(t, "baseline", faultnet.Faults{}, faultnet.Faults{})
+}
+
+func TestChaosClientSideLatency(t *testing.T) {
+	runChaosTrace(t, "latency",
+		faultnet.Faults{Seed: 1, LatencyProb: 0.05, Latency: 5 * time.Millisecond},
+		faultnet.Faults{})
+}
+
+func TestChaosClientSideWriteErrors(t *testing.T) {
+	runChaosTrace(t, "write-errors",
+		faultnet.Faults{Seed: 2, WriteErrProb: 0.05},
+		faultnet.Faults{})
+}
+
+func TestChaosClientSideReadErrors(t *testing.T) {
+	runChaosTrace(t, "read-errors",
+		faultnet.Faults{Seed: 3, ReadErrProb: 0.05},
+		faultnet.Faults{})
+}
+
+func TestChaosClientSidePartialWrites(t *testing.T) {
+	runChaosTrace(t, "partial-writes",
+		faultnet.Faults{Seed: 4, PartialWriteProb: 0.05},
+		faultnet.Faults{})
+}
+
+func TestChaosClientSideResets(t *testing.T) {
+	runChaosTrace(t, "resets",
+		faultnet.Faults{Seed: 5, ResetProb: 0.03},
+		faultnet.Faults{})
+}
+
+func TestChaosClientSideBlackholes(t *testing.T) {
+	runChaosTrace(t, "blackholes",
+		faultnet.Faults{Seed: 6, BlackholeProb: 0.02},
+		faultnet.Faults{})
+}
+
+func TestChaosServerSideFaults(t *testing.T) {
+	// Faults on the server's view of every accepted connection: replies
+	// die mid-frame, reads fail, the lot.
+	runChaosTrace(t, "server-side",
+		faultnet.Faults{},
+		faultnet.Faults{Seed: 7, WriteErrProb: 0.02, ReadErrProb: 0.02, PartialWriteProb: 0.02, ResetProb: 0.01})
+}
+
+func TestChaosBothSidesMixed(t *testing.T) {
+	runChaosTrace(t, "mixed",
+		faultnet.Faults{Seed: 8, LatencyProb: 0.03, Latency: 2 * time.Millisecond, WriteErrProb: 0.02, ReadErrProb: 0.02, ResetProb: 0.01},
+		faultnet.Faults{Seed: 9, WriteErrProb: 0.02, PartialWriteProb: 0.02})
+}
+
+// TestChaosServerRestartMidTrace stops the server entirely halfway
+// through a trace and restarts it on the same address. The
+// retry-configured client must ride through: the trace completes, every
+// successful open returns the right bytes, and the reconnect is
+// observable in ClientStats.
+func TestChaosServerRestartMidTrace(t *testing.T) {
+	seqs, store := chaosTrace(t, 0xBEEF, 300)
+	// Flatten to one sequence so the restart point is deterministic.
+	var seq []string
+	for _, s := range seqs {
+		seq = append(seq, s...)
+	}
+
+	start := func(addr string) (*Server, net.Listener, chan error) {
+		srv, err := NewServer(store, ServerConfig{GroupSize: 4, CacheCapacity: 64})
+		if err != nil {
+			t.Fatal(err)
+		}
+		l, err := net.Listen("tcp", addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		done := make(chan error, 1)
+		go func() { done <- srv.Serve(l) }()
+		return srv, l, done
+	}
+
+	srv1, l1, done1 := start("127.0.0.1:0")
+	addr := l1.Addr().String()
+
+	cfg := chaosClientConfig(99)
+	cfg.Dialer = func() (net.Conn, error) { return net.Dial("tcp", addr) }
+	conn, err := cfg.Dialer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := NewClient(conn, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	half := len(seq) / 2
+	for n, path := range seq[:half] {
+		data, err := client.Open(path)
+		if err != nil {
+			t.Fatalf("pre-restart open %d (%s): %v", n, path, err)
+		}
+		if want := "contents of " + path; string(data) != want {
+			t.Fatalf("pre-restart open %s returned %q", path, data)
+		}
+	}
+
+	// Full restart: stop serving, then bring a fresh server up on the
+	// same address before the client's next request.
+	if err := srv1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done1; err != nil {
+		t.Fatalf("first serve: %v", err)
+	}
+	srv2, _, done2 := start(addr)
+	defer func() {
+		if err := srv2.Close(); err != nil {
+			t.Errorf("second close: %v", err)
+		}
+		if err := <-done2; err != nil {
+			t.Errorf("second serve: %v", err)
+		}
+	}()
+
+	for n, path := range seq[half:] {
+		data, err := client.Open(path)
+		if err != nil {
+			t.Fatalf("post-restart open %d (%s): %v", n, path, err)
+		}
+		if want := "contents of " + path; string(data) != want {
+			t.Fatalf("post-restart open %s returned %q", path, data)
+		}
+	}
+
+	st := client.Stats()
+	if st.Reconnects == 0 {
+		t.Errorf("restart survived without an observable reconnect: %+v", st)
+	}
+	if st.Opens != st.Hits+st.Fetches {
+		t.Errorf("inconsistent stats after restart: %+v", st)
+	}
+	if srv2.Stats().Requests == 0 {
+		t.Error("restarted server served no requests")
+	}
+}
+
+// TestChaosDegradedModeServesHitsDuringOutage: with the server gone and
+// redial failing, cache hits keep working while misses fail fast with
+// ErrConnBroken.
+func TestChaosDegradedModeServesHitsDuringOutage(t *testing.T) {
+	store := seededStore(t, 8)
+	srv, err := NewServer(store, ServerConfig{GroupSize: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(l) }()
+
+	cfg := ClientConfig{
+		CacheCapacity: 8,
+		Timeout:       200 * time.Millisecond,
+		MaxRetries:    1,
+		Backoff:       Backoff{Base: time.Millisecond, Max: 5 * time.Millisecond},
+		Dialer:        func() (net.Conn, error) { return net.Dial("tcp", addr) },
+	}
+	conn, err := cfg.Dialer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := NewClient(conn, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	// Warm the cache, then kill the server for good.
+	for i := 0; i < 4; i++ {
+		if _, err := client.Open(fmt.Sprintf("/data/f%03d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("serve: %v", err)
+	}
+
+	// A miss poisons the connection and fails with ErrConnBroken (the
+	// redial target is gone too).
+	if _, err := client.Open("/data/f007"); !errors.Is(err, ErrConnBroken) {
+		t.Fatalf("miss during outage: err = %v, want ErrConnBroken", err)
+	}
+	// Hits keep being served from local data — degraded mode.
+	for i := 0; i < 4; i++ {
+		path := fmt.Sprintf("/data/f%03d", i)
+		data, err := client.Open(path)
+		if err != nil {
+			t.Fatalf("degraded hit %s: %v", path, err)
+		}
+		if want := "contents of " + path; string(data) != want {
+			t.Fatalf("degraded hit %s = %q", path, data)
+		}
+	}
+	st := client.Stats()
+	if st.DegradedHits == 0 {
+		t.Errorf("no degraded hits recorded: %+v", st)
+	}
+	if st.BrokenConns == 0 {
+		t.Errorf("no broken connection recorded: %+v", st)
+	}
+	// Introspection never blocks during the outage either.
+	if !client.Contains("/data/f000") {
+		t.Error("cached file lost during outage")
+	}
+	if client.Connected() {
+		t.Error("client claims a live connection during outage")
+	}
+}
+
+// TestChaosWritesUnderFaults: write-through with transport faults must
+// either succeed (and the store holds the bytes) or fail with a typed
+// error — never corrupt the stored file.
+func TestChaosWritesUnderFaults(t *testing.T) {
+	store := seededStore(t, 4)
+	srv, err := NewServer(store, ServerConfig{GroupSize: 2, WriteTimeout: 500 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rawL, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(rawL) }()
+	defer func() {
+		_ = srv.Close()
+		<-done
+	}()
+
+	cfg := chaosClientConfig(7)
+	var stats *faultnet.Stats
+	cfg.Dialer, stats = faultnet.Dialer(rawL.Addr().String(),
+		faultnet.Faults{Seed: 21, WriteErrProb: 0.1, ReadErrProb: 0.05, ResetProb: 0.03})
+	conn, err := cfg.Dialer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := NewClient(conn, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	for i := 0; i < 100; i++ {
+		path := fmt.Sprintf("/data/f%03d", i%4)
+		content := fmt.Sprintf("version %d of %s", i, path)
+		if err := client.Write(path, []byte(content)); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+		got, ok := store.Get(path)
+		if !ok || string(got) != content {
+			t.Fatalf("store holds %q after write %d, want %q", got, i, content)
+		}
+	}
+	if stats.Total() == 0 {
+		t.Error("no faults injected; write chaos was vacuous")
+	}
+}

@@ -4,12 +4,76 @@ import (
 	"bufio"
 	"errors"
 	"fmt"
+	"math/rand"
 	"net"
 	"sync"
+	"time"
 
 	"aggcache/internal/cache"
 	"aggcache/internal/trace"
 )
+
+// ErrConnBroken marks a connection poisoned by an I/O or protocol error.
+// A frame-level failure may leave the stream desynchronized, so a broken
+// connection is closed and never reused; the next request redials when a
+// Dialer is configured, otherwise it fails with this error.
+var ErrConnBroken = errors.New("fsnet: connection broken")
+
+var errClientClosed = errors.New("fsnet: client closed")
+
+// Backoff is an exponential backoff schedule with jitter, governing the
+// delay before each retry of a failed round trip.
+type Backoff struct {
+	// Base is the delay before the first retry (default 10ms).
+	Base time.Duration
+	// Max caps the grown delay (default 1s).
+	Max time.Duration
+	// Multiplier is the per-attempt growth factor (default 2).
+	Multiplier float64
+	// Jitter adds a uniform random fraction of the delay in [0, Jitter)
+	// to avoid synchronized retry storms. The zero-value Backoff gets
+	// 0.2; an explicitly configured schedule with Jitter 0 stays
+	// jitter-free (deterministic retries for tests).
+	Jitter float64
+}
+
+func (b Backoff) withDefaults() Backoff {
+	if b == (Backoff{}) {
+		b.Jitter = 0.2
+	}
+	if b.Base <= 0 {
+		b.Base = 10 * time.Millisecond
+	}
+	if b.Max <= 0 {
+		b.Max = time.Second
+	}
+	if b.Multiplier < 1 {
+		b.Multiplier = 2
+	}
+	if b.Jitter < 0 {
+		b.Jitter = 0
+	}
+	return b
+}
+
+// delay returns the sleep before retry attempt (0-based), jittered.
+func (b Backoff) delay(attempt int, rng *rand.Rand) time.Duration {
+	d := float64(b.Base)
+	for i := 0; i < attempt; i++ {
+		d *= b.Multiplier
+		if d >= float64(b.Max) {
+			d = float64(b.Max)
+			break
+		}
+	}
+	if b.Jitter > 0 {
+		d += d * b.Jitter * rng.Float64()
+	}
+	if d > float64(b.Max)*(1+b.Jitter) {
+		d = float64(b.Max) * (1 + b.Jitter)
+	}
+	return time.Duration(d)
+}
 
 // ClientConfig parameterizes a client cache manager.
 type ClientConfig struct {
@@ -21,6 +85,25 @@ type ClientConfig struct {
 	// metadata (§3); disabling it models the uncooperative client of
 	// §4.3.
 	DisablePiggyback bool
+	// Timeout bounds each request round trip via SetDeadline on the
+	// connection. Zero means no deadline: a stalled server can block a
+	// request indefinitely.
+	Timeout time.Duration
+	// Dialer re-establishes the connection after a failure. Dial
+	// installs a TCP dialer for its address automatically; NewClient
+	// leaves it nil (no reconnection) unless the caller provides one.
+	Dialer func() (net.Conn, error)
+	// MaxRetries is how many additional attempts a failed round trip
+	// gets over a fresh connection (0 = fail fast). Retries apply to
+	// transport failures and server-busy rejections, never to
+	// application errors like ErrNotFound.
+	MaxRetries int
+	// Backoff shapes the delay between retries; zero values take the
+	// defaults documented on the Backoff type.
+	Backoff Backoff
+	// Seed makes retry jitter deterministic; zero selects a fixed
+	// default so behaviour is reproducible unless varied explicitly.
+	Seed int64
 }
 
 // ClientStats is a snapshot of client cache activity.
@@ -40,18 +123,43 @@ type ClientStats struct {
 	PrefetchHits uint64
 	// Writes counts successful Write calls.
 	Writes uint64
+	// BrokenConns counts connections poisoned after an I/O or protocol
+	// error (each is closed and never reused).
+	BrokenConns uint64
+	// Reconnects counts successful redials after a broken connection.
+	Reconnects uint64
+	// Retries counts round-trip attempts beyond each request's first.
+	Retries uint64
+	// DegradedHits counts cache hits served while the client had no
+	// live connection — the degraded mode that keeps local data
+	// available through a server outage.
+	DegradedHits uint64
+}
+
+// clientConn bundles one live connection with its buffered framing. The
+// bundle is replaced wholesale on redial so a poisoned stream's buffers
+// can never leak stale bytes into a fresh connection.
+type clientConn struct {
+	conn net.Conn
+	r    *bufio.Reader
+	w    *bufio.Writer
 }
 
 // Client is the client-side cache manager of Figure 2. It is safe for
 // concurrent use by multiple goroutines; requests are serialized over one
-// connection.
+// connection, which is redialed with exponential backoff after failures
+// when a Dialer is configured.
+//
+// Locking: mu guards the cache state, stats, pending history, and the
+// connection slot, and is never held across network I/O — Stats,
+// Contains, Close, and cache hits always return promptly even while a
+// request is stalled on the wire. reqMu serializes round trips and is
+// never acquired while holding mu.
 type Client struct {
 	cfg ClientConfig
 
 	mu         sync.Mutex
-	conn       net.Conn
-	r          *bufio.Reader
-	w          *bufio.Writer
+	conn       *clientConn // nil while disconnected
 	ids        *trace.Interner
 	lru        *cache.LRU
 	data       map[trace.FileID][]byte
@@ -59,11 +167,19 @@ type Client struct {
 	pending    []string // access history awaiting piggybacking
 	stats      ClientStats
 	closed     bool
+
+	reqMu sync.Mutex
+	rng   *rand.Rand // retry jitter; guarded by reqMu
 }
 
-// Dial connects a new client to the server at addr.
+// Dial connects a new client to the server at addr and installs a TCP
+// dialer for that address so broken connections can be re-established
+// (when cfg.MaxRetries > 0 or on the request after a failure).
 func Dial(addr string, cfg ClientConfig) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
+	if cfg.Dialer == nil {
+		cfg.Dialer = func() (net.Conn, error) { return net.Dial("tcp", addr) }
+	}
+	conn, err := cfg.Dialer()
 	if err != nil {
 		return nil, fmt.Errorf("fsnet: dial %s: %w", addr, err)
 	}
@@ -71,24 +187,29 @@ func Dial(addr string, cfg ClientConfig) (*Client, error) {
 }
 
 // NewClient wraps an established connection (useful for tests and custom
-// transports).
+// transports). Without a cfg.Dialer the client cannot reconnect: the
+// first broken connection leaves it permanently degraded.
 func NewClient(conn net.Conn, cfg ClientConfig) (*Client, error) {
 	if cfg.CacheCapacity == 0 {
 		cfg.CacheCapacity = 128
 	}
+	cfg.Backoff = cfg.Backoff.withDefaults()
 	lru, err := cache.NewLRU(cfg.CacheCapacity)
 	if err != nil {
 		return nil, err
 	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 1
+	}
 	c := &Client{
 		cfg:        cfg,
-		conn:       conn,
-		r:          bufio.NewReader(conn),
-		w:          bufio.NewWriter(conn),
+		conn:       &clientConn{conn: conn, r: bufio.NewReader(conn), w: bufio.NewWriter(conn)},
 		ids:        trace.NewInterner(),
 		lru:        lru,
 		data:       make(map[trace.FileID][]byte),
 		prefetched: make(map[trace.FileID]bool),
+		rng:        rand.New(rand.NewSource(seed)),
 	}
 	lru.OnEvict(func(id trace.FileID) {
 		delete(c.data, id)
@@ -97,7 +218,9 @@ func NewClient(conn net.Conn, cfg ClientConfig) (*Client, error) {
 	return c, nil
 }
 
-// Close shuts the connection down. Open fails afterwards.
+// Close shuts the connection down. Open fails afterwards. Close never
+// waits on an in-flight request: it closes the live connection, which
+// aborts any blocked I/O.
 func (c *Client) Close() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -105,7 +228,12 @@ func (c *Client) Close() error {
 		return nil
 	}
 	c.closed = true
-	return c.conn.Close()
+	if c.conn == nil {
+		return nil
+	}
+	err := c.conn.conn.Close()
+	c.conn = nil
+	return err
 }
 
 // Stats returns a snapshot of client activity.
@@ -123,18 +251,26 @@ func (c *Client) Contains(path string) bool {
 	return ok && c.lru.Contains(id)
 }
 
+// Connected reports whether the client currently holds a live (not
+// poisoned) connection.
+func (c *Client) Connected() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.conn != nil
+}
+
 // Open returns the contents of path, from the local cache when possible,
-// otherwise via a group fetch from the server.
+// otherwise via a group fetch from the server. Cache hits never touch the
+// network, so they keep succeeding while the server is unreachable.
 func (c *Client) Open(path string) ([]byte, error) {
 	if path == "" || len(path) > maxPath {
 		return nil, fmt.Errorf("fsnet: invalid path %q", path)
 	}
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if c.closed {
-		return nil, errors.New("fsnet: client closed")
+		c.mu.Unlock()
+		return nil, errClientClosed
 	}
-
 	id := c.ids.Intern(path)
 	if !c.cfg.DisablePiggyback && len(c.pending) < maxStatPaths {
 		c.pending = append(c.pending, path)
@@ -142,6 +278,9 @@ func (c *Client) Open(path string) ([]byte, error) {
 	if c.lru.Contains(id) {
 		c.stats.Opens++
 		c.stats.Hits++
+		if c.conn == nil {
+			c.stats.DegradedHits++
+		}
 		if c.prefetched[id] {
 			c.stats.PrefetchHits++
 			delete(c.prefetched, id)
@@ -149,13 +288,18 @@ func (c *Client) Open(path string) ([]byte, error) {
 		c.lru.Touch(id)
 		out := make([]byte, len(c.data[id]))
 		copy(out, c.data[id])
+		c.mu.Unlock()
 		return out, nil
 	}
+	c.mu.Unlock()
 
 	resp, err := c.fetch(path)
 	if err != nil {
 		return nil, err
 	}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	c.stats.Opens++
 	c.stats.Fetches++
 	c.install(id, resp)
@@ -167,7 +311,8 @@ func (c *Client) Open(path string) ([]byte, error) {
 // Write stores a whole file on the server (write-through) and refreshes
 // the local cached copy if resident. Writes are not access events: the
 // grouping model tracks opens (§2.2), so a write does not perturb the
-// piggybacked history.
+// piggybacked history. Whole-file writes are idempotent, so transport
+// failures are retried like opens.
 func (c *Client) Write(path string, data []byte) error {
 	if path == "" || len(path) > maxPath {
 		return fmt.Errorf("fsnet: invalid path %q", path)
@@ -175,20 +320,15 @@ func (c *Client) Write(path string, data []byte) error {
 	if len(data) > maxFileSize {
 		return fmt.Errorf("fsnet: file of %d bytes exceeds limit %d", len(data), maxFileSize)
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.closed {
-		return errors.New("fsnet: client closed")
-	}
-	if err := writeFrame(c.w, msgWrite, encodeWriteRequest(writeRequest{Path: path, Data: data})); err != nil {
-		return fmt.Errorf("fsnet: send: %w", err)
-	}
-	typ, payload, err := readFrame(c.r)
+	payload := encodeWriteRequest(writeRequest{Path: path, Data: data})
+	typ, body, err := c.exchange(msgWrite, func() ([]byte, int) { return payload, 0 })
 	if err != nil {
-		return fmt.Errorf("fsnet: receive: %w", err)
+		return err
 	}
 	switch typ {
 	case msgWriteOK:
+		c.mu.Lock()
+		defer c.mu.Unlock()
 		// Refresh the local copy so our own reads see the write.
 		if id, ok := c.ids.Lookup(path); ok && c.lru.Contains(id) {
 			cp := make([]byte, len(data))
@@ -198,60 +338,224 @@ func (c *Client) Write(path string, data []byte) error {
 		c.stats.Writes++
 		return nil
 	case msgError:
-		e, err := decodeErrorResponse(payload)
+		e, err := decodeErrorResponse(body)
 		if err != nil {
 			return err
 		}
 		return fmt.Errorf("fsnet: server error %d: %s", e.Code, e.Message)
 	default:
-		return fmt.Errorf("fsnet: unexpected reply type %d", typ)
+		// An unexpected reply type means the stream is desynchronized.
+		c.poisonCurrent()
+		return fmt.Errorf("%w: unexpected reply type %d", ErrConnBroken, typ)
 	}
 }
 
-// fetch performs the request round trip. Called with mu held.
+// fetch performs one open round trip, retrying per the config. The
+// piggybacked history is only consumed once the server has demonstrably
+// received it (any reply frame): a failed round trip retains the history
+// so the access transitions are re-sent — and the server still learns
+// them — on the next successful request (§3 metadata quality).
 func (c *Client) fetch(path string) (groupResponse, error) {
-	req := openRequest{Path: path}
-	if !c.cfg.DisablePiggyback {
-		// The history includes this open itself (appended by Open);
-		// the server learns everything up to but excluding the
-		// demanded path, then the demanded open, so exclude the final
-		// entry here.
-		if n := len(c.pending); n > 0 && c.pending[n-1] == path {
-			req.Accessed = c.pending[:n-1]
-		} else {
-			req.Accessed = c.pending
-		}
+	var sent int
+	build := func() ([]byte, int) {
+		req, n := c.buildOpenRequest(path)
+		sent = n
+		return encodeOpenRequest(req), n
 	}
-	if err := writeFrame(c.w, msgOpen, encodeOpenRequest(req)); err != nil {
-		return groupResponse{}, fmt.Errorf("fsnet: send: %w", err)
-	}
-	c.pending = c.pending[:0]
-
-	typ, payload, err := readFrame(c.r)
+	typ, body, err := c.exchange(msgOpen, build)
 	if err != nil {
-		return groupResponse{}, fmt.Errorf("fsnet: receive: %w", err)
+		return groupResponse{}, err
 	}
+	// The server processed the request (even an error reply records the
+	// piggybacked history), so the sent prefix is consumed.
+	c.consumePending(sent)
 	switch typ {
 	case msgGroup:
-		resp, err := decodeGroupResponse(payload)
+		resp, err := decodeGroupResponse(body)
 		if err != nil {
-			return groupResponse{}, err
+			c.poisonCurrent()
+			return groupResponse{}, fmt.Errorf("%w: %v", ErrConnBroken, err)
 		}
 		if resp.Files[0].Path != path {
-			return groupResponse{}, fmt.Errorf("fsnet: reply leads with %q, want %q", resp.Files[0].Path, path)
+			c.poisonCurrent()
+			return groupResponse{}, fmt.Errorf("%w: reply leads with %q, want %q", ErrConnBroken, resp.Files[0].Path, path)
 		}
 		return resp, nil
 	case msgError:
-		e, err := decodeErrorResponse(payload)
+		e, err := decodeErrorResponse(body)
 		if err != nil {
-			return groupResponse{}, err
+			c.poisonCurrent()
+			return groupResponse{}, fmt.Errorf("%w: %v", ErrConnBroken, err)
 		}
 		if e.Code == CodeNotFound {
 			return groupResponse{}, fmt.Errorf("%w: %s", ErrNotFound, e.Message)
 		}
 		return groupResponse{}, fmt.Errorf("fsnet: server error %d: %s", e.Code, e.Message)
 	default:
-		return groupResponse{}, fmt.Errorf("fsnet: unexpected reply type %d", typ)
+		c.poisonCurrent()
+		return groupResponse{}, fmt.Errorf("%w: unexpected reply type %d", ErrConnBroken, typ)
+	}
+}
+
+// buildOpenRequest snapshots the pending history into a request. It
+// returns the number of pending entries the request covers, so a later
+// consumePending removes exactly what was sent (entries appended by
+// concurrent opens during the round trip are preserved).
+func (c *Client) buildOpenRequest(path string) (openRequest, int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	req := openRequest{Path: path}
+	n := len(c.pending)
+	if !c.cfg.DisablePiggyback && n > 0 {
+		// The history includes this open itself (appended by Open); the
+		// server learns everything up to but excluding the demanded
+		// path, then the demanded open, so exclude the final entry when
+		// it is this request's own path.
+		hist := c.pending[:n]
+		if hist[n-1] == path {
+			hist = hist[:n-1]
+		}
+		req.Accessed = append([]string(nil), hist...)
+	}
+	return req, n
+}
+
+// consumePending drops the first n pending entries (those covered by a
+// round trip the server acknowledged).
+func (c *Client) consumePending(n int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if n > len(c.pending) {
+		n = len(c.pending)
+	}
+	c.pending = append(c.pending[:0], c.pending[n:]...)
+}
+
+// exchange performs one request/reply exchange: ensure a live connection
+// (redialing if needed), arm the per-request deadline, send one frame,
+// read one frame. Transport failures poison the connection and are
+// retried with backoff up to cfg.MaxRetries; a msgError carrying CodeBusy
+// (the server's MaxConns rejection) is retried the same way. build is
+// invoked per attempt so the payload can track state that changes between
+// attempts (the piggybacked history); its second result is threaded back
+// through the caller.
+func (c *Client) exchange(reqType uint8, build func() ([]byte, int)) (uint8, []byte, error) {
+	c.reqMu.Lock()
+	defer c.reqMu.Unlock()
+
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		if attempt > 0 {
+			time.Sleep(c.cfg.Backoff.delay(attempt-1, c.rng))
+			c.mu.Lock()
+			closed := c.closed
+			if !closed {
+				c.stats.Retries++
+			}
+			c.mu.Unlock()
+			if closed {
+				return 0, nil, errClientClosed
+			}
+		}
+		cc, err := c.ensureConn()
+		if err != nil {
+			if errors.Is(err, errClientClosed) || attempt >= c.cfg.MaxRetries {
+				return 0, nil, err
+			}
+			lastErr = err
+			continue
+		}
+		payload, _ := build()
+		if c.cfg.Timeout > 0 {
+			_ = cc.conn.SetDeadline(time.Now().Add(c.cfg.Timeout))
+		}
+		err = writeFrame(cc.w, reqType, payload)
+		var typ uint8
+		var body []byte
+		if err == nil {
+			typ, body, err = readFrame(cc.r)
+		}
+		if err != nil {
+			c.poison(cc)
+			lastErr = fmt.Errorf("%w: %v", ErrConnBroken, err)
+			if attempt >= c.cfg.MaxRetries {
+				return 0, nil, lastErr
+			}
+			continue
+		}
+		if c.cfg.Timeout > 0 {
+			_ = cc.conn.SetDeadline(time.Time{})
+		}
+		if typ == msgError {
+			if e, derr := decodeErrorResponse(body); derr == nil && e.Code == CodeBusy {
+				// Accept-limit rejection: the server closes this
+				// connection after the reply, so treat it like a
+				// transport failure and back off.
+				c.poison(cc)
+				lastErr = fmt.Errorf("%w: server busy: %s", ErrConnBroken, e.Message)
+				if attempt >= c.cfg.MaxRetries {
+					return 0, nil, lastErr
+				}
+				continue
+			}
+		}
+		return typ, body, nil
+	}
+}
+
+// ensureConn returns the live connection, redialing when the slot is
+// empty. Called with reqMu held.
+func (c *Client) ensureConn() (*clientConn, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, errClientClosed
+	}
+	cc := c.conn
+	c.mu.Unlock()
+	if cc != nil {
+		return cc, nil
+	}
+	if c.cfg.Dialer == nil {
+		return nil, fmt.Errorf("%w: no dialer configured", ErrConnBroken)
+	}
+	raw, err := c.cfg.Dialer()
+	if err != nil {
+		return nil, fmt.Errorf("%w: redial: %v", ErrConnBroken, err)
+	}
+	cc = &clientConn{conn: raw, r: bufio.NewReader(raw), w: bufio.NewWriter(raw)}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		_ = raw.Close()
+		return nil, errClientClosed
+	}
+	c.conn = cc
+	c.stats.Reconnects++
+	c.mu.Unlock()
+	return cc, nil
+}
+
+// poison closes a broken connection and empties the slot so nothing ever
+// reuses its (possibly desynchronized) stream.
+func (c *Client) poison(cc *clientConn) {
+	_ = cc.conn.Close()
+	c.mu.Lock()
+	if c.conn == cc {
+		c.conn = nil
+		c.stats.BrokenConns++
+	}
+	c.mu.Unlock()
+}
+
+// poisonCurrent poisons whatever connection is currently installed; used
+// when a decoded reply reveals desynchronization after exchange returned.
+func (c *Client) poisonCurrent() {
+	c.mu.Lock()
+	cc := c.conn
+	c.mu.Unlock()
+	if cc != nil {
+		c.poison(cc)
 	}
 }
 

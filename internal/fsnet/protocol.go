@@ -48,6 +48,13 @@ const (
 	CodeNotFound = uint32(iota + 1)
 	// CodeBadRequest reports a malformed or limit-violating request.
 	CodeBadRequest
+	// CodeBusy reports that the server is at its connection limit; the
+	// connection is closed after this reply. Clients with retry
+	// configured back off and redial.
+	CodeBusy
+	// CodeInternal reports a handler failure (recovered panic); the
+	// connection is closed after this reply.
+	CodeInternal
 )
 
 // ErrNotFound is returned by Client.Open for missing files.

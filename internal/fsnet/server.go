@@ -28,6 +28,14 @@ type ServerConfig struct {
 	// IdleTimeout closes connections that send no request for this
 	// long. Zero disables the timeout.
 	IdleTimeout time.Duration
+	// WriteTimeout bounds each reply write so a stalled reader cannot
+	// wedge its handler (the write deadline is re-armed per reply).
+	// Zero disables the bound.
+	WriteTimeout time.Duration
+	// MaxConns caps concurrently served connections. Excess connections
+	// are rejected gracefully: the server sends msgError with CodeBusy
+	// and closes. Zero means unlimited.
+	MaxConns int
 	// Logger receives connection-level errors; nil discards them.
 	Logger *log.Logger
 }
@@ -36,10 +44,19 @@ type ServerConfig struct {
 type ServerStats struct {
 	// Requests counts open requests served (including errors).
 	Requests uint64
-	// Errors counts error replies.
+	// Errors counts error replies plus protocol violations (malformed
+	// or truncated frames, unknown message types) that terminated a
+	// connection.
 	Errors uint64
 	// FilesSent counts files transferred in group replies.
 	FilesSent uint64
+	// Rejected counts connections turned away at the MaxConns limit.
+	Rejected uint64
+	// Panics counts handler panics recovered and converted to msgError.
+	Panics uint64
+	// Disconnects counts connections terminated abnormally by I/O
+	// failures (including reply writes cut off by WriteTimeout).
+	Disconnects uint64
 	// Cache is the server memory cache accounting (hits are requests
 	// served without staging from the store).
 	Cache core.Stats
@@ -53,12 +70,15 @@ type Server struct {
 	store  *Store
 	logger *log.Logger
 
-	mu       sync.Mutex // guards agg, ids, stats
-	agg      *core.AggregatingCache
-	ids      *trace.Interner
-	requests uint64
-	errors   uint64
-	sent     uint64
+	mu          sync.Mutex // guards agg, ids, stats
+	agg         *core.AggregatingCache
+	ids         *trace.Interner
+	requests    uint64
+	errors      uint64
+	sent        uint64
+	rejected    uint64
+	panics      uint64
+	disconnects uint64
 
 	connMu   sync.Mutex
 	conns    map[net.Conn]struct{}
@@ -129,10 +149,19 @@ func (s *Server) Serve(l net.Listener) error {
 			_ = conn.Close()
 			return nil
 		}
+		if s.cfg.MaxConns > 0 && len(s.conns) >= s.cfg.MaxConns {
+			s.connMu.Unlock()
+			s.mu.Lock()
+			s.rejected++
+			s.mu.Unlock()
+			s.wg.Add(1)
+			go func() {
+				defer s.wg.Done()
+				s.rejectConn(conn)
+			}()
+			continue
+		}
 		s.conns[conn] = struct{}{}
-		s.connMu.Unlock()
-
-		s.connMu.Lock()
 		s.nextSrc++
 		src := s.nextSrc
 		s.connMu.Unlock()
@@ -144,6 +173,23 @@ func (s *Server) Serve(l net.Listener) error {
 			s.handleConn(conn, src)
 		}()
 	}
+}
+
+// rejectConn turns an over-limit connection away gracefully: a best-effort
+// msgError carrying CodeBusy, then close. The write is deadline-bounded so
+// a non-reading peer cannot pin the goroutine.
+func (s *Server) rejectConn(conn net.Conn) {
+	defer conn.Close()
+	d := s.cfg.WriteTimeout
+	if d <= 0 {
+		d = 2 * time.Second
+	}
+	_ = conn.SetWriteDeadline(time.Now().Add(d))
+	w := bufio.NewWriter(conn)
+	_ = writeFrame(w, msgError, encodeErrorResponse(errorResponse{
+		Code:    CodeBusy,
+		Message: "server at connection limit",
+	}))
 }
 
 // Close stops accepting, closes live connections, and waits for handlers
@@ -174,10 +220,13 @@ func (s *Server) Stats() ServerStats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return ServerStats{
-		Requests:  s.requests,
-		Errors:    s.errors,
-		FilesSent: s.sent,
-		Cache:     s.agg.Stats(),
+		Requests:    s.requests,
+		Errors:      s.errors,
+		FilesSent:   s.sent,
+		Rejected:    s.rejected,
+		Panics:      s.panics,
+		Disconnects: s.disconnects,
+		Cache:       s.agg.Stats(),
 	}
 }
 
@@ -201,9 +250,23 @@ func (s *Server) logf(format string, args ...interface{}) {
 // timeout. src is the connection's learning context: transitions are only
 // recorded within one client's stream, so interleaved clients cannot
 // manufacture relationships that never happened on any machine (§2.2).
+//
+// A panic anywhere in request handling is recovered, counted, and
+// converted into a best-effort msgError reply before the connection
+// closes — one poisoned request must never take the whole server down.
 func (s *Server) handleConn(conn net.Conn, src uint64) {
 	r := bufio.NewReader(conn)
 	w := bufio.NewWriter(conn)
+	defer func() {
+		if p := recover(); p != nil {
+			s.mu.Lock()
+			s.panics++
+			s.mu.Unlock()
+			s.logf("fsnet: %s: recovered handler panic: %v", conn.RemoteAddr(), p)
+			s.armWrite(conn)
+			_ = s.reply(w, nil, errorResponse{Code: CodeInternal, Message: "internal server error"})
+		}
+	}()
 	for {
 		if s.cfg.IdleTimeout > 0 {
 			if err := conn.SetReadDeadline(time.Now().Add(s.cfg.IdleTimeout)); err != nil {
@@ -213,8 +276,12 @@ func (s *Server) handleConn(conn net.Conn, src uint64) {
 		typ, payload, err := readFrame(r)
 		if err != nil {
 			// EOF, closed connections and idle timeouts are normal
-			// departures; anything else is worth logging.
+			// departures; anything else is a protocol violation or I/O
+			// failure worth counting.
 			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) && !errors.Is(err, os.ErrDeadlineExceeded) {
+				s.mu.Lock()
+				s.errors++
+				s.mu.Unlock()
 				s.logf("fsnet: %s: read: %v", conn.RemoteAddr(), err)
 			}
 			return
@@ -223,21 +290,25 @@ func (s *Server) handleConn(conn net.Conn, src uint64) {
 		case msgOpen:
 			req, err := decodeOpenRequest(payload)
 			if err != nil {
+				s.armWrite(conn)
 				_ = s.reply(w, nil, errorResponse{Code: CodeBadRequest, Message: err.Error()})
 				return
 			}
 			group, errResp := s.open(req, src)
+			s.armWrite(conn)
 			if err := s.reply(w, group, errResp); err != nil {
-				s.logf("fsnet: %s: write: %v", conn.RemoteAddr(), err)
+				s.disconnect(conn, err)
 				return
 			}
 		case msgWrite:
 			req, err := decodeWriteRequest(payload)
 			if err != nil {
+				s.armWrite(conn)
 				_ = s.reply(w, nil, errorResponse{Code: CodeBadRequest, Message: err.Error()})
 				return
 			}
 			errResp := s.write(req)
+			s.armWrite(conn)
 			var sendErr error
 			if errResp.Code != 0 {
 				sendErr = s.reply(w, nil, errResp)
@@ -245,14 +316,38 @@ func (s *Server) handleConn(conn net.Conn, src uint64) {
 				sendErr = writeFrame(w, msgWriteOK, nil)
 			}
 			if sendErr != nil {
-				s.logf("fsnet: %s: write: %v", conn.RemoteAddr(), sendErr)
+				s.disconnect(conn, sendErr)
 				return
 			}
 		default:
-			s.logf("fsnet: %s: unexpected message type %d", conn.RemoteAddr(), typ)
+			// The frame itself parsed, so the stream is intact; still,
+			// an unknown type means an incompatible peer. Reply with a
+			// typed error, then depart.
+			s.armWrite(conn)
+			_ = s.reply(w, nil, errorResponse{
+				Code:    CodeBadRequest,
+				Message: fmt.Sprintf("unknown message type %d", typ),
+			})
 			return
 		}
 	}
+}
+
+// armWrite starts the per-reply write deadline, so a peer that stops
+// reading cannot wedge this handler once kernel buffers fill.
+func (s *Server) armWrite(conn net.Conn) {
+	if s.cfg.WriteTimeout > 0 {
+		_ = conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+	}
+}
+
+// disconnect records an abnormal connection termination caused by a
+// failed reply write (stalled reader, reset, ...).
+func (s *Server) disconnect(conn net.Conn, err error) {
+	s.mu.Lock()
+	s.disconnects++
+	s.mu.Unlock()
+	s.logf("fsnet: %s: write: %v", conn.RemoteAddr(), err)
 }
 
 func (s *Server) reply(w *bufio.Writer, group []fileData, errResp errorResponse) error {
