@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench chaos experiments examples fuzz clean
+.PHONY: all build vet test race race-par bench bench-json profile chaos experiments examples fuzz clean
 
 all: build vet test
 
@@ -20,6 +20,28 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Focused race pass over the parallel sweep engine and the memoized
+# workload cache (the only deliberately concurrent simulation code).
+race-par:
+	$(GO) test -race -run 'Parallel|RunCells|Sweep|Workload' ./internal/simulate/ ./internal/experiments/
+
+# Machine-readable baseline for the key hot-path and sweep benchmarks
+# (ns/op, B/op, allocs/op, custom metrics). Commit the refreshed file when
+# a perf change moves the numbers on purpose.
+bench-json:
+	{ $(GO) test -run '^$$' -bench 'BenchmarkAccess|BenchmarkTrackerObserve|BenchmarkSuccessorEntropyK1' -benchmem . ; \
+	  $(GO) test -run '^$$' -bench 'BenchmarkClientSweep|BenchmarkServerSweep' -benchmem -benchtime 2x ./internal/simulate/ ; } \
+	| $(GO) run ./cmd/benchjson > BENCH_BASELINE.json
+	@echo wrote BENCH_BASELINE.json
+
+# Profile the headline claims experiment and print the hottest frames.
+# Leaves cpu.pprof and mem.pprof behind for interactive `go tool pprof`.
+profile:
+	$(GO) run ./cmd/experiments -fig claims -opens 120000 -seed 1 \
+		-cpuprofile cpu.pprof -memprofile mem.pprof > /dev/null
+	$(GO) tool pprof -top -nodecount 15 cpu.pprof
+	$(GO) tool pprof -top -nodecount 15 -sample_index=alloc_space mem.pprof
 
 # Fault-injection chaos suite (client x server under deterministic faults),
 # always with the race detector.

@@ -12,11 +12,16 @@
 // -max-conns caps concurrent connections (excess clients receive a
 // graceful busy rejection and, with retry configured, back off).
 //
+// Profiling: -cpuprofile and -memprofile write runtime/pprof profiles
+// covering the whole serve lifetime, and -pprof serves net/http/pprof
+// for live inspection of a long-running server.
+//
 // Examples:
 //
 //	aggserve -addr :7070 -root ./testdata
 //	aggserve -addr 127.0.0.1:7070 -synthetic 1000 -group 5 -cache 256
 //	aggserve -addr :7070 -synthetic 1000 -max-conns 512 -write-timeout 10s
+//	aggserve -addr :7070 -synthetic 1000 -pprof localhost:6060
 package main
 
 import (
@@ -25,9 +30,13 @@ import (
 	"io/fs"
 	"log"
 	"net"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"syscall"
 	"time"
 
@@ -54,9 +63,44 @@ func run(args []string) error {
 		idleTimeout  = fl.Duration("idle-timeout", 5*time.Minute, "drop connections idle for this long (0 disables)")
 		writeTimeout = fl.Duration("write-timeout", 30*time.Second, "per-reply write deadline so stalled readers cannot wedge handlers (0 disables)")
 		maxConns     = fl.Int("max-conns", 0, "cap on concurrently served connections; excess get a busy rejection (0 = unlimited)")
+		cpuProf      = fl.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf      = fl.String("memprofile", "", "write an allocation profile to this file at shutdown")
+		pprofSrv     = fl.String("pprof", "", "serve net/http/pprof on this address while running")
 	)
 	if err := fl.Parse(args); err != nil {
 		return err
+	}
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		f, err := os.Create(*memProf)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			runtime.GC() // settle live heap before the snapshot
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				log.Printf("aggserve: write memprofile: %v", err)
+			}
+			f.Close()
+		}()
+	}
+	if *pprofSrv != "" {
+		go func() {
+			// DefaultServeMux carries the net/http/pprof handlers.
+			log.Printf("aggserve: pprof on http://%s/debug/pprof/", *pprofSrv)
+			log.Println(http.ListenAndServe(*pprofSrv, nil))
+		}()
 	}
 
 	store := fsnet.NewStore()

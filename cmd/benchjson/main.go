@@ -1,0 +1,55 @@
+// Command benchjson converts `go test -bench` output into machine-readable
+// JSON, so benchmark baselines can be committed, diffed, and gated in CI
+// without scraping aligned text.
+//
+// It reads benchmark output on stdin and writes a JSON document on stdout:
+//
+//	go test -run '^$' -bench . -benchmem ./... | benchjson > BENCH_BASELINE.json
+//
+// Each benchmark line ("BenchmarkX-8  1000  123 ns/op  4 B/op  ...")
+// becomes one entry carrying the iteration count and every reported
+// metric, including custom b.ReportMetric units. Context lines (goos,
+// goarch, pkg, cpu) are attached to the benchmarks that follow them.
+// Non-benchmark lines are ignored, so raw `go test` output pipes straight
+// in. The tool fails if no benchmark lines are found, which catches a
+// misquoted -bench regexp in a Makefile.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"aggcache/internal/benchparse"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fl := flag.NewFlagSet("benchjson", flag.ContinueOnError)
+	indent := fl.Bool("indent", true, "indent the JSON output")
+	if err := fl.Parse(args); err != nil {
+		return err
+	}
+
+	set, err := benchparse.Parse(bufio.NewReader(os.Stdin))
+	if err != nil {
+		return err
+	}
+	if len(set.Benchmarks) == 0 {
+		return fmt.Errorf("no benchmark lines on stdin (is the -bench regexp right?)")
+	}
+
+	enc := json.NewEncoder(os.Stdout)
+	if *indent {
+		enc.SetIndent("", "  ")
+	}
+	return enc.Encode(set)
+}

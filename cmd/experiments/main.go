@@ -2,18 +2,29 @@
 // tables. Every figure in §4 (and the §6 headline claims) has an
 // experiment ID; see -list.
 //
+// Tables are bit-identical at every -parallel setting: experiments and
+// sweep cells are independent simulations that land in pre-sized slots,
+// and each simulation stays single-threaded internally.
+//
 // Examples:
 //
 //	experiments -list
 //	experiments -fig 4c
 //	experiments -fig all -opens 120000 > experiments.txt
 //	experiments -fig 3a -csv > fig3a.csv
+//	experiments -fig all -parallel 1 -cpuprofile cpu.pprof -memprofile mem.pprof
+//	experiments -fig all -pprof localhost:6060
 package main
 
 import (
 	"flag"
 	"fmt"
+	"log"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"aggcache/internal/experiments"
 )
@@ -28,11 +39,15 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	var (
-		fig   = fs.String("fig", "all", "experiment ID (see -list) or 'all'")
-		opens = fs.Int("opens", 120000, "opens per generated workload")
-		seed  = fs.Int64("seed", 1, "workload seed")
-		csv   = fs.Bool("csv", false, "emit CSV instead of aligned text")
-		list  = fs.Bool("list", false, "list experiment IDs and exit")
+		fig      = fs.String("fig", "all", "experiment ID (see -list) or 'all'")
+		opens    = fs.Int("opens", 120000, "opens per generated workload")
+		seed     = fs.Int64("seed", 1, "workload seed")
+		csv      = fs.Bool("csv", false, "emit CSV instead of aligned text")
+		list     = fs.Bool("list", false, "list experiment IDs and exit")
+		parallel = fs.Int("parallel", 0, "worker bound for experiments and sweep cells (0 = GOMAXPROCS, 1 = sequential)")
+		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = fs.String("memprofile", "", "write an allocation profile to this file at exit")
+		pprofSrv = fs.String("pprof", "", "serve net/http/pprof on this address while running")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -45,7 +60,39 @@ func run(args []string) error {
 		return nil
 	}
 
-	cfg := experiments.Config{Opens: *opens, Seed: *seed}
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		f, err := os.Create(*memProf)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			runtime.GC() // settle live heap before the snapshot
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				log.Printf("experiments: write memprofile: %v", err)
+			}
+			f.Close()
+		}()
+	}
+	if *pprofSrv != "" {
+		go func() {
+			// DefaultServeMux carries the net/http/pprof handlers.
+			log.Printf("experiments: pprof on http://%s/debug/pprof/", *pprofSrv)
+			log.Println(http.ListenAndServe(*pprofSrv, nil))
+		}()
+	}
+
+	cfg := experiments.Config{Opens: *opens, Seed: *seed, Parallelism: *parallel}
 	var tables []*experiments.Table
 	if *fig == "all" {
 		ts, err := experiments.RunAll(cfg)

@@ -1,0 +1,105 @@
+// Package benchparse parses `go test -bench` output into a structured
+// form. It understands the standard benchmark line grammar —
+//
+//	BenchmarkName[-P] <iterations> (<value> <unit>)+
+//
+// — including -benchmem columns (B/op, allocs/op) and custom metrics
+// reported via testing.B.ReportMetric, plus the goos/goarch/pkg/cpu
+// context lines the test runner prints before a package's benchmarks.
+package benchparse
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed benchmark result line.
+type Benchmark struct {
+	// Name is the full benchmark name including sub-benchmarks, with the
+	// trailing -P GOMAXPROCS suffix stripped into Procs.
+	Name string `json:"name"`
+	// Procs is the GOMAXPROCS suffix (1 if the line had none).
+	Procs int `json:"procs"`
+	// Pkg is the import path from the most recent "pkg:" context line.
+	Pkg string `json:"pkg,omitempty"`
+	// Iterations is b.N for the reported run.
+	Iterations int64 `json:"iterations"`
+	// Metrics maps unit -> value, e.g. "ns/op": 79.2, "allocs/op": 0.
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Set is a whole benchmark run: shared context plus every parsed line.
+type Set struct {
+	Goos       string      `json:"goos,omitempty"`
+	Goarch     string      `json:"goarch,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// Parse consumes benchmark output and returns the structured results.
+// Lines that are not benchmark results or context lines are skipped, so
+// the full stdout of `go test -bench` parses cleanly. A malformed line
+// that does start with "Benchmark" is an error: silently dropping it
+// would corrupt a committed baseline.
+func Parse(r io.Reader) (*Set, error) {
+	set := &Set{}
+	pkg := ""
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(text, "goos: "):
+			set.Goos = strings.TrimPrefix(text, "goos: ")
+		case strings.HasPrefix(text, "goarch: "):
+			set.Goarch = strings.TrimPrefix(text, "goarch: ")
+		case strings.HasPrefix(text, "cpu: "):
+			set.CPU = strings.TrimPrefix(text, "cpu: ")
+		case strings.HasPrefix(text, "pkg: "):
+			pkg = strings.TrimPrefix(text, "pkg: ")
+		case strings.HasPrefix(text, "Benchmark"):
+			b, err := parseLine(text)
+			if err != nil {
+				return nil, fmt.Errorf("line %d: %w", line, err)
+			}
+			b.Pkg = pkg
+			set.Benchmarks = append(set.Benchmarks, b)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return set, nil
+}
+
+func parseLine(text string) (Benchmark, error) {
+	fields := strings.Fields(text)
+	// Name, iterations, then at least one (value, unit) pair.
+	if len(fields) < 4 || len(fields)%2 != 0 {
+		return Benchmark{}, fmt.Errorf("malformed benchmark line %q", text)
+	}
+	b := Benchmark{Name: fields[0], Procs: 1, Metrics: make(map[string]float64)}
+	if i := strings.LastIndex(b.Name, "-"); i > 0 {
+		if p, err := strconv.Atoi(b.Name[i+1:]); err == nil && p > 0 {
+			b.Name, b.Procs = b.Name[:i], p
+		}
+	}
+	n, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, fmt.Errorf("iterations %q: %w", fields[1], err)
+	}
+	b.Iterations = n
+	for i := 2; i < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Benchmark{}, fmt.Errorf("metric value %q: %w", fields[i], err)
+		}
+		b.Metrics[fields[i+1]] = v
+	}
+	return b, nil
+}

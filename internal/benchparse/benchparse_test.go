@@ -1,0 +1,92 @@
+package benchparse
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: aggcache
+cpu: Intel(R) Xeon(R) Processor @ 2.70GHz
+BenchmarkAccessAggregating 	31153653	        79.19 ns/op	       0 B/op	       0 allocs/op
+BenchmarkAblationPlacement/tail-4         	     100	  11862049 ns/op	        66.03 hitrate_%
+PASS
+ok  	aggcache	2.555s
+pkg: aggcache/internal/simulate
+BenchmarkClientSweep/sequential 	       2	 663512345 ns/op	 1253 B/op	       12 allocs/op
+`
+
+func TestParse(t *testing.T) {
+	set, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set.Goos != "linux" || set.Goarch != "amd64" {
+		t.Errorf("context = %q/%q", set.Goos, set.Goarch)
+	}
+	if !strings.Contains(set.CPU, "Xeon") {
+		t.Errorf("cpu = %q", set.CPU)
+	}
+	if len(set.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(set.Benchmarks))
+	}
+
+	b := set.Benchmarks[0]
+	if b.Name != "BenchmarkAccessAggregating" || b.Procs != 1 || b.Pkg != "aggcache" {
+		t.Errorf("bench 0 = %+v", b)
+	}
+	if b.Iterations != 31153653 {
+		t.Errorf("iterations = %d", b.Iterations)
+	}
+	if b.Metrics["ns/op"] != 79.19 || b.Metrics["allocs/op"] != 0 {
+		t.Errorf("metrics = %v", b.Metrics)
+	}
+
+	sub := set.Benchmarks[1]
+	if sub.Name != "BenchmarkAblationPlacement/tail" || sub.Procs != 4 {
+		t.Errorf("sub-benchmark = %+v", sub)
+	}
+	if sub.Metrics["hitrate_%"] != 66.03 {
+		t.Errorf("custom metric = %v", sub.Metrics)
+	}
+
+	sweep := set.Benchmarks[2]
+	if sweep.Pkg != "aggcache/internal/simulate" {
+		t.Errorf("pkg context not updated: %+v", sweep)
+	}
+}
+
+func TestParseMalformedBenchmarkLine(t *testing.T) {
+	for _, bad := range []string{
+		"BenchmarkHalf 	123",         // no metrics
+		"BenchmarkOdd 	10	5 ns/op	7", // dangling value
+		"BenchmarkNaNIter 	x	5 ns/op",
+		"BenchmarkBadValue 	10	abc ns/op",
+	} {
+		if _, err := Parse(strings.NewReader(bad)); err == nil {
+			t.Errorf("accepted malformed line %q", bad)
+		}
+	}
+}
+
+func TestParseIgnoresNoise(t *testing.T) {
+	set, err := Parse(strings.NewReader("hello\nPASS\nok  \tpkg\t0.1s\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(set.Benchmarks) != 0 {
+		t.Errorf("benchmarks = %+v", set.Benchmarks)
+	}
+}
+
+func TestParseNameWithDashButNoProcs(t *testing.T) {
+	set, err := Parse(strings.NewReader("BenchmarkFoo/tail-case 	10	5.0 ns/op\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := set.Benchmarks[0]
+	if b.Name != "BenchmarkFoo/tail-case" || b.Procs != 1 {
+		t.Errorf("bench = %+v", b)
+	}
+}

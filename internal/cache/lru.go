@@ -12,6 +12,7 @@ type LRU struct {
 	nodes    map[trace.FileID]*lruNode
 	head     *lruNode // most recently used
 	tail     *lruNode // least recently used
+	free     *lruNode // recycled nodes, so steady-state churn stays off the heap
 	onEvict  func(trace.FileID)
 	stats    Stats
 }
@@ -71,7 +72,7 @@ func (c *LRU) InsertHead(id trace.FileID) {
 		return
 	}
 	c.makeRoom()
-	n := &lruNode{id: id}
+	n := c.newNode(id)
 	c.nodes[id] = n
 	c.pushHead(n)
 }
@@ -86,7 +87,7 @@ func (c *LRU) InsertTail(id trace.FileID) {
 		return
 	}
 	c.makeRoom()
-	n := &lruNode{id: id}
+	n := c.newNode(id)
 	c.nodes[id] = n
 	if c.tail == nil {
 		c.head, c.tail = n, n
@@ -106,6 +107,7 @@ func (c *LRU) Remove(id trace.FileID) bool {
 	}
 	c.unlink(n)
 	delete(c.nodes, id)
+	c.recycle(n)
 	return true
 }
 
@@ -137,15 +139,45 @@ func (c *LRU) EvictVictimExcept(protected map[trace.FileID]bool) (trace.FileID, 
 		if protected[n.id] {
 			continue
 		}
-		c.unlink(n)
-		delete(c.nodes, n.id)
-		c.stats.Evictions++
-		if c.onEvict != nil {
-			c.onEvict(n.id)
-		}
-		return n.id, true
+		return c.evict(n), true
 	}
 	return 0, false
+}
+
+// EvictVictimExceptIDs is EvictVictimExcept with the protected set given
+// as a slice — for callers whose set is a small fetch group. Membership
+// is a linear scan, which for the paper's g of a handful beats building
+// a map on every miss; the slice is read-only and never retained.
+func (c *LRU) EvictVictimExceptIDs(protected []trace.FileID) (trace.FileID, bool) {
+	for n := c.tail; n != nil; n = n.prev {
+		if containsID(protected, n.id) {
+			continue
+		}
+		return c.evict(n), true
+	}
+	return 0, false
+}
+
+func containsID(ids []trace.FileID, id trace.FileID) bool {
+	for _, p := range ids {
+		if p == id {
+			return true
+		}
+	}
+	return false
+}
+
+// evict removes n for capacity, recycles it, and fires the hook.
+func (c *LRU) evict(n *lruNode) trace.FileID {
+	id := n.id
+	c.unlink(n)
+	delete(c.nodes, id)
+	c.recycle(n)
+	c.stats.Evictions++
+	if c.onEvict != nil {
+		c.onEvict(id)
+	}
+	return id
 }
 
 // OnEvict registers f to be called with each id evicted for capacity
@@ -159,14 +191,7 @@ func (c *LRU) EvictVictim() (trace.FileID, bool) {
 	if c.tail == nil {
 		return 0, false
 	}
-	v := c.tail
-	c.unlink(v)
-	delete(c.nodes, v.id)
-	c.stats.Evictions++
-	if c.onEvict != nil {
-		c.onEvict(v.id)
-	}
-	return v.id, true
+	return c.evict(c.tail), true
 }
 
 // Resident returns the resident ids from most to least recently used.
@@ -180,14 +205,29 @@ func (c *LRU) Resident() []trace.FileID {
 
 func (c *LRU) makeRoom() {
 	for len(c.nodes) >= c.capacity {
-		v := c.tail
-		c.unlink(v)
-		delete(c.nodes, v.id)
-		c.stats.Evictions++
-		if c.onEvict != nil {
-			c.onEvict(v.id)
-		}
+		c.evict(c.tail)
 	}
+}
+
+// newNode reuses a recycled node when one is available; in steady state
+// (every insertion paired with an eviction) the list allocates nothing.
+func (c *LRU) newNode(id trace.FileID) *lruNode {
+	if n := c.free; n != nil {
+		c.free = n.next
+		n.id = id
+		n.prev, n.next = nil, nil
+		return n
+	}
+	return &lruNode{id: id}
+}
+
+// recycle pushes an unlinked node onto the free list. The list never
+// exceeds the high-water mark of concurrent residents, so it cannot grow
+// beyond capacity nodes.
+func (c *LRU) recycle(n *lruNode) {
+	n.prev = nil
+	n.next = c.free
+	c.free = n
 }
 
 func (c *LRU) pushHead(n *lruNode) {

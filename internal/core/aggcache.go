@@ -165,12 +165,22 @@ func (s Stats) PrefetchAccuracy() float64 {
 // AggregatingCache is the paper's grouping cache. It is not safe for
 // concurrent use; network deployments (fsnet) serialize access.
 type AggregatingCache struct {
-	cfg        Config
-	lru        *cache.LRU
-	tracker    *successor.Tracker
-	builder    *group.Builder
-	prefetched map[trace.FileID]bool
+	cfg     Config
+	lru     *cache.LRU
+	tracker *successor.Tracker
+	builder *group.Builder
+	// prefetched is a dense per-file flag table indexed by FileID
+	// (interned ids are dense): true means the file is resident because
+	// of a speculative group fetch and has not been demanded since. A
+	// slice beats a map here — the flag is read on every hit and cleared
+	// on every miss.
+	prefetched []bool
 	stats      Stats
+
+	// groupBuf is the reused per-miss group scratch: fetchGroup builds
+	// into it via Builder.AppendBuild and consumes it immediately, so
+	// the miss path performs no group allocation.
+	groupBuf []trace.FileID
 
 	// Adaptive group sizing state: stats snapshots at the last window
 	// boundary.
@@ -207,11 +217,10 @@ func New(cfg Config) (*AggregatingCache, error) {
 		return nil, err
 	}
 	c := &AggregatingCache{
-		cfg:        cfg,
-		lru:        lru,
-		tracker:    tracker,
-		builder:    builder,
-		prefetched: make(map[trace.FileID]bool),
+		cfg:     cfg,
+		lru:     lru,
+		tracker: tracker,
+		builder: builder,
 	}
 	lru.OnEvict(c.evicted)
 	return c, nil
@@ -243,9 +252,9 @@ func (c *AggregatingCache) LearnFrom(src uint64, id trace.FileID) {
 func (c *AggregatingCache) Serve(id trace.FileID) bool {
 	if c.lru.Contains(id) {
 		c.stats.Hits++
-		if c.prefetched[id] {
+		if c.isPrefetched(id) {
 			c.stats.PrefetchHits++
-			delete(c.prefetched, id)
+			c.prefetched[id] = false
 		}
 		c.lru.Touch(id)
 		return true
@@ -263,19 +272,18 @@ func (c *AggregatingCache) Serve(id trace.FileID) bool {
 // group: grouping's second benefit in §2 is precisely the increased
 // retention priority of soon-to-be-accessed group members.
 func (c *AggregatingCache) fetchGroup(id trace.FileID) {
-	g := c.builder.Build(id)
+	c.groupBuf = c.builder.AppendBuild(c.groupBuf[:0], id)
+	g := c.groupBuf
 	c.stats.GroupFetches++
 	c.stats.FilesFetched += uint64(len(g))
 
-	protected := make(map[trace.FileID]bool, len(g))
-	for _, m := range g {
-		protected[m] = true
-	}
-
-	// The demanded file always enters, evicting a protected resident
-	// only when everything resident belongs to the group (tiny caches).
+	// The group itself is the protected set: making room never evicts a
+	// file belonging to the incoming group (a linear scan over the small
+	// g beats building a map per miss). The demanded file always enters,
+	// evicting a protected resident only when everything resident
+	// belongs to the group (tiny caches).
 	for c.lru.Len() >= c.cfg.Capacity {
-		if _, ok := c.lru.EvictVictimExcept(protected); ok {
+		if _, ok := c.lru.EvictVictimExceptIDs(g); ok {
 			continue
 		}
 		if _, ok := c.lru.EvictVictim(); !ok {
@@ -283,7 +291,7 @@ func (c *AggregatingCache) fetchGroup(id trace.FileID) {
 		}
 	}
 	c.lru.InsertHead(id)
-	delete(c.prefetched, id)
+	c.clearPrefetched(id)
 
 	// Members in rank order; when no unprotected victim remains the
 	// least likely members are dropped, mirroring tail truncation.
@@ -292,7 +300,7 @@ func (c *AggregatingCache) fetchGroup(id trace.FileID) {
 			continue
 		}
 		if c.lru.Len() >= c.cfg.Capacity {
-			if _, ok := c.lru.EvictVictimExcept(protected); !ok {
+			if _, ok := c.lru.EvictVictimExceptIDs(g); !ok {
 				break
 			}
 		}
@@ -301,7 +309,7 @@ func (c *AggregatingCache) fetchGroup(id trace.FileID) {
 		} else {
 			c.lru.InsertTail(m)
 		}
-		c.prefetched[m] = true
+		c.setPrefetched(m)
 	}
 	c.stats.Evictions = c.lru.Stats().Evictions
 	if c.cfg.Adaptive && c.stats.GroupFetches%adaptWindow == 0 {
@@ -353,9 +361,28 @@ func (c *AggregatingCache) CurrentGroupSize() int { return c.builder.Size() }
 // evicted is the LRU eviction hook: it retires prefetch bookkeeping and
 // counts wasted speculation.
 func (c *AggregatingCache) evicted(id trace.FileID) {
-	if c.prefetched[id] {
+	if c.isPrefetched(id) {
 		c.stats.PrefetchedEvicted++
-		delete(c.prefetched, id)
+		c.prefetched[id] = false
+	}
+}
+
+func (c *AggregatingCache) isPrefetched(id trace.FileID) bool {
+	return int(id) < len(c.prefetched) && c.prefetched[id]
+}
+
+func (c *AggregatingCache) setPrefetched(id trace.FileID) {
+	if int(id) >= len(c.prefetched) {
+		grown := make([]bool, int(id)+1+len(c.prefetched)/2)
+		copy(grown, c.prefetched)
+		c.prefetched = grown
+	}
+	c.prefetched[id] = true
+}
+
+func (c *AggregatingCache) clearPrefetched(id trace.FileID) {
+	if int(id) < len(c.prefetched) {
+		c.prefetched[id] = false
 	}
 }
 

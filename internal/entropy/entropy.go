@@ -35,60 +35,199 @@ type Result struct {
 // k >= 1. Probabilities are relative frequency counts conditioned on the
 // current file; the outer average weights each qualifying file by its
 // share of qualifying access events, per Equation 2.
+//
+// For each occurrence of file f at position p, the successor symbol is
+// seq[p+1 .. p+k]. Occurrences too close to the end have no complete
+// symbol and are skipped, exactly like an online tracker that never got
+// to see the full follow-up.
 func SuccessorEntropy(seq []trace.FileID, k int) (Result, error) {
-	if k < 1 {
-		return Result{}, fmt.Errorf("entropy: symbol length must be >= 1, got %d", k)
+	rs, err := Sweep(seq, []int{k})
+	if err != nil {
+		return Result{}, err
 	}
+	return rs[0], nil
+}
+
+// Sweep computes SuccessorEntropy for each symbol length in ks, in order —
+// the x-axis of Figures 7 and 8.
+//
+// This is the hottest computation in the experiment suite, so it avoids
+// the obvious per-(position, k) string keys. Length-j successor symbols
+// are assigned dense integer ids by refining the length-(j-1) ids one
+// step at a time — symbol(p, j) = (symbol(p, j-1), seq[p+j]) — so a
+// whole sweep up to max(ks) costs O(len(seq)) integer map work per
+// length instead of O(len(seq)·k) string hashing per length. Identical
+// symbols get identical ids by construction, so the per-file frequency
+// distributions (and therefore the entropy) match the direct
+// computation exactly.
+func Sweep(seq []trace.FileID, ks []int) ([]Result, error) {
+	out := make([]Result, len(ks))
+	maxK := 0
+	want := make(map[int][]int, len(ks))
+	for i, k := range ks {
+		if k < 1 {
+			return nil, fmt.Errorf("entropy: symbol length must be >= 1, got %d", k)
+		}
+		if k > maxK {
+			maxK = k
+		}
+		want[k] = append(want[k], i)
+	}
+	if maxK == 0 {
+		return out, nil
+	}
+
+	n := len(seq)
+	ev := newSweepEvaluator(seq)
+	// syms[p] is the dense id of the length-j symbol starting after p.
+	// It begins as the length-0 ids (all zero: every empty symbol is the
+	// same symbol) and is refined in place one length per iteration.
+	// Positions past the valid range keep stale ids but are never read:
+	// the valid range only shrinks as j grows.
+	syms := make([]uint32, n)
+	pair := make(map[uint64]uint32, n)
+	for j := 1; j <= maxK; j++ {
+		clear(pair)
+		var nextID uint32
+		for p := 0; p+j < n; p++ {
+			key := uint64(syms[p])<<32 | uint64(seq[p+j])
+			id, ok := pair[key]
+			if !ok {
+				id = nextID
+				nextID++
+				pair[key] = id
+			}
+			syms[p] = id
+		}
+		idxs := want[j]
+		if len(idxs) == 0 {
+			continue
+		}
+		r := ev.evaluate(syms, j, int(nextID))
+		for _, i := range idxs {
+			out[i] = r
+		}
+	}
+	return out, nil
+}
+
+// sweepEvaluator computes the access-weighted conditional entropy of a
+// symbol-id assignment. It is built once per sweep: per-file occurrence
+// positions are gathered a single time, and the symbol counters use a
+// sparse-reset dense array so evaluating one length allocates nothing
+// beyond one-time growth.
+type sweepEvaluator struct {
+	seq []trace.FileID
+	// occStart/occPos is a CSR-style layout of each file's occurrence
+	// positions in ascending order: file f's positions are
+	// occPos[occStart[f]:occStart[f+1]]. FileIDs are dense, so slices
+	// beat maps here.
+	occStart []int
+	occPos   []int32
+	// count is indexed by symbol id; touched records which ids a file
+	// incremented so they can be reset in O(occurrences).
+	count   []int32
+	touched []uint32
+}
+
+func newSweepEvaluator(seq []trace.FileID) *sweepEvaluator {
+	maxID := -1
+	for _, f := range seq {
+		if int(f) > maxID {
+			maxID = int(f)
+		}
+	}
+	occStart := make([]int, maxID+2)
+	for _, f := range seq {
+		occStart[int(f)+1]++
+	}
+	for i := 1; i < len(occStart); i++ {
+		occStart[i] += occStart[i-1]
+	}
+	occPos := make([]int32, len(seq))
+	fill := make([]int, maxID+1)
+	for p, f := range seq {
+		occPos[occStart[f]+fill[f]] = int32(p)
+		fill[f]++
+	}
+	return &sweepEvaluator{seq: seq, occStart: occStart, occPos: occPos}
+}
+
+// evaluate computes the Equation-2 weighted entropy for symbol length k,
+// where syms[p] identifies the symbol at position p and ids < numIDs.
+// Files are visited in dense-id order and each file's symbols in
+// first-occurrence order, so the floating-point summation order — and
+// therefore the result — is deterministic.
+func (e *sweepEvaluator) evaluate(syms []uint32, k, numIDs int) Result {
 	res := Result{SymbolLength: k}
-
-	// For each occurrence of file f at position p, the successor symbol
-	// is seq[p+1 .. p+k]. Occurrences too close to the end have no
-	// complete symbol and are skipped, exactly like an online tracker
-	// that never got to see the full follow-up.
-	type dist struct {
-		occ     int
-		symbols map[string]int
+	if numIDs > len(e.count) {
+		e.count = make([]int32, numIDs)
 	}
-	dists := make(map[trace.FileID]*dist)
-	buf := make([]byte, 0, k*binary.MaxVarintLen32)
-	var tmp [binary.MaxVarintLen32]byte
-	for p := 0; p+k < len(seq); p++ {
-		f := seq[p]
-		buf = buf[:0]
-		for j := 1; j <= k; j++ {
-			n := binary.PutUvarint(tmp[:], uint64(seq[p+j]))
-			buf = append(buf, tmp[:n]...)
-		}
-		d, ok := dists[f]
-		if !ok {
-			d = &dist{symbols: make(map[string]int, 2)}
-			dists[f] = d
-		}
-		d.occ++
-		d.symbols[string(buf)]++
-	}
+	limit := int32(len(e.seq) - k) // positions with a complete symbol
 
-	// Weighted average over files occurring more than once.
+	// First pass: total qualifying occurrences over files with occ > 1.
 	var totalOcc int
-	for _, d := range dists {
-		if d.occ > 1 {
-			totalOcc += d.occ
+	nFiles := len(e.occStart) - 1
+	for f := 0; f < nFiles; f++ {
+		occ := e.qualifying(f, limit)
+		if occ > 1 {
+			totalOcc += occ
 		}
 	}
 	if totalOcc == 0 {
-		return res, nil
+		return res
 	}
+
 	var h float64
-	for _, d := range dists {
-		if d.occ <= 1 {
+	ftot := float64(totalOcc)
+	for f := 0; f < nFiles; f++ {
+		pos := e.positions(f, limit)
+		if len(pos) <= 1 {
 			continue
 		}
-		h += float64(d.occ) / float64(totalOcc) * conditionalEntropy(d.symbols, d.occ)
+		e.touched = e.touched[:0]
+		for _, p := range pos {
+			id := syms[p]
+			if e.count[id] == 0 {
+				e.touched = append(e.touched, id)
+			}
+			e.count[id]++
+		}
+		var hf float64
+		focc := float64(len(pos))
+		for _, id := range e.touched {
+			p := float64(e.count[id]) / focc
+			hf -= p * math.Log2(p)
+			e.count[id] = 0
+		}
+		h += focc / ftot * hf
 		res.Files++
-		res.Occurrences += d.occ
+		res.Occurrences += len(pos)
 	}
 	res.Bits = h
-	return res, nil
+	return res
+}
+
+// positions returns file f's occurrence positions that still have a
+// complete symbol (strictly below limit). Positions are ascending, so
+// the qualifying prefix is found by scan-or-binary-search.
+func (e *sweepEvaluator) positions(f int, limit int32) []int32 {
+	pos := e.occPos[e.occStart[f]:e.occStart[f+1]]
+	// Binary search for the first position >= limit.
+	lo, hi := 0, len(pos)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if pos[mid] < limit {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return pos[:lo]
+}
+
+func (e *sweepEvaluator) qualifying(f int, limit int32) int {
+	return len(e.positions(f, limit))
 }
 
 // conditionalEntropy computes -sum p log2 p over the symbol counts.
@@ -100,20 +239,6 @@ func conditionalEntropy(symbols map[string]int, total int) float64 {
 		h -= p * math.Log2(p)
 	}
 	return h
-}
-
-// Sweep computes SuccessorEntropy for each symbol length in ks, in order —
-// the x-axis of Figures 7 and 8.
-func Sweep(seq []trace.FileID, ks []int) ([]Result, error) {
-	out := make([]Result, len(ks))
-	for i, k := range ks {
-		r, err := SuccessorEntropy(seq, k)
-		if err != nil {
-			return nil, err
-		}
-		out[i] = r
-	}
-	return out, nil
 }
 
 // Distribution computes the plain Shannon entropy (bits) of an arbitrary

@@ -10,7 +10,10 @@ package experiments
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"aggcache/internal/entropy"
 	"aggcache/internal/simulate"
@@ -26,6 +29,13 @@ type Config struct {
 	Opens int
 	// Seed drives workload generation (default 1).
 	Seed int64
+	// Parallelism bounds the worker goroutines RunAll fans experiments
+	// out on, and is forwarded to the sweep engines inside each figure.
+	// 0 means GOMAXPROCS; 1 reproduces the fully sequential run. Every
+	// setting yields bit-identical tables: experiments share only the
+	// memoized read-only workloads, each simulation stays
+	// single-threaded, and results land in pre-sized slots by index.
+	Parallelism int
 }
 
 func (c Config) withDefaults() Config {
@@ -118,25 +128,90 @@ func Run(id string, cfg Config) (*Table, error) {
 	return run(cfg.withDefaults())
 }
 
-// RunAll executes every experiment in ID order.
+// RunAll executes every experiment, returning tables in ID order.
+// Experiments fan out across cfg.Parallelism workers (default
+// GOMAXPROCS); workloads are memoized so each (profile, seed, opens)
+// trace is generated once for the whole run. Tables are bit-identical
+// to a sequential run at any parallelism.
 func RunAll(cfg Config) ([]*Table, error) {
-	var out []*Table
-	for _, id := range IDs() {
-		t, err := Run(id, cfg)
+	cfg = cfg.withDefaults()
+	ids := IDs()
+	out := make([]*Table, len(ids))
+	err := runParallel(len(ids), cfg.Parallelism, func(i int) error {
+		t, err := Run(ids[i], cfg)
 		if err != nil {
-			return nil, fmt.Errorf("experiments: %s: %w", id, err)
+			return fmt.Errorf("experiments: %s: %w", ids[i], err)
 		}
-		out = append(out, t)
+		out[i] = t
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
 
-func openIDs(cfg Config, p workload.Profile) ([]trace.FileID, error) {
-	tr, err := workload.Standard(p, cfg.Seed, cfg.Opens)
-	if err != nil {
-		return nil, err
+// runParallel executes n independent jobs on a bounded worker pool,
+// mirroring the sweep engine in internal/simulate: results go into
+// pre-sized slots by index and the lowest-indexed error wins, so output
+// and failure behaviour match the sequential loop.
+func runParallel(n, parallelism int, job func(i int) error) error {
+	workers := parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
 	}
-	return tr.OpenIDs(), nil
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := job(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		next    atomic.Int64
+		wg      sync.WaitGroup
+		mu      sync.Mutex
+		firstI  = n
+		firstE  error
+		stopped atomic.Bool
+	)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || stopped.Load() {
+					return
+				}
+				if err := job(i); err != nil {
+					mu.Lock()
+					if i < firstI {
+						firstI, firstE = i, err
+					}
+					mu.Unlock()
+					stopped.Store(true)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstE
+}
+
+func openIDs(cfg Config, p workload.Profile) ([]trace.FileID, error) {
+	_, ids, err := standardWorkload(cfg, p)
+	return ids, err
+}
+
+// sweepOptions forwards the run's parallelism bound to the sweep engine.
+func sweepOptions(cfg Config) simulate.Options {
+	return simulate.Options{Parallelism: cfg.Parallelism}
 }
 
 // fig3 sweeps cache capacity x group size, reporting demand fetches.
@@ -147,7 +222,7 @@ func fig3(cfg Config, p workload.Profile) (*Table, error) {
 	}
 	groups := []int{1, 2, 3, 5, 7, 10}
 	capacities := []int{100, 200, 300, 400, 500, 600, 700, 800}
-	grid, err := simulate.ClientSweep(ids, groups, capacities)
+	grid, err := simulate.ClientSweepOpt(ids, groups, capacities, sweepOptions(cfg))
 	if err != nil {
 		return nil, err
 	}
@@ -185,7 +260,7 @@ func fig4(cfg Config, p workload.Profile) (*Table, error) {
 		{ServerCapacity: serverCap, Scheme: simulate.SchemeLFU},
 	}
 	filters := []int{50, 100, 150, 200, 250, 300, 350, 400, 450, 500}
-	grid, err := simulate.ServerSweep(ids, schemes, filters)
+	grid, err := simulate.ServerSweepOpt(ids, schemes, filters, sweepOptions(cfg))
 	if err != nil {
 		return nil, err
 	}

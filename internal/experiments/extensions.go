@@ -401,7 +401,7 @@ func xoverlap(cfg Config) (*Table, error) {
 // successor metadata quality when transitions are attributed per client
 // vs taken from the merged stream.
 func xcontext(cfg Config) (*Table, error) {
-	tr, err := workload.Standard(workload.ProfileUsers, cfg.Seed, cfg.Opens)
+	tr, _, err := standardWorkload(cfg, workload.ProfileUsers)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,121 @@
+package experiments
+
+import (
+	"sync"
+	"testing"
+
+	"aggcache/internal/workload"
+)
+
+// The acceptance bar for the parallel engine: every figure table a
+// parallel RunAll emits must be bit-identical to the sequential run's.
+// Under -race this test also exercises the memoized workload cache and
+// the experiment fan-out for data races.
+func TestRunAllParallelMatchesSequential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full RunAll comparison is not short")
+	}
+	cfg := Config{Opens: 6000, Seed: 1}
+	seqCfg := cfg
+	seqCfg.Parallelism = 1
+	seq, err := RunAll(seqCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parCfg := cfg
+	parCfg.Parallelism = 8
+	par, err := RunAll(parCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq) != len(par) {
+		t.Fatalf("table counts differ: %d vs %d", len(seq), len(par))
+	}
+	for i := range seq {
+		s, p := seq[i].Format(), par[i].Format()
+		if s != p {
+			t.Errorf("table %d (%s) differs between sequential and parallel runs:\n--- sequential ---\n%s--- parallel ---\n%s",
+				i, seq[i].ID, s, p)
+		}
+	}
+}
+
+// Concurrent cold-cache requests for the same workload must generate it
+// exactly once and hand every caller the same shared slices.
+func TestStandardWorkloadMemoized(t *testing.T) {
+	ResetWorkloadCache()
+	cfg := Config{Opens: 3000, Seed: 7}
+	const callers = 8
+	type got struct {
+		opens  int
+		events int
+	}
+	results := make([]got, callers)
+	var wg sync.WaitGroup
+	wg.Add(callers)
+	for c := 0; c < callers; c++ {
+		go func(c int) {
+			defer wg.Done()
+			tr, ids, err := standardWorkload(cfg, workload.ProfileServer)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if tr == nil || len(ids) == 0 {
+				t.Error("empty memoized workload")
+				return
+			}
+			results[c] = got{opens: len(ids), events: len(tr.Events)}
+		}(c)
+	}
+	wg.Wait()
+	for c := 1; c < callers; c++ {
+		if results[c] != results[0] {
+			t.Errorf("caller %d saw %+v, caller 0 saw %+v", c, results[c], results[0])
+		}
+	}
+
+	// Same key must return the identical shared backing slice, not a copy.
+	_, ids1, err := standardWorkload(cfg, workload.ProfileServer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ids2, err := standardWorkload(cfg, workload.ProfileServer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &ids1[0] != &ids2[0] {
+		t.Error("memoized workload was regenerated for an identical key")
+	}
+
+	// A different key must not alias.
+	other := cfg
+	other.Seed = 8
+	_, ids3, err := standardWorkload(other, workload.ProfileServer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &ids3[0] == &ids1[0] {
+		t.Error("distinct keys share a workload")
+	}
+	ResetWorkloadCache()
+}
+
+func TestResetWorkloadCache(t *testing.T) {
+	cfg := Config{Opens: 2000, Seed: 3}
+	_, ids1, err := standardWorkload(cfg, workload.ProfileServer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ResetWorkloadCache()
+	_, ids2, err := standardWorkload(cfg, workload.ProfileServer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &ids1[0] == &ids2[0] {
+		t.Error("reset did not drop the cached workload")
+	}
+	if len(ids1) != len(ids2) {
+		t.Errorf("regenerated workload differs: %d vs %d opens", len(ids1), len(ids2))
+	}
+}

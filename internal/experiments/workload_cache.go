@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"sync"
+
+	"aggcache/internal/trace"
+	"aggcache/internal/workload"
+)
+
+// The ~20 experiments draw from only four standard workload profiles, yet
+// each figure used to regenerate its traces from scratch — by far the
+// largest repeated cost in RunAll. The cache below memoizes
+// workload.Standard keyed by (profile, seed, opens) so each distinct
+// trace is generated exactly once per process, even when experiments run
+// concurrently.
+//
+// Cached traces and open sequences are shared across goroutines and MUST
+// be treated as read-only by every consumer; all simulators and
+// evaluators in this repository only read them (they build their own
+// derived state). The cache is tiny: one entry per distinct
+// (profile, seed, opens) triple seen, i.e. four entries for a full
+// RunAll.
+
+type workloadKey struct {
+	profile workload.Profile
+	seed    int64
+	opens   int
+}
+
+type workloadEntry struct {
+	once sync.Once
+	tr   *trace.Trace
+	ids  []trace.FileID
+	err  error
+}
+
+var workloadCache sync.Map // workloadKey -> *workloadEntry
+
+// standardWorkload returns the memoized standard trace and its open
+// sequence for (p, cfg.Seed, cfg.Opens). Generation happens exactly once
+// per key even under concurrent callers (sync.Once per entry). Both
+// returned values are shared; callers must not mutate them.
+func standardWorkload(cfg Config, p workload.Profile) (*trace.Trace, []trace.FileID, error) {
+	key := workloadKey{profile: p, seed: cfg.Seed, opens: cfg.Opens}
+	v, _ := workloadCache.LoadOrStore(key, &workloadEntry{})
+	e := v.(*workloadEntry)
+	e.once.Do(func() {
+		e.tr, e.err = workload.Standard(p, cfg.Seed, cfg.Opens)
+		if e.err == nil {
+			e.ids = e.tr.OpenIDs()
+		}
+	})
+	return e.tr, e.ids, e.err
+}
+
+// ResetWorkloadCache drops every memoized workload. Tests use it to
+// measure cold-cache behaviour; production callers never need it.
+func ResetWorkloadCache() {
+	workloadCache.Range(func(k, _ any) bool {
+		workloadCache.Delete(k)
+		return true
+	})
+}

@@ -48,18 +48,34 @@ func RunClient(ids []trace.FileID, capacity, groupSize int) (ClientResult, error
 
 // ClientSweep runs RunClient for every (groupSize, capacity) pair,
 // returning results[i][j] for groupSizes[i] x capacities[j] — the exact
-// grid behind each Figure-3 panel.
+// grid behind each Figure-3 panel. Cells fan out across GOMAXPROCS
+// workers; use ClientSweepOpt to bound or disable the parallelism.
 func ClientSweep(ids []trace.FileID, groupSizes, capacities []int) ([][]ClientResult, error) {
+	return ClientSweepOpt(ids, groupSizes, capacities, Options{})
+}
+
+// ClientSweepOpt is ClientSweep with explicit execution options. The
+// grid cells are independent simulations sharing only the read-only
+// open sequence, so they are safe to run concurrently; each cell stays
+// single-threaded internally and writes its result into a pre-sized
+// slot by index, keeping the grid bit-identical to a sequential sweep.
+func ClientSweepOpt(ids []trace.FileID, groupSizes, capacities []int, opt Options) ([][]ClientResult, error) {
 	out := make([][]ClientResult, len(groupSizes))
-	for i, g := range groupSizes {
+	for i := range out {
 		out[i] = make([]ClientResult, len(capacities))
-		for j, c := range capacities {
-			r, err := RunClient(ids, c, g)
-			if err != nil {
-				return nil, err
-			}
-			out[i][j] = r
+	}
+	nc := len(capacities)
+	err := runCells(len(groupSizes)*nc, opt, func(cell int) error {
+		i, j := cell/nc, cell%nc
+		r, err := RunClient(ids, capacities[j], groupSizes[i])
+		if err != nil {
+			return err
 		}
+		out[i][j] = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

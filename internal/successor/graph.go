@@ -25,17 +25,20 @@ type Graph struct {
 
 // BuildGraph snapshots the tracker's metadata into a relationship graph.
 func BuildGraph(t *Tracker) *Graph {
-	g := &Graph{edges: make(map[trace.FileID][]Edge, len(t.lists))}
+	g := &Graph{edges: make(map[trace.FileID][]Edge, t.tracked)}
 	for from, l := range t.lists {
+		if l == nil {
+			continue
+		}
 		ranked := l.Ranked()
 		if len(ranked) == 0 {
 			continue
 		}
 		es := make([]Edge, 0, len(ranked))
 		for _, to := range ranked {
-			es = append(es, Edge{From: from, To: to, Weight: l.Count(to)})
+			es = append(es, Edge{From: trace.FileID(from), To: to, Weight: l.Count(to)})
 		}
-		g.edges[from] = es
+		g.edges[trace.FileID(from)] = es
 	}
 	return g
 }

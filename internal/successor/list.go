@@ -233,7 +233,14 @@ func (l *List) First() (trace.FileID, bool) {
 // Ranked returns the candidate successors, best first. The slice is freshly
 // allocated.
 func (l *List) Ranked() []trace.FileID {
-	out := make([]trace.FileID, 0, len(l.entries))
+	return l.AppendRanked(make([]trace.FileID, 0, len(l.entries)))
+}
+
+// AppendRanked appends the candidate successors, best first, to dst and
+// returns the extended slice. When dst has spare capacity no allocation
+// happens (except for PolicyOracle, whose unbounded entries need a
+// sorting copy) — the group builder's hot loop depends on this.
+func (l *List) AppendRanked(dst []trace.FileID) []trace.FileID {
 	if l.policy == PolicyOracle {
 		// Sort a copy by count desc, tick desc.
 		tmp := make([]entry, len(l.entries))
@@ -244,14 +251,14 @@ func (l *List) Ranked() []trace.FileID {
 			}
 		}
 		for i := range tmp {
-			out = append(out, tmp[i].id)
+			dst = append(dst, tmp[i].id)
 		}
-		return out
+		return dst
 	}
 	for i := range l.entries {
-		out = append(out, l.entries[i].id)
+		dst = append(dst, l.entries[i].id)
 	}
-	return out
+	return dst
 }
 
 // Count returns how many times id has been observed while retained.

@@ -23,6 +23,11 @@ var persistMagic = [4]byte{'A', 'G', 'S', 'M'}
 
 const persistVersion = 1
 
+// maxSnapshotID bounds file ids accepted from snapshots: the tracker's
+// per-file tables are dense, so an absurd id would otherwise translate
+// directly into an absurd allocation.
+const maxSnapshotID = 1 << 28
+
 // ErrBadMetadata is returned by LoadTracker when the input is not a
 // metadata snapshot.
 var ErrBadMetadata = errors.New("successor: bad metadata snapshot")
@@ -74,10 +79,22 @@ func (t *Tracker) Save(w io.Writer) error {
 		return err
 	}
 
-	if err := put(uint64(len(t.counts))); err != nil {
+	// The dense tables may have zero/nil slots; only materialized entries
+	// are persisted, in ascending id order (the format permits any order,
+	// so snapshots are now byte-deterministic as a bonus).
+	var nCounts uint64
+	for _, n := range t.counts {
+		if n != 0 {
+			nCounts++
+		}
+	}
+	if err := put(nCounts); err != nil {
 		return err
 	}
 	for id, n := range t.counts {
+		if n == 0 {
+			continue
+		}
 		if err := put(uint64(id)); err != nil {
 			return err
 		}
@@ -86,10 +103,13 @@ func (t *Tracker) Save(w io.Writer) error {
 		}
 	}
 
-	if err := put(uint64(len(t.lists))); err != nil {
+	if err := put(uint64(t.tracked)); err != nil {
 		return err
 	}
 	for id, l := range t.lists {
+		if l == nil {
+			continue
+		}
 		if err := put(uint64(id)); err != nil {
 			return err
 		}
@@ -205,6 +225,12 @@ func LoadTracker(r io.Reader) (*Tracker, error) {
 		if err != nil {
 			return nil, err
 		}
+		if id > maxSnapshotID {
+			return nil, fmt.Errorf("successor: count file id %d out of range", id)
+		}
+		if int(id) >= len(t.counts) {
+			t.counts = growDense(t.counts, int(id))
+		}
 		t.counts[trace.FileID(id)] = n
 	}
 
@@ -216,6 +242,9 @@ func LoadTracker(r io.Reader) (*Tracker, error) {
 		owner, err := get()
 		if err != nil {
 			return nil, err
+		}
+		if owner > maxSnapshotID {
+			return nil, fmt.Errorf("successor: list owner id %d out of range", owner)
 		}
 		l := t.listFor(trace.FileID(owner))
 		if l.clock, err = get(); err != nil {

@@ -15,8 +15,13 @@ type Tracker struct {
 	policy   Policy
 	capacity int
 	lambda   float64
-	lists    map[trace.FileID]*List
-	counts   map[trace.FileID]uint64
+	// lists and counts are dense per-file tables indexed by FileID —
+	// interned IDs are assigned densely in first-use order, so direct
+	// indexing replaces the map hashing that used to dominate the
+	// Observe hot path. Slots for never-seen ids are nil/zero.
+	lists    []*List
+	counts   []uint64
+	tracked  int // number of non-nil lists
 	prev     trace.FileID
 	hasPrev  bool
 	observed uint64
@@ -36,12 +41,7 @@ func NewTracker(policy Policy, capacity int) (*Tracker, error) {
 	if _, err := NewList(policy, capacity); err != nil {
 		return nil, err
 	}
-	t := &Tracker{
-		policy:   policy,
-		capacity: capacity,
-		lists:    make(map[trace.FileID]*List),
-		counts:   make(map[trace.FileID]uint64),
-	}
+	t := &Tracker{policy: policy, capacity: capacity}
 	if policy == PolicyDecay {
 		t.lambda = DefaultDecay
 	}
@@ -54,13 +54,7 @@ func NewDecayTracker(capacity int, lambda float64) (*Tracker, error) {
 	if _, err := NewDecayList(capacity, lambda); err != nil {
 		return nil, err
 	}
-	return &Tracker{
-		policy:   PolicyDecay,
-		capacity: capacity,
-		lambda:   lambda,
-		lists:    make(map[trace.FileID]*List),
-		counts:   make(map[trace.FileID]uint64),
-	}, nil
+	return &Tracker{policy: PolicyDecay, capacity: capacity, lambda: lambda}, nil
 }
 
 // Observe records the next file access in the sequence: it increments the
@@ -68,12 +62,29 @@ func NewDecayTracker(capacity int, lambda float64) (*Tracker, error) {
 // previously observed file.
 func (t *Tracker) Observe(id trace.FileID) {
 	t.observed++
-	t.counts[id]++
+	t.bumpCount(id)
 	if t.hasPrev {
 		t.listFor(t.prev).Observe(id)
 	}
 	t.prev = id
 	t.hasPrev = true
+}
+
+// bumpCount increments id's dense access-count slot, growing the table
+// on first sight of a high id.
+func (t *Tracker) bumpCount(id trace.FileID) {
+	if int(id) >= len(t.counts) {
+		t.counts = growDense(t.counts, int(id))
+	}
+	t.counts[id]++
+}
+
+// growDense extends a dense per-file table so index id is addressable,
+// over-allocating by half to amortize regrowth.
+func growDense[T any](s []T, id int) []T {
+	grown := make([]T, id+1+len(s)/2)
+	copy(grown, s)
+	return grown
 }
 
 // ObserveFrom records an access attributed to a specific source (a
@@ -83,7 +94,7 @@ func (t *Tracker) Observe(id trace.FileID) {
 // server learning from several clients at once.
 func (t *Tracker) ObserveFrom(src uint64, id trace.FileID) {
 	t.observed++
-	t.counts[id]++
+	t.bumpCount(id)
 	if t.prevBySrc == nil {
 		t.prevBySrc = make(map[uint64]trace.FileID)
 	}
@@ -117,34 +128,56 @@ func (t *Tracker) Reset() {
 // in predecessor position. The returned list is live; callers must not
 // mutate it concurrently with Observe.
 func (t *Tracker) List(id trace.FileID) *List {
+	if int(id) >= len(t.lists) {
+		return nil
+	}
 	return t.lists[id]
 }
 
-// Successors returns id's candidate successors, best first.
+// Successors returns id's candidate successors, best first. The slice is
+// freshly allocated; hot paths use AppendSuccessors with a reused buffer.
 func (t *Tracker) Successors(id trace.FileID) []trace.FileID {
-	if l, ok := t.lists[id]; ok {
+	if l := t.List(id); l != nil {
 		return l.Ranked()
 	}
 	return nil
 }
 
+// AppendSuccessors appends id's candidate successors, best first, to dst
+// and returns the extended slice, allocating nothing when dst has spare
+// capacity. The group builder calls this once per chain step, so it must
+// stay off the heap.
+func (t *Tracker) AppendSuccessors(dst []trace.FileID, id trace.FileID) []trace.FileID {
+	if l := t.List(id); l != nil {
+		return l.AppendRanked(dst)
+	}
+	return dst
+}
+
 // First returns id's most likely immediate successor.
 func (t *Tracker) First(id trace.FileID) (trace.FileID, bool) {
-	if l, ok := t.lists[id]; ok {
+	if l := t.List(id); l != nil {
 		return l.First()
 	}
 	return 0, false
 }
 
 // AccessCount returns how many times id has been observed.
-func (t *Tracker) AccessCount(id trace.FileID) uint64 { return t.counts[id] }
+func (t *Tracker) AccessCount(id trace.FileID) uint64 {
+	if int(id) >= len(t.counts) {
+		return 0
+	}
+	return t.counts[id]
+}
 
 // Counts returns a copy of the per-file access counts for every observed
 // file.
 func (t *Tracker) Counts() map[trace.FileID]uint64 {
-	out := make(map[trace.FileID]uint64, len(t.counts))
+	out := make(map[trace.FileID]uint64)
 	for id, n := range t.counts {
-		out[id] = n
+		if n != 0 {
+			out[trace.FileID(id)] = n
+		}
 	}
 	return out
 }
@@ -153,20 +186,25 @@ func (t *Tracker) Counts() map[trace.FileID]uint64 {
 func (t *Tracker) Observed() uint64 { return t.observed }
 
 // TrackedFiles returns how many files have successor lists.
-func (t *Tracker) TrackedFiles() int { return len(t.lists) }
+func (t *Tracker) TrackedFiles() int { return t.tracked }
 
 // MetadataEntries returns the total number of retained successor entries —
 // the paper's measure of metadata cost (§4.4 argues it stays tiny).
 func (t *Tracker) MetadataEntries() int {
 	var n int
 	for _, l := range t.lists {
-		n += l.Len()
+		if l != nil {
+			n += l.Len()
+		}
 	}
 	return n
 }
 
 func (t *Tracker) listFor(id trace.FileID) *List {
-	if l, ok := t.lists[id]; ok {
+	if int(id) >= len(t.lists) {
+		t.lists = growDense(t.lists, int(id))
+	}
+	if l := t.lists[id]; l != nil {
 		return l
 	}
 	var (
@@ -183,5 +221,6 @@ func (t *Tracker) listFor(id trace.FileID) *List {
 		panic("successor: invalid tracker configuration: " + err.Error())
 	}
 	t.lists[id] = l
+	t.tracked++
 	return l
 }

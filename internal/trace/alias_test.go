@@ -1,0 +1,68 @@
+package trace
+
+import "testing"
+
+// Aliasing audit: the memoized workload cache hands the same Trace to many
+// goroutines, so the sharing contracts of the accessors below are
+// load-bearing. These tests pin them.
+
+// OpenIDs must return a freshly allocated slice each call — callers (the
+// workload cache included) hand it to concurrent readers and must never
+// discover it aliases Trace internals or a previous call's result.
+func TestOpenIDsDoesNotAlias(t *testing.T) {
+	tr := NewTrace()
+	tr.Append(Event{Op: OpOpen}, "/a")
+	tr.Append(Event{Op: OpClose}, "/a")
+	tr.Append(Event{Op: OpOpen}, "/b")
+
+	first := tr.OpenIDs()
+	second := tr.OpenIDs()
+	if len(first) != 2 || len(second) != 2 {
+		t.Fatalf("OpenIDs lengths = %d, %d, want 2", len(first), len(second))
+	}
+	if &first[0] == &second[0] {
+		t.Fatal("consecutive OpenIDs calls share a backing array")
+	}
+
+	// Mutating a returned slice must not leak into the trace or into
+	// later calls.
+	first[0] = 999
+	if tr.Events[0].File == 999 {
+		t.Error("OpenIDs result aliases Trace.Events")
+	}
+	if got := tr.OpenIDs(); got[0] == 999 {
+		t.Error("OpenIDs result carries a previous caller's mutation")
+	}
+}
+
+// Clone must produce a fully independent interner: interning into either
+// side afterwards must not be visible through the other.
+func TestInternerCloneIsIndependent(t *testing.T) {
+	in := NewInterner()
+	a := in.Intern("/a")
+	b := in.Intern("/b")
+
+	cl := in.Clone()
+	if cl.Path(a) != "/a" || cl.Path(b) != "/b" {
+		t.Fatal("clone lost existing paths")
+	}
+	if got := cl.Intern("/a"); got != a {
+		t.Errorf("clone re-interned /a as %d, want %d", got, a)
+	}
+
+	// Diverge both sides.
+	c1 := in.Intern("/only-original")
+	c2 := cl.Intern("/only-clone")
+	if c1 != c2 {
+		t.Fatalf("divergent interns got different next ids: %d vs %d", c1, c2)
+	}
+	if cl.Path(c2) != "/only-clone" {
+		t.Errorf("clone path(%d) = %q", c2, cl.Path(c2))
+	}
+	if in.Path(c1) != "/only-original" {
+		t.Errorf("original path(%d) = %q; clone mutation leaked", c1, in.Path(c1))
+	}
+	if in.Len() != cl.Len() {
+		t.Errorf("lengths diverged unexpectedly: %d vs %d", in.Len(), cl.Len())
+	}
+}

@@ -129,6 +129,11 @@ func ReadBinary(r io.Reader) (*Trace, error) {
 	var (
 		prevUS int64
 		seen   FileID
+		// pathBuf is the reused scratch for new-path bytes: one buffer
+		// for the whole stream instead of one allocation per distinct
+		// file (the unavoidable string conversion below is the only
+		// per-path allocation left).
+		pathBuf []byte
 	)
 	for rec := 0; ; rec++ {
 		dtime, err := binary.ReadUvarint(br)
@@ -177,7 +182,10 @@ func ReadBinary(r io.Reader) (*Trace, error) {
 			if n == 0 || n > maxPathLen {
 				return nil, fmt.Errorf("trace: record %d path length %d out of range", rec, n)
 			}
-			raw := make([]byte, n)
+			if uint64(cap(pathBuf)) < n {
+				pathBuf = make([]byte, n)
+			}
+			raw := pathBuf[:n]
 			if _, err := io.ReadFull(br, raw); err != nil {
 				return nil, fmt.Errorf("trace: record %d path: %w", rec, err)
 			}

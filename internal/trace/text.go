@@ -29,15 +29,28 @@ func WriteText(w io.Writer, t *Trace) error {
 	if _, err := fmt.Fprintln(bw, textHeader); err != nil {
 		return err
 	}
+	// One reusable line buffer; strconv.Append* keeps the per-record
+	// path free of fmt's interface boxing and scratch allocations.
+	line := make([]byte, 0, 128)
 	for i := range t.Events {
 		ev := &t.Events[i]
 		path := t.Paths.Path(ev.File)
 		if path == "" {
 			return fmt.Errorf("trace: event %d references unknown file id %d", i, ev.File)
 		}
-		_, err := fmt.Fprintf(bw, "%d\t%d\t%d\t%d\t%s\t%s\n",
-			ev.Time.Microseconds(), ev.Client, ev.PID, ev.UID, ev.Op, path)
-		if err != nil {
+		line = strconv.AppendInt(line[:0], ev.Time.Microseconds(), 10)
+		line = append(line, '\t')
+		line = strconv.AppendUint(line, uint64(ev.Client), 10)
+		line = append(line, '\t')
+		line = strconv.AppendUint(line, uint64(ev.PID), 10)
+		line = append(line, '\t')
+		line = strconv.AppendUint(line, uint64(ev.UID), 10)
+		line = append(line, '\t')
+		line = append(line, ev.Op.String()...)
+		line = append(line, '\t')
+		line = append(line, path...)
+		line = append(line, '\n')
+		if _, err := bw.Write(line); err != nil {
 			return err
 		}
 	}
