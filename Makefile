@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race race-par bench bench-json profile chaos experiments examples fuzz clean
+.PHONY: all build vet test race race-par bench bench-json loadtest profile chaos experiments examples fuzz clean
 
 all: build vet test
 
@@ -21,19 +21,32 @@ race:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
-# Focused race pass over the parallel sweep engine and the memoized
-# workload cache (the only deliberately concurrent simulation code).
+# Focused race pass over the deliberately concurrent code: the parallel
+# sweep engine, the memoized workload cache, the pipelined fsnet serving
+# path (mux client, sharded server, staging coalescer), and the
+# concurrency-safe interner.
 race-par:
 	$(GO) test -race -run 'Parallel|RunCells|Sweep|Workload' ./internal/simulate/ ./internal/experiments/
+	$(GO) test -race -run 'Pipelined|Concurrent|FlightGroup|SyncInterner|Interleaved|Chaos' ./internal/fsnet/ ./internal/trace/
 
 # Machine-readable baseline for the key hot-path and sweep benchmarks
 # (ns/op, B/op, allocs/op, custom metrics). Commit the refreshed file when
 # a perf change moves the numbers on purpose.
 bench-json:
 	{ $(GO) test -run '^$$' -bench 'BenchmarkAccess|BenchmarkTrackerObserve|BenchmarkSuccessorEntropyK1' -benchmem . ; \
-	  $(GO) test -run '^$$' -bench 'BenchmarkClientSweep|BenchmarkServerSweep' -benchmem -benchtime 2x ./internal/simulate/ ; } \
+	  $(GO) test -run '^$$' -bench 'BenchmarkClientSweep|BenchmarkServerSweep' -benchmem -benchtime 2x ./internal/simulate/ ; \
+	  $(GO) test -run '^$$' -bench 'BenchmarkOpenLoopback$$|BenchmarkOpenLoopbackSerial|BenchmarkOpenPipelined' -benchmem ./internal/fsnet/ ; \
+	  $(GO) run ./cmd/aggbench -conns 8 -workers 8 -opens 4000 -rtt 2ms -gobench ; \
+	  $(GO) run ./cmd/aggbench -conns 8 -workers 8 -opens 4000 -rtt 2ms -serial -gobench ; } \
 	| $(GO) run ./cmd/benchjson > BENCH_BASELINE.json
 	@echo wrote BENCH_BASELINE.json
+
+# Load-generator comparison: the pipelined serving path vs the lock-step
+# baseline over a simulated 2ms-RTT network, 8 connections x 8 goroutines.
+# The throughput ratio is the headline speedup of DESIGN.md §10.
+loadtest:
+	$(GO) run ./cmd/aggbench -conns 8 -workers 8 -opens 4000 -rtt 2ms
+	$(GO) run ./cmd/aggbench -conns 8 -workers 8 -opens 4000 -rtt 2ms -serial
 
 # Profile the headline claims experiment and print the hottest frames.
 # Leaves cpu.pprof and mem.pprof behind for interactive `go tool pprof`.

@@ -1,0 +1,551 @@
+// Command aggbench is the fsnet load generator: it replays a
+// deterministic multi-client workload trace against a server over N
+// concurrent connections with M pipelining goroutines per connection, and
+// reports open throughput plus a latency distribution (p50/p95/p99 from a
+// fixed power-of-two-bucket histogram, so the hot path never allocates or
+// sorts).
+//
+// By default aggbench spins up an in-process server on a loopback socket,
+// so one command measures the whole stack; point -addr at a running
+// aggserve to load an external server instead. -serial caps the clients
+// at protocol version 1, turning every connection into the lock-step
+// request/reply baseline — the pipelined/serial ratio is the headline
+// speedup of the concurrent serving path (DESIGN.md §10).
+//
+// Examples:
+//
+//	aggbench -conns 8 -workers 4
+//	aggbench -conns 8 -workers 4 -serial
+//	aggbench -addr 127.0.0.1:7070 -conns 16 -opens 50000
+//	aggbench -conns 8 -json > pipelined.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/bits"
+	"net"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"aggcache/internal/benchparse"
+	"aggcache/internal/fsnet"
+	"aggcache/internal/trace"
+	"aggcache/internal/workload"
+)
+
+// delayConn models propagation delay: every byte written becomes visible
+// to the peer d later, and every byte the peer sent becomes readable d
+// after it hit the wire — without charging anything per syscall, exactly
+// like a long pipe and unlike a per-operation sleep (which would bill a
+// pipelined batch once per frame instead of once per flight). Throughput
+// is unconstrained; only latency is injected, so the measurement isolates
+// what request pipelining is supposed to hide.
+type delayConn struct {
+	net.Conn
+	d   time.Duration
+	out chan delayChunk // app -> wire, released by the write pump when due
+	in  chan delayChunk // wire -> app, matured in Read
+
+	mu      sync.Mutex
+	pending []byte // matured but unconsumed read bytes
+	readErr error
+	werr    atomic.Value // first write-pump error
+}
+
+type delayChunk struct {
+	data []byte
+	due  time.Time
+	err  error
+}
+
+func newDelayConn(conn net.Conn, d time.Duration) *delayConn {
+	dc := &delayConn{
+		Conn: conn,
+		d:    d,
+		out:  make(chan delayChunk, 1024),
+		in:   make(chan delayChunk, 1024),
+	}
+	go dc.writePump()
+	go dc.readPump()
+	return dc
+}
+
+func (dc *delayConn) writePump() {
+	for c := range dc.out {
+		time.Sleep(time.Until(c.due))
+		if _, err := dc.Conn.Write(c.data); err != nil {
+			dc.werr.Store(err)
+			return
+		}
+	}
+}
+
+func (dc *delayConn) readPump() {
+	for {
+		buf := make([]byte, 32<<10)
+		n, err := dc.Conn.Read(buf)
+		c := delayChunk{due: time.Now().Add(dc.d), err: err}
+		if n > 0 {
+			c.data = buf[:n]
+		}
+		dc.in <- c
+		if err != nil {
+			return
+		}
+	}
+}
+
+func (dc *delayConn) Write(p []byte) (int, error) {
+	if err, ok := dc.werr.Load().(error); ok {
+		return 0, err
+	}
+	cp := make([]byte, len(p))
+	copy(cp, p)
+	dc.out <- delayChunk{data: cp, due: time.Now().Add(dc.d)}
+	return len(p), nil
+}
+
+func (dc *delayConn) Read(p []byte) (int, error) {
+	dc.mu.Lock()
+	defer dc.mu.Unlock()
+	for len(dc.pending) == 0 {
+		if dc.readErr != nil {
+			return 0, dc.readErr
+		}
+		c := <-dc.in
+		time.Sleep(time.Until(c.due))
+		dc.pending = c.data
+		dc.readErr = c.err
+	}
+	n := copy(p, dc.pending)
+	dc.pending = dc.pending[n:]
+	return n, nil
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "aggbench:", err)
+		os.Exit(1)
+	}
+}
+
+type config struct {
+	addr        string
+	files       int
+	fileSize    int
+	group       int
+	clientCache int
+	serverCache int
+	conns       int
+	workers     int
+	opens       int
+	seed        int64
+	rtt         time.Duration
+	serial      bool
+	jsonOut     bool
+	gobench     bool
+}
+
+func parseFlags(args []string) (config, error) {
+	fs := flag.NewFlagSet("aggbench", flag.ContinueOnError)
+	var cfg config
+	fs.StringVar(&cfg.addr, "addr", "", "server address; empty runs an in-process loopback server")
+	fs.IntVar(&cfg.files, "files", 2048, "synthetic store size in files (in-process server only)")
+	fs.IntVar(&cfg.fileSize, "filesize", 1024, "synthetic file size in bytes")
+	fs.IntVar(&cfg.group, "group", 5, "server group size g")
+	fs.IntVar(&cfg.clientCache, "cache", 64, "client cache capacity in files")
+	fs.IntVar(&cfg.serverCache, "servercache", 256, "server cache capacity in files (in-process server only)")
+	fs.IntVar(&cfg.conns, "conns", 8, "concurrent client connections")
+	fs.IntVar(&cfg.workers, "workers", 4, "pipelining goroutines per connection")
+	fs.IntVar(&cfg.opens, "opens", 20000, "opens per connection")
+	fs.Int64Var(&cfg.seed, "seed", 1, "workload seed")
+	fs.DurationVar(&cfg.rtt, "rtt", 0, "simulated network round-trip time (half is injected before each client read and write syscall); zero measures raw loopback")
+	fs.BoolVar(&cfg.serial, "serial", false, "cap clients at protocol version 1 (lock-step baseline)")
+	fs.BoolVar(&cfg.jsonOut, "json", false, "emit machine-readable JSON (benchjson-compatible schema)")
+	fs.BoolVar(&cfg.gobench, "gobench", false, "emit one `go test -bench`-style result line (pipes into cmd/benchjson)")
+	if err := fs.Parse(args); err != nil {
+		return cfg, err
+	}
+	if cfg.conns < 1 || cfg.workers < 1 || cfg.opens < 1 {
+		return cfg, fmt.Errorf("conns, workers, and opens must all be positive")
+	}
+	return cfg, nil
+}
+
+// histogram is a fixed-bucket latency histogram: bucket i holds samples
+// with bits.Len64(ns) == i, i.e. latencies in [2^(i-1), 2^i). Recording
+// is one atomic add; percentiles come out as bucket upper bounds, which
+// is plenty of resolution for order-of-magnitude latency reporting.
+type histogram struct {
+	buckets [65]atomic.Uint64
+}
+
+func (h *histogram) record(d time.Duration) {
+	ns := uint64(d.Nanoseconds())
+	h.buckets[bits.Len64(ns)].Add(1)
+}
+
+// percentile returns the upper bound of the bucket holding the p-th
+// percentile sample (p in [0,100]).
+func (h *histogram) percentile(p float64) time.Duration {
+	var total uint64
+	for i := range h.buckets {
+		total += h.buckets[i].Load()
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := uint64(p / 100 * float64(total))
+	if rank >= total {
+		rank = total - 1
+	}
+	var seen uint64
+	for i := range h.buckets {
+		seen += h.buckets[i].Load()
+		if seen > rank {
+			if i == 0 {
+				return 0
+			}
+			return time.Duration(uint64(1)<<uint(i) - 1)
+		}
+	}
+	return time.Duration(1<<63 - 1)
+}
+
+// result is one complete load-generation run.
+type result struct {
+	cfg       config
+	opens     uint64
+	errors    uint64
+	elapsed   time.Duration
+	hist      *histogram
+	client    fsnet.ClientStats // summed over all connections
+	hitRate   float64
+	protoName string
+}
+
+func (r *result) throughput() float64 {
+	if r.elapsed <= 0 {
+		return 0
+	}
+	return float64(r.opens) / r.elapsed.Seconds()
+}
+
+// sequences deals the workload's per-client open streams out to conns
+// connections, cycling when the trace has fewer clients than connections,
+// and trims or tiles each to exactly opens entries.
+func sequences(cfg config) ([][]string, error) {
+	tr, err := workload.Generate(workload.Config{
+		Seed:            cfg.seed,
+		Opens:           cfg.conns * cfg.opens,
+		Clients:         cfg.conns,
+		InterleaveChunk: 4,
+		Tasks:           64,
+		TaskLen:         12,
+		SharedFiles:     8,
+		ZipfS:           1.2,
+		Noise:           0.05,
+		NoiseUniverse:   cfg.files,
+	})
+	if err != nil {
+		return nil, err
+	}
+	perClient := make(map[uint16][]string)
+	for _, ev := range tr.Events {
+		if ev.Op != trace.OpOpen {
+			continue
+		}
+		perClient[ev.Client] = append(perClient[ev.Client], tr.Paths.Path(ev.File))
+	}
+	streams := make([][]string, 0, len(perClient))
+	for _, seq := range perClient {
+		streams = append(streams, seq)
+	}
+	if len(streams) == 0 {
+		return nil, fmt.Errorf("workload produced no opens")
+	}
+	out := make([][]string, cfg.conns)
+	for i := range out {
+		src := streams[i%len(streams)]
+		seq := make([]string, cfg.opens)
+		for n := range seq {
+			seq[n] = src[n%len(src)]
+		}
+		out[i] = seq
+	}
+	return out, nil
+}
+
+// seedStore puts every path the sequences demand (plus synthetic filler up
+// to cfg.files) into the store, with deterministic contents.
+func seedStore(cfg config, seqs [][]string) (*fsnet.Store, error) {
+	store := fsnet.NewStore()
+	put := func(path string) error {
+		if store.Contains(path) {
+			return nil
+		}
+		data := make([]byte, cfg.fileSize)
+		for i := range data {
+			data[i] = byte(len(path) + i)
+		}
+		return store.Put(path, data)
+	}
+	for _, seq := range seqs {
+		for _, p := range seq {
+			if err := put(p); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for i := store.Len(); i < cfg.files; i++ {
+		if err := put(fmt.Sprintf("/bench/fill%06d", i)); err != nil {
+			return nil, err
+		}
+	}
+	return store, nil
+}
+
+// provision writes every path the sequences demand to an external
+// server, with the same deterministic contents seedStore uses. Runs on a
+// plain (undelayed) connection; it is setup, not measurement.
+func provision(cfg config, seqs [][]string) error {
+	c, err := fsnet.Dial(cfg.addr, fsnet.ClientConfig{CacheCapacity: 1, MaxRetries: 3})
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	written := make(map[string]bool)
+	for _, seq := range seqs {
+		for _, p := range seq {
+			if written[p] {
+				continue
+			}
+			written[p] = true
+			data := make([]byte, cfg.fileSize)
+			for i := range data {
+				data[i] = byte(len(p) + i)
+			}
+			if err := c.Write(p, data); err != nil {
+				return fmt.Errorf("provision %s: %w", p, err)
+			}
+		}
+	}
+	return nil
+}
+
+func runLoad(cfg config) (*result, error) {
+	seqs, err := sequences(cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	addr := cfg.addr
+	var shutdown func() error
+	if addr == "" {
+		store, err := seedStore(cfg, seqs)
+		if err != nil {
+			return nil, err
+		}
+		srv, err := fsnet.NewServer(store, fsnet.ServerConfig{
+			GroupSize:     cfg.group,
+			CacheCapacity: cfg.serverCache,
+		})
+		if err != nil {
+			return nil, err
+		}
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		go func() { _ = srv.Serve(l) }()
+		addr = l.Addr().String()
+		shutdown = srv.Close
+	}
+
+	clientCfg := fsnet.ClientConfig{
+		CacheCapacity: cfg.clientCache,
+		MaxRetries:    3,
+		Seed:          cfg.seed,
+	}
+	if cfg.serial {
+		clientCfg.MaxProtocol = 1
+	}
+	if cfg.rtt > 0 {
+		// Simulated WAN: half the round trip of propagation delay in each
+		// direction. A lock-step exchange pays the full RTT per open; a
+		// pipelined flight of k requests shares one — which is exactly
+		// the latency-hiding the concurrent serving path exists for.
+		d := cfg.rtt / 2
+		clientCfg.Dialer = func() (net.Conn, error) {
+			conn, err := net.Dial("tcp", addr)
+			if err != nil {
+				return nil, err
+			}
+			return newDelayConn(conn, d), nil
+		}
+	}
+	if cfg.addr != "" {
+		// External server: provision the working set over the wire
+		// (writes are write-through to the server's store) so the run
+		// measures serving, not NotFound errors.
+		if err := provision(cfg, seqs); err != nil {
+			return nil, err
+		}
+	}
+
+	clients := make([]*fsnet.Client, cfg.conns)
+	for i := range clients {
+		c, err := fsnet.Dial(addr, clientCfg)
+		if err != nil {
+			return nil, err
+		}
+		clients[i] = c
+	}
+	defer func() {
+		for _, c := range clients {
+			_ = c.Close()
+		}
+		if shutdown != nil {
+			_ = shutdown()
+		}
+	}()
+
+	res := &result{cfg: cfg, hist: &histogram{}, protoName: "pipelined"}
+	if cfg.serial {
+		res.protoName = "serial"
+	}
+	var opens, errCount atomic.Uint64
+	var wg sync.WaitGroup
+	start := time.Now()
+	for ci, c := range clients {
+		seq := seqs[ci]
+		var cursor atomic.Int64 // workers on one conn share the sequence
+		for w := 0; w < cfg.workers; w++ {
+			wg.Add(1)
+			go func(c *fsnet.Client) {
+				defer wg.Done()
+				for {
+					n := cursor.Add(1) - 1
+					if n >= int64(len(seq)) {
+						return
+					}
+					t0 := time.Now()
+					_, err := c.Open(seq[n])
+					res.hist.record(time.Since(t0))
+					if err != nil {
+						errCount.Add(1)
+						continue
+					}
+					opens.Add(1)
+				}
+			}(c)
+		}
+	}
+	wg.Wait()
+	res.elapsed = time.Since(start)
+	res.opens = opens.Load()
+	res.errors = errCount.Load()
+	for _, c := range clients {
+		st := c.Stats()
+		res.client.Opens += st.Opens
+		res.client.Hits += st.Hits
+		res.client.Fetches += st.Fetches
+		res.client.FilesReceived += st.FilesReceived
+		res.client.BytesReceived += st.BytesReceived
+		res.client.PrefetchHits += st.PrefetchHits
+		res.client.Retries += st.Retries
+		res.client.BrokenConns += st.BrokenConns
+		res.client.Reconnects += st.Reconnects
+	}
+	if res.client.Opens > 0 {
+		res.hitRate = float64(res.client.Hits) / float64(res.client.Opens)
+	}
+	return res, nil
+}
+
+func (r *result) writeText(out *os.File) {
+	fmt.Fprintf(out, "aggbench: %s protocol, %d conns x %d workers, %d opens/conn\n",
+		r.protoName, r.cfg.conns, r.cfg.workers, r.cfg.opens)
+	fmt.Fprintf(out, "  throughput: %.0f opens/s (%d opens in %v, %d errors)\n",
+		r.throughput(), r.opens, r.elapsed.Round(time.Millisecond), r.errors)
+	fmt.Fprintf(out, "  latency:    p50 %v  p95 %v  p99 %v\n",
+		r.hist.percentile(50), r.hist.percentile(95), r.hist.percentile(99))
+	fmt.Fprintf(out, "  client:     hit-rate %.3f  fetches %d  files-received %d  prefetch-hits %d\n",
+		r.hitRate, r.client.Fetches, r.client.FilesReceived, r.client.PrefetchHits)
+	if r.client.Retries+r.client.BrokenConns > 0 {
+		fmt.Fprintf(out, "  recovery:   retries %d  broken-conns %d  reconnects %d\n",
+			r.client.Retries, r.client.BrokenConns, r.client.Reconnects)
+	}
+}
+
+func (r *result) benchName() string {
+	if r.cfg.serial {
+		return "AggbenchOpenSerial"
+	}
+	return "AggbenchOpenPipelined"
+}
+
+// writeGobench emits the run as one standard benchmark result line, so
+// `aggbench -gobench` pipes into cmd/benchjson alongside `go test -bench`
+// output and lands in the same committed baseline.
+func (r *result) writeGobench(out *os.File) {
+	nsPerOp := float64(r.elapsed.Nanoseconds()) / float64(r.opens)
+	fmt.Fprintf(out, "pkg: aggcache/cmd/aggbench\n")
+	fmt.Fprintf(out, "Benchmark%s-%d\t%8d\t%.1f ns/op\t%.0f opens/s\t%d p95_ns\t%d p99_ns\t%.3f hit_rate\n",
+		r.benchName(), r.cfg.conns*r.cfg.workers, r.opens, nsPerOp, r.throughput(),
+		r.hist.percentile(95).Nanoseconds(), r.hist.percentile(99).Nanoseconds(), r.hitRate)
+}
+
+// writeJSON emits the run in the benchparse schema, so the loadtest
+// numbers diff and gate exactly like the committed go-test baselines.
+func (r *result) writeJSON(out *os.File) error {
+	set := benchparse.Set{
+		Benchmarks: []benchparse.Benchmark{{
+			Name:       r.benchName(),
+			Procs:      r.cfg.conns * r.cfg.workers,
+			Pkg:        "aggcache/cmd/aggbench",
+			Iterations: int64(r.opens),
+			Metrics: map[string]float64{
+				"opens/s":  r.throughput(),
+				"p50_ns":   float64(r.hist.percentile(50).Nanoseconds()),
+				"p95_ns":   float64(r.hist.percentile(95).Nanoseconds()),
+				"p99_ns":   float64(r.hist.percentile(99).Nanoseconds()),
+				"errors":   float64(r.errors),
+				"hit_rate": r.hitRate,
+				"fetches":  float64(r.client.Fetches),
+				"conns":    float64(r.cfg.conns),
+				"workers":  float64(r.cfg.workers),
+			},
+		}},
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(set)
+}
+
+func run(args []string, out *os.File) error {
+	cfg, err := parseFlags(args)
+	if err != nil {
+		return err
+	}
+	res, err := runLoad(cfg)
+	if err != nil {
+		return err
+	}
+	if res.errors > res.opens/10 {
+		return fmt.Errorf("%d of %d opens failed; load run not representative", res.errors, res.errors+res.opens)
+	}
+	if cfg.jsonOut {
+		return res.writeJSON(out)
+	}
+	if cfg.gobench {
+		res.writeGobench(out)
+		return nil
+	}
+	res.writeText(out)
+	return nil
+}

@@ -3,16 +3,19 @@ package fsnet
 import (
 	"fmt"
 	"net"
+	"sync"
+	"sync/atomic"
 	"testing"
 )
 
-// BenchmarkOpenLoopback measures end-to-end opens per second through the
-// full protocol stack on a loopback socket, cycling through a working set
-// larger than the client cache so misses and group replies are exercised.
-func BenchmarkOpenLoopback(b *testing.B) {
+const benchFiles = 512
+
+// benchPair stands up a loopback server plus one client (clientMax caps
+// the client's protocol version: 1 forces the lock-step baseline).
+func benchPair(b *testing.B, clientMax int) *Client {
+	b.Helper()
 	store := NewStore()
-	const files = 512
-	for i := 0; i < files; i++ {
+	for i := 0; i < benchFiles; i++ {
 		path := fmt.Sprintf("/bench/f%04d", i)
 		if err := store.Put(path, make([]byte, 512)); err != nil {
 			b.Fatal(err)
@@ -27,24 +30,87 @@ func BenchmarkOpenLoopback(b *testing.B) {
 		b.Fatal(err)
 	}
 	go func() { _ = srv.Serve(l) }()
-	defer srv.Close()
+	b.Cleanup(func() { _ = srv.Close() })
 
-	client, err := Dial(l.Addr().String(), ClientConfig{CacheCapacity: 128})
+	client, err := Dial(l.Addr().String(), ClientConfig{CacheCapacity: 128, MaxProtocol: clientMax})
 	if err != nil {
 		b.Fatal(err)
 	}
-	defer client.Close()
+	b.Cleanup(func() { _ = client.Close() })
+	return client
+}
 
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := client.Open(fmt.Sprintf("/bench/f%04d", i%files)); err != nil {
-			b.Fatal(err)
-		}
-	}
-	b.StopTimer()
+func reportHitRate(b *testing.B, client *Client) {
+	b.Helper()
 	s := client.Stats()
 	if s.Opens > 0 {
 		b.ReportMetric(100*float64(s.Hits)/float64(s.Opens), "local_hit_%")
 	}
+}
+
+// BenchmarkOpenLoopback measures end-to-end opens per second through the
+// full protocol stack on a loopback socket, cycling through a working set
+// larger than the client cache so misses and group replies are exercised.
+func BenchmarkOpenLoopback(b *testing.B) {
+	client := benchPair(b, 0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := client.Open(fmt.Sprintf("/bench/f%04d", i%benchFiles)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	reportHitRate(b, client)
+}
+
+// BenchmarkOpenLoopbackSerial is the same sequential workload forced onto
+// the lock-step version-1 protocol: the serialized baseline the pipelined
+// transport is measured against.
+func BenchmarkOpenLoopbackSerial(b *testing.B) {
+	client := benchPair(b, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := client.Open(fmt.Sprintf("/bench/f%04d", i%benchFiles)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	reportHitRate(b, client)
+}
+
+// BenchmarkOpenPipelined shares one client — one connection — across 8
+// goroutines, exercising the multiplexed transport and the server's
+// concurrent serving path end to end.
+func BenchmarkOpenPipelined(b *testing.B) {
+	client := benchPair(b, 0)
+	const workers = 8
+	b.ReportAllocs()
+	b.ResetTimer()
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	var failed atomic.Value
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				i := next.Add(1) - 1
+				if i >= int64(b.N) {
+					return
+				}
+				if _, err := client.Open(fmt.Sprintf("/bench/f%04d", (int(i)*7+w)%benchFiles)); err != nil {
+					failed.Store(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	b.StopTimer()
+	if err, ok := failed.Load().(error); ok {
+		b.Fatal(err)
+	}
+	reportHitRate(b, client)
 }

@@ -16,10 +16,17 @@ import (
 // ErrConnBroken marks a connection poisoned by an I/O or protocol error.
 // A frame-level failure may leave the stream desynchronized, so a broken
 // connection is closed and never reused; the next request redials when a
-// Dialer is configured, otherwise it fails with this error.
+// Dialer is configured, otherwise it fails with this error. On a
+// pipelined (version-2) connection every in-flight call fails fast with
+// this error when the connection is poisoned.
 var ErrConnBroken = errors.New("fsnet: connection broken")
 
 var errClientClosed = errors.New("fsnet: client closed")
+
+// errLegacyServer reports that the peer answered the protocol handshake
+// with "unknown message type": it predates version 2, so the client
+// downgrades to lock-step version 1 and redials.
+var errLegacyServer = errors.New("fsnet: legacy server (no handshake)")
 
 // Backoff is an exponential backoff schedule with jitter, governing the
 // delay before each retry of a failed round trip.
@@ -85,9 +92,10 @@ type ClientConfig struct {
 	// metadata (§3); disabling it models the uncooperative client of
 	// §4.3.
 	DisablePiggyback bool
-	// Timeout bounds each request round trip via SetDeadline on the
-	// connection. Zero means no deadline: a stalled server can block a
-	// request indefinitely.
+	// Timeout bounds each request round trip. Zero means no deadline: a
+	// stalled server can block a request indefinitely. On a pipelined
+	// connection a timeout poisons the whole connection (the stream
+	// position is unknown), failing every in-flight call.
 	Timeout time.Duration
 	// Dialer re-establishes the connection after a failure. Dial
 	// installs a TCP dialer for its address automatically; NewClient
@@ -104,6 +112,19 @@ type ClientConfig struct {
 	// Seed makes retry jitter deterministic; zero selects a fixed
 	// default so behaviour is reproducible unless varied explicitly.
 	Seed int64
+	// MaxProtocol caps the protocol version offered at handshake. Zero
+	// offers the latest. Setting 1 skips the handshake entirely and
+	// speaks the original lock-step protocol — useful against ancient
+	// servers and as the serialized baseline in benchmarks.
+	MaxProtocol int
+}
+
+// maxProto normalizes MaxProtocol to a usable version number.
+func (cfg ClientConfig) maxProto() int {
+	if cfg.MaxProtocol <= 0 || cfg.MaxProtocol > protocolLatest {
+		return protocolLatest
+	}
+	return cfg.MaxProtocol
 }
 
 // ClientStats is a snapshot of client cache activity.
@@ -146,30 +167,41 @@ type clientConn struct {
 }
 
 // Client is the client-side cache manager of Figure 2. It is safe for
-// concurrent use by multiple goroutines; requests are serialized over one
-// connection, which is redialed with exponential backoff after failures
-// when a Dialer is configured.
+// concurrent use by multiple goroutines. After the version handshake the
+// connection is multiplexed: concurrent opens are pipelined over one
+// connection and replies are matched by request ID, so N goroutines
+// proceed without serializing on the wire. Against a legacy (version-1)
+// server the client falls back to lock-step request/reply. Broken
+// connections are redialed with exponential backoff when a Dialer is
+// configured.
 //
-// Locking: mu guards the cache state, stats, pending history, and the
-// connection slot, and is never held across network I/O — Stats,
-// Contains, Close, and cache hits always return promptly even while a
-// request is stalled on the wire. reqMu serializes round trips and is
-// never acquired while holding mu.
+// Locking (see DESIGN.md §10): mu guards the cache state, stats, pending
+// history, and the transport slots, and is never held across network I/O
+// — Stats, Contains, Close, and cache hits always return promptly even
+// while requests are stalled on the wire. connMu serializes connection
+// establishment (dial + handshake). reqMu serializes round trips on the
+// legacy lock-step path only. rngMu guards the retry-jitter source.
+// Order: reqMu / connMu → mux.mu → mu; rngMu is a leaf.
 type Client struct {
 	cfg ClientConfig
 
 	mu         sync.Mutex
-	conn       *clientConn // nil while disconnected
+	conn       *clientConn // v1 or not-yet-negotiated connection; nil while disconnected
+	mux        *muxConn    // v2 pipelined transport; nil while disconnected
+	proto      int         // 0 until negotiated, then protocolV1 or protocolV2
 	ids        *trace.Interner
 	lru        *cache.LRU
-	data       map[trace.FileID][]byte
-	prefetched map[trace.FileID]bool
+	data       [][]byte // file contents, indexed by interned FileID
+	prefetched []bool   // arrived as non-demanded group member, indexed by FileID
 	pending    []string // access history awaiting piggybacking
 	stats      ClientStats
 	closed     bool
 
-	reqMu sync.Mutex
-	rng   *rand.Rand // retry jitter; guarded by reqMu
+	connMu sync.Mutex // serializes dial + handshake
+	reqMu  sync.Mutex // serializes lock-step (v1) round trips
+
+	rngMu sync.Mutex
+	rng   *rand.Rand // retry jitter; guarded by rngMu
 }
 
 // Dial connects a new client to the server at addr and installs a TCP
@@ -187,8 +219,9 @@ func Dial(addr string, cfg ClientConfig) (*Client, error) {
 }
 
 // NewClient wraps an established connection (useful for tests and custom
-// transports). Without a cfg.Dialer the client cannot reconnect: the
-// first broken connection leaves it permanently degraded.
+// transports). The protocol handshake runs lazily on the first request.
+// Without a cfg.Dialer the client cannot reconnect: the first broken
+// connection leaves it permanently degraded.
 func NewClient(conn net.Conn, cfg ClientConfig) (*Client, error) {
 	if cfg.CacheCapacity == 0 {
 		cfg.CacheCapacity = 128
@@ -203,36 +236,47 @@ func NewClient(conn net.Conn, cfg ClientConfig) (*Client, error) {
 		seed = 1
 	}
 	c := &Client{
-		cfg:        cfg,
-		conn:       &clientConn{conn: conn, r: bufio.NewReader(conn), w: bufio.NewWriter(conn)},
-		ids:        trace.NewInterner(),
-		lru:        lru,
-		data:       make(map[trace.FileID][]byte),
-		prefetched: make(map[trace.FileID]bool),
-		rng:        rand.New(rand.NewSource(seed)),
+		cfg: cfg,
+		ids: trace.NewInterner(),
+		lru: lru,
+		rng: rand.New(rand.NewSource(seed)),
+	}
+	if conn != nil {
+		c.conn = &clientConn{conn: conn, r: bufio.NewReader(conn), w: bufio.NewWriter(conn)}
+	}
+	if cfg.maxProto() == protocolV1 {
+		c.proto = protocolV1 // no handshake: pure legacy lock-step
 	}
 	lru.OnEvict(func(id trace.FileID) {
-		delete(c.data, id)
-		delete(c.prefetched, id)
+		c.data[id] = nil
+		c.prefetched[id] = false
 	})
 	return c, nil
 }
 
 // Close shuts the connection down. Open fails afterwards. Close never
-// waits on an in-flight request: it closes the live connection, which
-// aborts any blocked I/O.
+// waits on in-flight requests: it closes the live connection, which
+// aborts any blocked I/O and fails every pipelined in-flight call.
 func (c *Client) Close() error {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if c.closed {
+		c.mu.Unlock()
 		return nil
 	}
 	c.closed = true
-	if c.conn == nil {
-		return nil
+	cc, m := c.conn, c.mux
+	c.conn, c.mux = nil, nil
+	c.mu.Unlock()
+	var err error
+	if cc != nil {
+		err = cc.conn.Close()
 	}
-	err := c.conn.conn.Close()
-	c.conn = nil
+	if m != nil {
+		// The reader notices the close and fails all in-flight calls.
+		if cerr := m.conn.Close(); err == nil {
+			err = cerr
+		}
+	}
 	return err
 }
 
@@ -256,7 +300,26 @@ func (c *Client) Contains(path string) bool {
 func (c *Client) Connected() bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.conn != nil
+	return c.conn != nil || c.mux != nil
+}
+
+// ProtocolVersion returns the negotiated protocol version: 0 before the
+// first handshake, then 1 (lock-step) or 2 (pipelined).
+func (c *Client) ProtocolVersion() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.proto
+}
+
+// ensureDense grows the FileID-indexed data/prefetched slices to cover id.
+// Interned IDs are dense and small, so these stay proportional to the
+// number of distinct paths seen, and indexing them replaces two map
+// lookups on the open hot path. Called with mu held.
+func (c *Client) ensureDense(id trace.FileID) {
+	for int(id) >= len(c.data) {
+		c.data = append(c.data, nil)
+		c.prefetched = append(c.prefetched, false)
+	}
 }
 
 // Open returns the contents of path, from the local cache when possible,
@@ -272,18 +335,19 @@ func (c *Client) Open(path string) ([]byte, error) {
 		return nil, errClientClosed
 	}
 	id := c.ids.Intern(path)
+	c.ensureDense(id)
 	if !c.cfg.DisablePiggyback && len(c.pending) < maxStatPaths {
 		c.pending = append(c.pending, path)
 	}
 	if c.lru.Contains(id) {
 		c.stats.Opens++
 		c.stats.Hits++
-		if c.conn == nil {
+		if c.conn == nil && c.mux == nil {
 			c.stats.DegradedHits++
 		}
 		if c.prefetched[id] {
 			c.stats.PrefetchHits++
-			delete(c.prefetched, id)
+			c.prefetched[id] = false
 		}
 		c.lru.Touch(id)
 		out := make([]byte, len(c.data[id]))
@@ -321,10 +385,11 @@ func (c *Client) Write(path string, data []byte) error {
 		return fmt.Errorf("fsnet: file of %d bytes exceeds limit %d", len(data), maxFileSize)
 	}
 	payload := encodeWriteRequest(writeRequest{Path: path, Data: data})
-	typ, body, err := c.exchange(msgWrite, func() ([]byte, int) { return payload, 0 })
+	typ, body, err := c.roundTrip(msgWrite, "", payload)
 	if err != nil {
 		return err
 	}
+	defer putFrameBuf(body)
 	switch typ {
 	case msgWriteOK:
 		c.mu.Lock()
@@ -351,30 +416,23 @@ func (c *Client) Write(path string, data []byte) error {
 }
 
 // fetch performs one open round trip, retrying per the config. The
-// piggybacked history is only consumed once the server has demonstrably
-// received it (any reply frame): a failed round trip retains the history
-// so the access transitions are re-sent — and the server still learns
-// them — on the next successful request (§3 metadata quality).
+// piggybacked history is claimed when the request is enqueued and
+// restored if the server demonstrably never processed it (any reply frame
+// consumes it): a failed round trip retains the history so the access
+// transitions are re-sent — and the server still learns them — on the
+// next successful request (§3 metadata quality).
 func (c *Client) fetch(path string) (groupResponse, error) {
-	var sent int
-	build := func() ([]byte, int) {
-		req, n := c.buildOpenRequest(path)
-		sent = n
-		return encodeOpenRequest(req), n
-	}
-	typ, body, err := c.exchange(msgOpen, build)
+	typ, body, err := c.roundTrip(msgOpen, path, nil)
 	if err != nil {
 		return groupResponse{}, err
 	}
-	// The server processed the request (even an error reply records the
-	// piggybacked history), so the sent prefix is consumed.
-	c.consumePending(sent)
+	defer putFrameBuf(body)
 	switch typ {
 	case msgGroup:
-		resp, err := decodeGroupResponse(body)
-		if err != nil {
+		resp, derr := decodeGroupResponse(body)
+		if derr != nil {
 			c.poisonCurrent()
-			return groupResponse{}, fmt.Errorf("%w: %v", ErrConnBroken, err)
+			return groupResponse{}, fmt.Errorf("%w: %v", ErrConnBroken, derr)
 		}
 		if resp.Files[0].Path != path {
 			c.poisonCurrent()
@@ -382,10 +440,10 @@ func (c *Client) fetch(path string) (groupResponse, error) {
 		}
 		return resp, nil
 	case msgError:
-		e, err := decodeErrorResponse(body)
-		if err != nil {
+		e, derr := decodeErrorResponse(body)
+		if derr != nil {
 			c.poisonCurrent()
-			return groupResponse{}, fmt.Errorf("%w: %v", ErrConnBroken, err)
+			return groupResponse{}, fmt.Errorf("%w: %v", ErrConnBroken, derr)
 		}
 		if e.Code == CodeNotFound {
 			return groupResponse{}, fmt.Errorf("%w: %s", ErrNotFound, e.Message)
@@ -397,56 +455,74 @@ func (c *Client) fetch(path string) (groupResponse, error) {
 	}
 }
 
-// buildOpenRequest snapshots the pending history into a request. It
-// returns the number of pending entries the request covers, so a later
-// consumePending removes exactly what was sent (entries appended by
-// concurrent opens during the round trip are preserved).
-func (c *Client) buildOpenRequest(path string) (openRequest, int) {
+// claimPending atomically takes the pending history for one open of path.
+// It returns the Accessed list to send — the claimed history minus a
+// trailing entry for the demanded path itself (the server appends the
+// demanded open on arrival), capped at the protocol limit by dropping the
+// oldest overflow — and the slice to hand to restorePending should the
+// attempt fail before the server saw it.
+func (c *Client) claimPending(path string) (accessed, claimed []string) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	req := openRequest{Path: path}
-	n := len(c.pending)
-	if !c.cfg.DisablePiggyback && n > 0 {
-		// The history includes this open itself (appended by Open); the
-		// server learns everything up to but excluding the demanded
-		// path, then the demanded open, so exclude the final entry when
-		// it is this request's own path.
-		hist := c.pending[:n]
-		if hist[n-1] == path {
-			hist = hist[:n-1]
-		}
-		req.Accessed = append([]string(nil), hist...)
+	if c.cfg.DisablePiggyback || len(c.pending) == 0 {
+		return nil, nil
 	}
-	return req, n
+	claimed = c.pending
+	c.pending = nil
+	accessed = claimed
+	if n := len(accessed); accessed[n-1] == path {
+		accessed = accessed[:n-1]
+	}
+	if len(accessed) > maxStatPaths {
+		// Restores after repeated failures can grow the backlog past the
+		// frame limit; keep the newest transitions and forget the oldest
+		// so the backlog cannot grow without bound.
+		overflow := len(accessed) - maxStatPaths
+		accessed = accessed[overflow:]
+		claimed = claimed[overflow:]
+	}
+	return accessed, claimed
 }
 
-// consumePending drops the first n pending entries (those covered by a
-// round trip the server acknowledged).
-func (c *Client) consumePending(n int) {
+// restorePending prepends a claimed history that the server never saw, so
+// it rides along with the next successful request. Entries appended by
+// opens that ran during the failed round trip are newer and stay behind
+// the restored prefix.
+func (c *Client) restorePending(claimed []string) {
+	if len(claimed) == 0 {
+		return
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if n > len(c.pending) {
-		n = len(c.pending)
+	if len(c.pending) == 0 {
+		c.pending = claimed
+		return
 	}
-	c.pending = append(c.pending[:0], c.pending[n:]...)
+	merged := make([]string, 0, len(claimed)+len(c.pending))
+	merged = append(merged, claimed...)
+	merged = append(merged, c.pending...)
+	c.pending = merged
 }
 
-// exchange performs one request/reply exchange: ensure a live connection
-// (redialing if needed), arm the per-request deadline, send one frame,
-// read one frame. Transport failures poison the connection and are
-// retried with backoff up to cfg.MaxRetries; a msgError carrying CodeBusy
-// (the server's MaxConns rejection) is retried the same way. build is
-// invoked per attempt so the payload can track state that changes between
-// attempts (the piggybacked history); its second result is threaded back
-// through the caller.
-func (c *Client) exchange(reqType uint8, build func() ([]byte, int)) (uint8, []byte, error) {
-	c.reqMu.Lock()
-	defer c.reqMu.Unlock()
+// backoffDelay returns the jittered sleep before retry attempt (0-based).
+func (c *Client) backoffDelay(attempt int) time.Duration {
+	c.rngMu.Lock()
+	defer c.rngMu.Unlock()
+	return c.cfg.Backoff.delay(attempt, c.rng)
+}
 
+// roundTrip performs one request with retries: ensure a live transport
+// (handshaking and redialing as needed), send, await the matching reply.
+// Transport failures poison the connection and are retried with backoff
+// up to cfg.MaxRetries; a msgError carrying CodeBusy (the server's
+// MaxConns rejection) is retried the same way. Application errors are
+// returned to the caller undisturbed. The returned payload aliases a
+// pooled buffer; the caller recycles it with putFrameBuf after decoding.
+func (c *Client) roundTrip(reqType uint8, path string, payload []byte) (uint8, []byte, error) {
 	var lastErr error
 	for attempt := 0; ; attempt++ {
 		if attempt > 0 {
-			time.Sleep(c.cfg.Backoff.delay(attempt-1, c.rng))
+			time.Sleep(c.backoffDelay(attempt - 1))
 			c.mu.Lock()
 			closed := c.closed
 			if !closed {
@@ -457,7 +533,7 @@ func (c *Client) exchange(reqType uint8, build func() ([]byte, int)) (uint8, []b
 				return 0, nil, errClientClosed
 			}
 		}
-		cc, err := c.ensureConn()
+		m, cc, err := c.transport()
 		if err != nil {
 			if errors.Is(err, errClientClosed) || attempt >= c.cfg.MaxRetries {
 				return 0, nil, err
@@ -465,34 +541,36 @@ func (c *Client) exchange(reqType uint8, build func() ([]byte, int)) (uint8, []b
 			lastErr = err
 			continue
 		}
-		payload, _ := build()
-		if c.cfg.Timeout > 0 {
-			_ = cc.conn.SetDeadline(time.Now().Add(c.cfg.Timeout))
-		}
-		err = writeFrame(cc.w, reqType, payload)
 		var typ uint8
 		var body []byte
-		if err == nil {
-			typ, body, err = readFrame(cc.r)
+		var claimed []string
+		if m != nil {
+			typ, body, claimed, err = c.callMux(m, reqType, path, payload)
+		} else {
+			typ, body, claimed, err = c.callV1(cc, reqType, path, payload)
 		}
 		if err != nil {
-			c.poison(cc)
-			lastErr = fmt.Errorf("%w: %v", ErrConnBroken, err)
-			if attempt >= c.cfg.MaxRetries {
+			// The poisoning path already restored any claimed history.
+			lastErr = err
+			if errors.Is(err, errClientClosed) || attempt >= c.cfg.MaxRetries {
 				return 0, nil, lastErr
 			}
 			continue
 		}
-		if c.cfg.Timeout > 0 {
-			_ = cc.conn.SetDeadline(time.Time{})
-		}
 		if typ == msgError {
 			if e, derr := decodeErrorResponse(body); derr == nil && e.Code == CodeBusy {
-				// Accept-limit rejection: the server closes this
-				// connection after the reply, so treat it like a
-				// transport failure and back off.
-				c.poison(cc)
-				lastErr = fmt.Errorf("%w: server busy: %s", ErrConnBroken, e.Message)
+				// Accept-limit rejection: the server closes the connection
+				// after this reply and never processed the request, so the
+				// claimed history goes back on the backlog before backoff.
+				putFrameBuf(body)
+				c.restorePending(claimed)
+				busy := fmt.Errorf("%w: server busy: %s", ErrConnBroken, e.Message)
+				if m != nil {
+					m.poison(busy)
+				} else {
+					c.poison(cc)
+				}
+				lastErr = busy
 				if attempt >= c.cfg.MaxRetries {
 					return 0, nil, lastErr
 				}
@@ -503,41 +581,259 @@ func (c *Client) exchange(reqType uint8, build func() ([]byte, int)) (uint8, []b
 	}
 }
 
-// ensureConn returns the live connection, redialing when the slot is
-// empty. Called with reqMu held.
-func (c *Client) ensureConn() (*clientConn, error) {
-	c.mu.Lock()
-	if c.closed {
-		c.mu.Unlock()
-		return nil, errClientClosed
-	}
-	cc := c.conn
-	c.mu.Unlock()
-	if cc != nil {
-		return cc, nil
-	}
-	if c.cfg.Dialer == nil {
-		return nil, fmt.Errorf("%w: no dialer configured", ErrConnBroken)
-	}
-	raw, err := c.cfg.Dialer()
+// callMux performs one pipelined call over the multiplexed transport.
+func (c *Client) callMux(m *muxConn, reqType uint8, path string, payload []byte) (uint8, []byte, []string, error) {
+	call, err := m.enqueue(reqType, path, payload)
 	if err != nil {
-		return nil, fmt.Errorf("%w: redial: %v", ErrConnBroken, err)
+		return 0, nil, nil, err
 	}
-	cc = &clientConn{conn: raw, r: bufio.NewReader(raw), w: bufio.NewWriter(raw)}
+	var res muxResult
+	if c.cfg.Timeout > 0 {
+		timer := time.NewTimer(c.cfg.Timeout)
+		select {
+		case res = <-call.done:
+			timer.Stop()
+		case <-timer.C:
+			// The stream position is unknown after a timeout, so the whole
+			// connection is poisoned — which guarantees a result below.
+			m.poison(fmt.Errorf("%w: request timed out after %v", ErrConnBroken, c.cfg.Timeout))
+			res = <-call.done
+		}
+	} else {
+		res = <-call.done
+	}
+	if res.err != nil {
+		return 0, nil, nil, res.err
+	}
+	return res.typ, res.payload, call.claimed, nil
+}
+
+// callV1 performs one lock-step round trip over the legacy transport.
+// reqMu serializes these; it is never held by the pipelined path.
+func (c *Client) callV1(cc *clientConn, reqType uint8, path string, payload []byte) (uint8, []byte, []string, error) {
+	c.reqMu.Lock()
+	defer c.reqMu.Unlock()
+	var claimed []string
+	if reqType == msgOpen {
+		var accessed []string
+		accessed, claimed = c.claimPending(path)
+		payload = encodeOpenRequest(openRequest{Path: path, Accessed: accessed})
+	}
+	if c.cfg.Timeout > 0 {
+		_ = cc.conn.SetDeadline(time.Now().Add(c.cfg.Timeout))
+	}
+	err := writeFrame(cc.w, reqType, payload)
+	var typ uint8
+	var body []byte
+	if err == nil {
+		typ, body, err = readFrame(cc.r)
+	}
+	if err != nil {
+		c.restorePending(claimed)
+		c.poison(cc)
+		return 0, nil, nil, fmt.Errorf("%w: %v", ErrConnBroken, err)
+	}
+	if c.cfg.Timeout > 0 {
+		_ = cc.conn.SetDeadline(time.Time{})
+	}
+	return typ, body, claimed, nil
+}
+
+// transport returns the live transport — the mux for a version-2
+// connection, or the lock-step clientConn for version 1 — establishing
+// one (dial + handshake) when the slot is empty. connMu makes sure only
+// one goroutine dials while the rest wait and then share the result.
+func (c *Client) transport() (*muxConn, *clientConn, error) {
+	if m, cc, ok, err := c.liveTransport(); ok || err != nil {
+		return m, cc, err
+	}
+	c.connMu.Lock()
+	defer c.connMu.Unlock()
+	if m, cc, ok, err := c.liveTransport(); ok || err != nil {
+		return m, cc, err
+	}
+
+	// Take the not-yet-negotiated connection if there is one (the conn
+	// NewClient wrapped); otherwise this is a redial. The candidate stays
+	// published in c.conn throughout the handshake so a concurrent Close
+	// can abort a blocked negotiation by closing the socket.
 	c.mu.Lock()
+	cc := c.conn
+	proto := c.proto
+	c.mu.Unlock()
+	countRedial := cc == nil
+	for {
+		if cc == nil {
+			if c.cfg.Dialer == nil {
+				return nil, nil, fmt.Errorf("%w: no dialer configured", ErrConnBroken)
+			}
+			raw, err := c.cfg.Dialer()
+			if err != nil {
+				return nil, nil, fmt.Errorf("%w: redial: %v", ErrConnBroken, err)
+			}
+			cc = &clientConn{conn: raw, r: bufio.NewReader(raw), w: bufio.NewWriter(raw)}
+			c.mu.Lock()
+			if c.closed {
+				c.mu.Unlock()
+				_ = raw.Close()
+				return nil, nil, errClientClosed
+			}
+			c.conn = cc
+			c.mu.Unlock()
+		}
+		if proto == protocolV1 {
+			v1, err := c.installV1(cc, countRedial)
+			return nil, v1, err
+		}
+		ver, err := c.handshake(cc)
+		switch {
+		case err == nil && ver >= protocolV2:
+			m, err := c.installMux(cc, countRedial)
+			return m, nil, err
+		case err == nil:
+			// The server negotiated version 1 explicitly; the same
+			// connection continues in lock-step mode.
+			c.setProto(protocolV1)
+			v1, ierr := c.installV1(cc, countRedial)
+			return nil, v1, ierr
+		case errors.Is(err, errLegacyServer):
+			// Pre-handshake peer: it answered the hello with "unknown
+			// message type" and closed the connection. Remember version 1
+			// and redial; the downgrade redial is connection
+			// establishment, not a reconnect or a broken connection, so
+			// neither stat moves.
+			c.setProto(protocolV1)
+			proto = protocolV1
+			c.dropConn(cc)
+			cc = nil
+			if c.cfg.Dialer == nil {
+				return nil, nil, fmt.Errorf("%w: legacy server and no dialer to redial", ErrConnBroken)
+			}
+			continue
+		default:
+			// poison counts the broken connection only if the candidate is
+			// still in the slot — a concurrent Close already emptied it.
+			c.poison(cc)
+			return nil, nil, err
+		}
+	}
+}
+
+// liveTransport returns the installed transport, if any. ok reports
+// whether one was found.
+func (c *Client) liveTransport() (*muxConn, *clientConn, bool, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if c.closed {
-		c.mu.Unlock()
-		_ = raw.Close()
+		return nil, nil, false, errClientClosed
+	}
+	if c.mux != nil {
+		return c.mux, nil, true, nil
+	}
+	if c.proto == protocolV1 && c.conn != nil {
+		return nil, c.conn, true, nil
+	}
+	return nil, nil, false, nil
+}
+
+func (c *Client) setProto(p int) {
+	c.mu.Lock()
+	c.proto = p
+	c.mu.Unlock()
+}
+
+// handshake offers our maximum protocol version and decodes the server's
+// answer. Called with connMu held, before the connection is installed.
+func (c *Client) handshake(cc *clientConn) (int, error) {
+	if c.cfg.Timeout > 0 {
+		_ = cc.conn.SetDeadline(time.Now().Add(c.cfg.Timeout))
+		defer cc.conn.SetDeadline(time.Time{})
+	}
+	if err := writeFrame(cc.w, msgHello, encodeHello(c.cfg.maxProto())); err != nil {
+		return 0, fmt.Errorf("%w: handshake: %v", ErrConnBroken, err)
+	}
+	typ, payload, err := readFrame(cc.r)
+	if err != nil {
+		return 0, fmt.Errorf("%w: handshake: %v", ErrConnBroken, err)
+	}
+	defer putFrameBuf(payload)
+	switch typ {
+	case msgHelloOK:
+		ver, derr := decodeHello(payload)
+		if derr != nil {
+			return 0, fmt.Errorf("%w: handshake: %v", ErrConnBroken, derr)
+		}
+		if ver > c.cfg.maxProto() {
+			return 0, fmt.Errorf("%w: server negotiated unoffered version %d", ErrConnBroken, ver)
+		}
+		return ver, nil
+	case msgError:
+		e, derr := decodeErrorResponse(payload)
+		if derr != nil {
+			return 0, fmt.Errorf("%w: handshake: %v", ErrConnBroken, derr)
+		}
+		if e.Code == CodeBadRequest {
+			return 0, errLegacyServer
+		}
+		return 0, fmt.Errorf("%w: handshake rejected: server error %d: %s", ErrConnBroken, e.Code, e.Message)
+	default:
+		return 0, fmt.Errorf("%w: unexpected handshake reply type %d", ErrConnBroken, typ)
+	}
+}
+
+// installV1 publishes a lock-step connection. Called with connMu held.
+func (c *Client) installV1(cc *clientConn, countRedial bool) (*clientConn, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		_ = cc.conn.Close()
 		return nil, errClientClosed
 	}
+	c.proto = protocolV1
 	c.conn = cc
-	c.stats.Reconnects++
-	c.mu.Unlock()
+	if countRedial {
+		c.stats.Reconnects++
+	}
 	return cc, nil
 }
 
-// poison closes a broken connection and empties the slot so nothing ever
-// reuses its (possibly desynchronized) stream.
+// installMux publishes a pipelined connection and starts its goroutines.
+// Called with connMu held.
+func (c *Client) installMux(cc *clientConn, countRedial bool) (*muxConn, error) {
+	m := newMuxConn(c, cc)
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		_ = cc.conn.Close()
+		return nil, errClientClosed
+	}
+	c.proto = protocolV2
+	if c.conn == cc {
+		c.conn = nil // the candidate graduates from the v1 slot to the mux
+	}
+	c.mux = m
+	if countRedial {
+		c.stats.Reconnects++
+	}
+	c.mu.Unlock()
+	m.start()
+	return m, nil
+}
+
+// dropConn closes a connection and empties the slot without counting a
+// broken connection — used for the legacy-server downgrade, which is
+// connection establishment rather than a failure.
+func (c *Client) dropConn(cc *clientConn) {
+	_ = cc.conn.Close()
+	c.mu.Lock()
+	if c.conn == cc {
+		c.conn = nil
+	}
+	c.mu.Unlock()
+}
+
+// poison closes a broken lock-step connection and empties the slot so
+// nothing ever reuses its (possibly desynchronized) stream.
 func (c *Client) poison(cc *clientConn) {
 	_ = cc.conn.Close()
 	c.mu.Lock()
@@ -548,12 +844,29 @@ func (c *Client) poison(cc *clientConn) {
 	c.mu.Unlock()
 }
 
-// poisonCurrent poisons whatever connection is currently installed; used
-// when a decoded reply reveals desynchronization after exchange returned.
+// dropMux empties the pipelined-connection slot after a poison. The
+// deliberate teardown in Close empties the slot first, so a poison racing
+// with Close does not count a broken connection.
+func (c *Client) dropMux(m *muxConn) {
+	c.mu.Lock()
+	if c.mux == m {
+		c.mux = nil
+		if !c.closed {
+			c.stats.BrokenConns++
+		}
+	}
+	c.mu.Unlock()
+}
+
+// poisonCurrent poisons whatever transport is currently installed; used
+// when a decoded reply reveals desynchronization after roundTrip returned.
 func (c *Client) poisonCurrent() {
 	c.mu.Lock()
-	cc := c.conn
+	cc, m := c.conn, c.mux
 	c.mu.Unlock()
+	if m != nil {
+		m.poison(fmt.Errorf("%w: desynchronized reply stream", ErrConnBroken))
+	}
 	if cc != nil {
 		c.poison(cc)
 	}
@@ -563,17 +876,16 @@ func (c *Client) poisonCurrent() {
 // head, other members appended at the tail, never evicting the incoming
 // group's own files to make room. Called with mu held.
 func (c *Client) install(id trace.FileID, resp groupResponse) {
-	protected := make(map[trace.FileID]bool, len(resp.Files))
 	memberIDs := make([]trace.FileID, len(resp.Files))
 	for i, f := range resp.Files {
 		memberIDs[i] = c.ids.Intern(f.Path)
-		protected[memberIDs[i]] = true
+		c.ensureDense(memberIDs[i])
 		c.stats.FilesReceived++
 		c.stats.BytesReceived += uint64(len(f.Data))
 	}
 
 	for c.lru.Len() >= c.cfg.CacheCapacity {
-		if _, ok := c.lru.EvictVictimExcept(protected); ok {
+		if _, ok := c.lru.EvictVictimExceptIDs(memberIDs); ok {
 			continue
 		}
 		if _, ok := c.lru.EvictVictim(); !ok {
@@ -582,7 +894,7 @@ func (c *Client) install(id trace.FileID, resp groupResponse) {
 	}
 	c.lru.InsertHead(id)
 	c.data[id] = resp.Files[0].Data
-	delete(c.prefetched, id)
+	c.prefetched[id] = false
 
 	for i := 1; i < len(resp.Files); i++ {
 		mid := memberIDs[i]
@@ -591,7 +903,7 @@ func (c *Client) install(id trace.FileID, resp groupResponse) {
 			continue
 		}
 		if c.lru.Len() >= c.cfg.CacheCapacity {
-			if _, ok := c.lru.EvictVictimExcept(protected); !ok {
+			if _, ok := c.lru.EvictVictimExceptIDs(memberIDs); !ok {
 				break
 			}
 		}

@@ -418,9 +418,9 @@ func TestDisablePiggybackServerLearnsMissesOnly(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	srv.mu.Lock()
+	srv.aggMu.Lock()
 	observed := srv.agg.Tracker().Observed()
-	srv.mu.Unlock()
+	srv.aggMu.Unlock()
 	if observed != 2 {
 		t.Errorf("server observed %d accesses, want 2 (misses only)", observed)
 	}
@@ -429,7 +429,11 @@ func TestDisablePiggybackServerLearnsMissesOnly(t *testing.T) {
 func TestServerIdleTimeoutDropsSilentClients(t *testing.T) {
 	store := seededStore(t, 2)
 	_, addr := startServer(t, store, ServerConfig{IdleTimeout: 50 * time.Millisecond})
-	client, err := Dial(addr, ClientConfig{})
+	// The pipelined transport notices the server's idle drop asynchronously
+	// (its reader sees EOF and poisons the connection), so the next open
+	// transparently redials rather than failing. MaxRetries absorbs the
+	// window where a request is enqueued just before the drop is noticed.
+	client, err := Dial(addr, ClientConfig{MaxRetries: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -437,13 +441,19 @@ func TestServerIdleTimeoutDropsSilentClients(t *testing.T) {
 	if _, err := client.Open("/data/f000"); err != nil {
 		t.Fatal(err)
 	}
-	// Stay silent past the idle timeout; the server must drop us, so a
-	// later request fails.
+	// Stay silent past the idle timeout; the server must drop us.
 	time.Sleep(150 * time.Millisecond)
-	if _, err := client.Open("/data/f001"); err == nil {
-		t.Error("open succeeded after idle disconnect")
+	if _, err := client.Open("/data/f001"); err != nil {
+		t.Errorf("open after idle disconnect did not recover: %v", err)
 	}
-	// A fresh connection still works.
+	st := client.Stats()
+	if st.BrokenConns == 0 {
+		t.Errorf("stats = %+v, want the idle drop recorded as a broken connection", st)
+	}
+	if st.Reconnects == 0 {
+		t.Errorf("stats = %+v, want a reconnect after the idle drop", st)
+	}
+	// A fresh connection still works too.
 	fresh, err := Dial(addr, ClientConfig{})
 	if err != nil {
 		t.Fatal(err)
@@ -701,16 +711,16 @@ func TestWriteDoesNotPerturbMetadata(t *testing.T) {
 		t.Fatal(err)
 	}
 	before := func() uint64 {
-		srv.mu.Lock()
-		defer srv.mu.Unlock()
+		srv.aggMu.Lock()
+		defer srv.aggMu.Unlock()
 		return srv.agg.Tracker().Observed()
 	}()
 	if err := client.Write("/data/f001", []byte("w")); err != nil {
 		t.Fatal(err)
 	}
 	after := func() uint64 {
-		srv.mu.Lock()
-		defer srv.mu.Unlock()
+		srv.aggMu.Lock()
+		defer srv.aggMu.Unlock()
 		return srv.agg.Tracker().Observed()
 	}()
 	if after != before {
@@ -757,12 +767,12 @@ func TestInterleavedClientsDoNotCorruptMetadata(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	srv.mu.Lock()
+	srv.aggMu.Lock()
 	tk := srv.agg.Tracker()
 	id0, _ := srv.ids.Lookup("/data/f000")
 	id20, _ := srv.ids.Lookup("/data/f020")
 	succs := tk.Successors(id0)
-	srv.mu.Unlock()
+	srv.aggMu.Unlock()
 	for _, sid := range succs {
 		if sid == id20 {
 			t.Errorf("server learned cross-client transition f000 -> f020; successors = %v", succs)

@@ -1,0 +1,204 @@
+package fsnet
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+)
+
+// muxConn is the version-2 client transport: one TCP connection shared by
+// any number of goroutines, with pipelined requests and out-of-order
+// replies matched by request ID.
+//
+// A writer goroutine drains a queue of encoded calls and flushes them in
+// batches (many frames, one syscall); a reader goroutine decodes reply
+// frames and delivers each to its call's completion channel. Any transport
+// or protocol error poisons the whole connection: every in-flight call
+// fails fast with ErrConnBroken, claimed piggyback history is restored to
+// the client in call order, and the connection is closed and never reused
+// — exactly the poisoning contract the lock-step path established.
+type muxConn struct {
+	c    *Client
+	conn net.Conn
+	r    *bufio.Reader
+	w    *bufio.Writer
+
+	mu     sync.Mutex
+	nextID uint64
+	calls  map[uint64]*muxCall // in flight: queued or written, awaiting reply
+	queue  []*muxCall          // awaiting the writer goroutine
+	broken bool
+	err    error // first error, set when broken
+
+	wake chan struct{} // capacity 1; nudges the writer
+}
+
+// muxCall is one pipelined request.
+type muxCall struct {
+	id      uint64
+	typ     uint8
+	payload []byte
+	// claimed is the piggyback history this call took from the client's
+	// pending list at enqueue; it is restored if the connection dies
+	// before the server demonstrably processed the call.
+	claimed []string
+	// done receives exactly one result (buffered so the reader never
+	// blocks on a caller).
+	done chan muxResult
+}
+
+type muxResult struct {
+	typ     uint8
+	payload []byte
+	err     error
+}
+
+func newMuxConn(c *Client, cc *clientConn) *muxConn {
+	return &muxConn{
+		c:     c,
+		conn:  cc.conn,
+		r:     cc.r,
+		w:     cc.w,
+		calls: make(map[uint64]*muxCall),
+		wake:  make(chan struct{}, 1),
+	}
+}
+
+// start launches the writer and reader goroutines. Called after the mux is
+// installed in the client's connection slot.
+func (m *muxConn) start() {
+	go m.writer()
+	go m.reader()
+}
+
+// enqueue registers one call and hands it to the writer. For msgOpen the
+// pending piggyback history is claimed here, while holding m.mu, so claim
+// order matches request-ID order — the invariant that lets poison restore
+// the histories of failed calls in the order they were taken.
+func (m *muxConn) enqueue(reqType uint8, path string, payload []byte) (*muxCall, error) {
+	m.mu.Lock()
+	if m.broken {
+		err := m.err
+		m.mu.Unlock()
+		return nil, err
+	}
+	m.nextID++
+	call := &muxCall{id: m.nextID, typ: reqType, done: make(chan muxResult, 1)}
+	if reqType == msgOpen {
+		var accessed []string
+		accessed, call.claimed = m.c.claimPending(path)
+		call.payload = encodeOpenRequest(openRequest{Path: path, Accessed: accessed})
+	} else {
+		call.payload = payload
+	}
+	m.calls[call.id] = call
+	m.queue = append(m.queue, call)
+	m.mu.Unlock()
+	select {
+	case m.wake <- struct{}{}:
+	default:
+	}
+	return call, nil
+}
+
+// writer drains the queue in batches: every queued frame is buffered and
+// the batch shares one Flush, so k pipelined requests cost one syscall
+// instead of k.
+func (m *muxConn) writer() {
+	for range m.wake {
+		for {
+			m.mu.Lock()
+			if m.broken {
+				m.mu.Unlock()
+				return
+			}
+			batch := m.queue
+			m.queue = nil
+			m.mu.Unlock()
+			if len(batch) == 0 {
+				break
+			}
+			var err error
+			for _, call := range batch {
+				if err = putFrameID(m.w, call.typ, call.id, call.payload); err != nil {
+					break
+				}
+			}
+			if err == nil {
+				err = m.w.Flush()
+			}
+			if err != nil {
+				m.poison(fmt.Errorf("%w: %v", ErrConnBroken, err))
+				return
+			}
+		}
+	}
+}
+
+// reader decodes replies and delivers each to its caller. Any read or
+// framing error — including Close of the underlying connection — poisons
+// the mux, which fails all in-flight calls.
+func (m *muxConn) reader() {
+	for {
+		typ, id, payload, err := readFrameID(m.r)
+		if err != nil {
+			m.poison(fmt.Errorf("%w: %v", ErrConnBroken, err))
+			return
+		}
+		m.mu.Lock()
+		call, ok := m.calls[id]
+		if ok {
+			delete(m.calls, id)
+		}
+		m.mu.Unlock()
+		if !ok {
+			putFrameBuf(payload)
+			m.poison(fmt.Errorf("%w: reply for unknown request %d", ErrConnBroken, id))
+			return
+		}
+		call.done <- muxResult{typ: typ, payload: payload}
+	}
+}
+
+// poison marks the mux broken, closes the connection, restores every
+// unanswered call's claimed history to the client (oldest call first),
+// empties the client's connection slot, and fails every unanswered call
+// with err. Idempotent; only the first error wins.
+func (m *muxConn) poison(err error) {
+	m.mu.Lock()
+	if m.broken {
+		m.mu.Unlock()
+		return
+	}
+	m.broken = true
+	m.err = err
+	orphans := make([]*muxCall, 0, len(m.calls))
+	for _, call := range m.calls {
+		orphans = append(orphans, call)
+	}
+	m.calls = make(map[uint64]*muxCall)
+	m.queue = nil
+	m.mu.Unlock()
+
+	_ = m.conn.Close()
+	// Nudge the writer so it observes broken and exits.
+	select {
+	case m.wake <- struct{}{}:
+	default:
+	}
+
+	// Request IDs were assigned in claim order, so restoring in ID order
+	// reassembles the piggyback backlog oldest-first.
+	sort.Slice(orphans, func(i, j int) bool { return orphans[i].id < orphans[j].id })
+	var hist []string
+	for _, call := range orphans {
+		hist = append(hist, call.claimed...)
+	}
+	m.c.restorePending(hist)
+	m.c.dropMux(m)
+	for _, call := range orphans {
+		call.done <- muxResult{err: err}
+	}
+}

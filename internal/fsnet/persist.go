@@ -24,8 +24,14 @@ var ErrBadServerMetadata = errors.New("fsnet: bad server metadata snapshot")
 // SaveMetadata writes the server's learned state. Safe to call while
 // serving; it briefly blocks request processing.
 func (s *Server) SaveMetadata(w io.Writer) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	// aggMu freezes the successor metadata; the interner can still grow
+	// concurrently (opens intern outside aggMu), but IDs are dense and
+	// append-only, so snapshotting Len() up front yields a consistent
+	// prefix — and any ID the frozen agg metadata references was interned
+	// before its LearnFrom, hence before this lock, hence within Len().
+	s.aggMu.Lock()
+	defer s.aggMu.Unlock()
+	n := s.ids.Len()
 
 	bw := bufio.NewWriter(w)
 	if _, err := bw.Write(metaMagic[:]); err != nil {
@@ -40,10 +46,10 @@ func (s *Server) SaveMetadata(w io.Writer) error {
 	if err := put(metaVersion); err != nil {
 		return err
 	}
-	if err := put(uint64(s.ids.Len())); err != nil {
+	if err := put(uint64(n)); err != nil {
 		return err
 	}
-	for i := 0; i < s.ids.Len(); i++ {
+	for i := 0; i < n; i++ {
 		path := s.ids.Path(trace.FileID(i))
 		if err := put(uint64(len(path))); err != nil {
 			return err
@@ -96,11 +102,11 @@ func (s *Server) LoadMetadata(r io.Reader) error {
 		ids.Intern(string(buf))
 	}
 
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.aggMu.Lock()
+	defer s.aggMu.Unlock()
 	if err := s.agg.LoadMetadata(br); err != nil {
 		return err
 	}
-	s.ids = ids
+	s.ids = trace.WrapInterner(ids)
 	return nil
 }

@@ -1,0 +1,128 @@
+package fsnet
+
+import (
+	"bufio"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"net"
+	"strings"
+	"testing"
+
+	"aggcache/internal/core"
+)
+
+// The sequential-behaviour pin: a scripted, strictly sequential legacy
+// (v1) client session must produce byte-identical group replies and an
+// identical ServerStats snapshot across refactors of the serving path.
+// The constants below were captured from the pre-concurrency server; any
+// change to them is a semantic regression, not a perf improvement.
+
+// pinStep is one scripted request: an open with an explicit piggybacked
+// history, or a whole-file write.
+type pinStep struct {
+	write    bool
+	path     string
+	accessed []string
+	data     string
+}
+
+func pinStore(t testing.TB) *Store {
+	t.Helper()
+	store := NewStore()
+	for i := 0; i < 16; i++ {
+		path := fmt.Sprintf("/pin/f%02d", i)
+		content := fmt.Sprintf("pin-data-%02d:%s", i, strings.Repeat("ab", i))
+		if err := store.Put(path, []byte(content)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return store
+}
+
+func pinScript() []pinStep {
+	f := func(i int) string { return fmt.Sprintf("/pin/f%02d", i) }
+	return []pinStep{
+		{path: f(0)},
+		{path: f(1), accessed: []string{f(0)}},
+		{path: f(2), accessed: []string{f(1)}},
+		{path: f(0)},
+		{path: f(1), accessed: []string{f(0)}},
+		{path: f(2), accessed: []string{f(1)}},
+		{path: f(10)},
+		{path: f(11), accessed: []string{f(10)}},
+		{path: f(0), accessed: []string{f(11)}},
+		{path: f(1)},
+		{path: f(2), accessed: []string{f(1)}},
+		{path: "/pin/missing"},
+		{write: true, path: f(3), data: "updated-f03"},
+		{path: f(3)},
+		{path: f(12), accessed: []string{f(3)}},
+		{path: f(13), accessed: []string{f(12)}},
+		{path: f(0), accessed: []string{f(13)}},
+		{path: f(1)},
+	}
+}
+
+// runPinScript replays the script over one raw legacy connection and
+// returns the SHA-256 over every reply frame (type byte || payload),
+// oldest first.
+func runPinScript(t *testing.T, addr string) string {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	r := bufio.NewReader(conn)
+	w := bufio.NewWriter(conn)
+	h := sha256.New()
+	for i, step := range pinScript() {
+		var sendErr error
+		if step.write {
+			sendErr = writeFrame(w, msgWrite, encodeWriteRequest(writeRequest{Path: step.path, Data: []byte(step.data)}))
+		} else {
+			sendErr = writeFrame(w, msgOpen, encodeOpenRequest(openRequest{Path: step.path, Accessed: step.accessed}))
+		}
+		if sendErr != nil {
+			t.Fatalf("step %d send: %v", i, sendErr)
+		}
+		typ, payload, err := readFrame(r)
+		if err != nil {
+			t.Fatalf("step %d reply: %v", i, err)
+		}
+		h.Write([]byte{typ})
+		h.Write(payload)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Captured from the pre-concurrency (serialized) server. Do not update
+// these without a deliberate, documented semantic change.
+const pinWantHash = "b2f73518b0d58cfae86056e6b82f56e0465a3b581df6a75d97c883bf8fd62bf4"
+
+var pinWantStats = ServerStats{
+	Requests:  18,
+	Errors:    1,
+	FilesSent: 32,
+	Cache: core.Stats{
+		Hits:         8,
+		Misses:       8,
+		GroupFetches: 8,
+		FilesFetched: 8,
+		Evictions:    2,
+	},
+}
+
+func TestSequentialServerPinnedBehaviour(t *testing.T) {
+	store := pinStore(t)
+	srv, addr := startServer(t, store, ServerConfig{GroupSize: 3, CacheCapacity: 6, SuccessorCapacity: 2})
+	gotHash := runPinScript(t, addr)
+	gotStats := srv.Stats()
+	if gotHash != pinWantHash {
+		t.Errorf("reply hash = %s, want %s", gotHash, pinWantHash)
+	}
+	if gotStats != pinWantStats {
+		t.Errorf("server stats = %+v, want %+v", gotStats, pinWantStats)
+	}
+}

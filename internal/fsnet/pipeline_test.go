@@ -1,0 +1,346 @@
+package fsnet
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"aggcache/internal/faultnet"
+)
+
+// The pipeline suite covers the version-2 serving path: many goroutines
+// multiplexed over one connection, version negotiation in both
+// directions, staging coalescing, and the poisoning contract when a
+// pipelined connection is cut with calls in flight.
+
+func TestProtocolNegotiatesV2(t *testing.T) {
+	store := seededStore(t, 4)
+	_, addr := startServer(t, store, ServerConfig{})
+	client, err := Dial(addr, ClientConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	if got := client.ProtocolVersion(); got != 0 {
+		t.Errorf("ProtocolVersion before first request = %d, want 0", got)
+	}
+	if _, err := client.Open("/data/f000"); err != nil {
+		t.Fatal(err)
+	}
+	if got := client.ProtocolVersion(); got != protocolV2 {
+		t.Errorf("ProtocolVersion = %d, want %d", got, protocolV2)
+	}
+}
+
+func TestProtocolDowngradeToLegacyServer(t *testing.T) {
+	store := seededStore(t, 4)
+	// MaxProtocol 1 makes the server answer the hello exactly like a
+	// pre-handshake build: msgError "unknown message type", then close.
+	_, addr := startServer(t, store, ServerConfig{MaxProtocol: 1})
+	client, err := Dial(addr, ClientConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	for i := 0; i < 4; i++ {
+		path := fmt.Sprintf("/data/f%03d", i)
+		data, err := client.Open(path)
+		if err != nil {
+			t.Fatalf("open %s against legacy server: %v", path, err)
+		}
+		if want := "contents of " + path; string(data) != want {
+			t.Errorf("open %s = %q, want %q", path, data, want)
+		}
+	}
+	if got := client.ProtocolVersion(); got != protocolV1 {
+		t.Errorf("ProtocolVersion = %d, want %d (downgraded)", got, protocolV1)
+	}
+	st := client.Stats()
+	// The downgrade redial is connection establishment, not recovery.
+	if st.Reconnects != 0 || st.BrokenConns != 0 {
+		t.Errorf("stats = %+v, want downgrade uncounted as reconnect/broken", st)
+	}
+}
+
+func TestProtocolClientCapsAtV1(t *testing.T) {
+	store := seededStore(t, 2)
+	srv, addr := startServer(t, store, ServerConfig{})
+	client, err := Dial(addr, ClientConfig{MaxProtocol: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	if _, err := client.Open("/data/f000"); err != nil {
+		t.Fatal(err)
+	}
+	if got := client.ProtocolVersion(); got != protocolV1 {
+		t.Errorf("ProtocolVersion = %d, want %d (capped)", got, protocolV1)
+	}
+	if st := srv.Stats(); st.Requests != 1 || st.Errors != 0 {
+		t.Errorf("server stats = %+v, want one clean lock-step request", st)
+	}
+}
+
+// TestConcurrentPipelinedOpens shares one client — hence one connection —
+// across many goroutines and checks every reply is matched to the right
+// request (bytes correct) with consistent accounting on both ends.
+func TestConcurrentPipelinedOpens(t *testing.T) {
+	const (
+		files      = 48
+		goroutines = 16
+		opensEach  = 60
+	)
+	store := seededStore(t, files)
+	srv, addr := startServer(t, store, ServerConfig{GroupSize: 4, CacheCapacity: 64})
+	client, err := Dial(addr, ClientConfig{CacheCapacity: 24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for n := 0; n < opensEach; n++ {
+				path := fmt.Sprintf("/data/f%03d", (g*7+n*13)%files)
+				data, err := client.Open(path)
+				if err != nil {
+					errs <- fmt.Errorf("goroutine %d open %s: %w", g, path, err)
+					return
+				}
+				if want := "contents of " + path; string(data) != want {
+					errs <- fmt.Errorf("goroutine %d open %s returned %q", g, path, data)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	if got := client.ProtocolVersion(); got != protocolV2 {
+		t.Fatalf("ProtocolVersion = %d, want %d", got, protocolV2)
+	}
+	cst := client.Stats()
+	if cst.Opens != goroutines*opensEach {
+		t.Errorf("client opens = %d, want %d", cst.Opens, goroutines*opensEach)
+	}
+	if cst.Opens != cst.Hits+cst.Fetches {
+		t.Errorf("inconsistent client stats: %+v", cst)
+	}
+	sst := srv.Stats()
+	if sst.Requests != cst.Fetches {
+		t.Errorf("server requests = %d, want %d (client fetches)", sst.Requests, cst.Fetches)
+	}
+	if sst.Errors != 0 || sst.Disconnects != 0 || sst.Panics != 0 {
+		t.Errorf("server stats = %+v, want clean run", sst)
+	}
+}
+
+// TestChaosPipelineCutMidFlight launches a burst of pipelined opens and
+// hard-resets the connection underneath them. The poisoning contract:
+// every in-flight call completes promptly — success or a typed error —
+// and the client recovers on a fresh connection afterwards.
+func TestChaosPipelineCutMidFlight(t *testing.T) {
+	const (
+		files      = 32
+		goroutines = 12
+		opensEach  = 40
+	)
+	store := seededStore(t, files)
+	_, addr := startServer(t, store, ServerConfig{GroupSize: 3, CacheCapacity: 64})
+	dialer, _ := faultnet.Dialer(addr, faultnet.Faults{
+		Seed:      7,
+		ResetProb: 0.02,
+	})
+	client, err := NewClient(nil, ClientConfig{
+		CacheCapacity: 16,
+		Dialer:        dialer,
+		Timeout:       time.Second,
+		MaxRetries:    10,
+		Backoff:       Backoff{Base: time.Millisecond, Max: 10 * time.Millisecond, Multiplier: 2, Jitter: 0.2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	type result struct {
+		g, n int
+		path string
+		err  error
+	}
+	var wg sync.WaitGroup
+	results := make(chan result, goroutines*opensEach)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for n := 0; n < opensEach; n++ {
+				path := fmt.Sprintf("/data/f%03d", (g*5+n*11)%files)
+				data, err := client.Open(path)
+				if err == nil {
+					if want := "contents of " + path; string(data) != want {
+						err = fmt.Errorf("wrong bytes %q", data)
+					}
+				}
+				results <- result{g: g, n: n, path: path, err: err}
+			}
+		}(g)
+	}
+	finished := make(chan struct{})
+	go func() { wg.Wait(); close(finished) }()
+	select {
+	case <-finished:
+	case <-time.After(30 * time.Second):
+		t.Fatal("pipelined calls did not complete after the cut: poisoning leaked a waiter")
+	}
+	close(results)
+
+	completed, failed := 0, 0
+	for r := range results {
+		completed++
+		if r.err != nil {
+			failed++
+			// Every failure must carry the typed transport error; random
+			// wrong-bytes or unexplained errors mean reply misdelivery.
+			if !errors.Is(r.err, ErrConnBroken) {
+				t.Errorf("goroutine %d open %d (%s): untyped failure: %v", r.g, r.n, r.path, r.err)
+			}
+		}
+	}
+	if completed != goroutines*opensEach {
+		t.Errorf("completed %d calls, want %d", completed, goroutines*opensEach)
+	}
+	st := client.Stats()
+	if st.BrokenConns == 0 {
+		t.Fatalf("stats = %+v, want at least one injected cut; chaos run was vacuous", st)
+	}
+	t.Logf("cut test: broken=%d reconnects=%d retries=%d failed-opens=%d",
+		st.BrokenConns, st.Reconnects, st.Retries, failed)
+
+	// Recovery: a fresh round of opens on the same client succeeds.
+	if _, err := client.Open("/data/f000"); err != nil {
+		// One residual cut can fail this open too; a second try must work.
+		if _, err := client.Open("/data/f000"); err != nil {
+			t.Errorf("client did not recover after cuts: %v", err)
+		}
+	}
+}
+
+// TestFlightGroupCoalesces pins the singleflight contract: overlapping
+// calls with one key share the leader's single execution, and
+// non-overlapping calls run fresh.
+func TestFlightGroupCoalesces(t *testing.T) {
+	var g flightGroup
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	var calls int
+	leaderDone := make(chan struct{})
+	go func() {
+		defer close(leaderDone)
+		files, ok, coalesced := g.do("k", func() ([]fileData, bool) {
+			calls++
+			close(entered)
+			<-release
+			return []fileData{{Path: "k", Data: []byte("v")}}, true
+		})
+		if !ok || coalesced || len(files) != 1 {
+			t.Errorf("leader got ok=%v coalesced=%v files=%d", ok, coalesced, len(files))
+		}
+	}()
+	<-entered
+
+	const followers = 8
+	var wg sync.WaitGroup
+	for i := 0; i < followers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			files, ok, coalesced := g.do("k", func() ([]fileData, bool) {
+				t.Error("follower executed fn despite leader in flight")
+				return nil, false
+			})
+			if !ok || !coalesced {
+				t.Errorf("follower got ok=%v coalesced=%v", ok, coalesced)
+			}
+			if len(files) != 1 || string(files[0].Data) != "v" {
+				t.Errorf("follower files = %v", files)
+			}
+		}()
+	}
+	// Give the followers a moment to join the flight, then release it.
+	time.Sleep(10 * time.Millisecond)
+	close(release)
+	wg.Wait()
+	<-leaderDone
+	if calls != 1 {
+		t.Errorf("fn ran %d times, want 1", calls)
+	}
+
+	// A later, non-overlapping call starts fresh.
+	_, _, coalesced := g.do("k", func() ([]fileData, bool) { return nil, true })
+	if coalesced {
+		t.Error("non-overlapping call reported coalesced")
+	}
+}
+
+// TestSequentialV2MatchesV1ServerStats replays one scripted sequence
+// twice — once over the pipelined protocol, once over lock-step against a
+// version-capped server — and requires identical server-side outcomes:
+// the transport must not perturb caching, grouping, or accounting.
+func TestSequentialV2MatchesV1ServerStats(t *testing.T) {
+	script := []string{
+		"/data/f000", "/data/f001", "/data/f002", "/data/f000",
+		"/data/f003", "/data/f001", "/data/f004", "/data/f005",
+		"/data/f002", "/data/f000", "/data/f006", "/data/f003",
+	}
+	run := func(serverMax int) (ServerStats, []string) {
+		store := seededStore(t, 8)
+		srv, addr := startServer(t, store, ServerConfig{
+			GroupSize: 3, CacheCapacity: 4, SuccessorCapacity: 2, MaxProtocol: serverMax,
+		})
+		client, err := Dial(addr, ClientConfig{CacheCapacity: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer client.Close()
+		var contents []string
+		for _, p := range script {
+			data, err := client.Open(p)
+			if err != nil {
+				t.Fatalf("open %s (server max %d): %v", p, serverMax, err)
+			}
+			contents = append(contents, string(data))
+		}
+		return srv.Stats(), contents
+	}
+	v2Stats, v2Contents := run(0)
+	v1Stats, v1Contents := run(1)
+	// The version-capped server rejects the client's hello probe exactly
+	// like a legacy build — one counted error before the downgrade. That
+	// is connection establishment, not serving; normalize it away.
+	if v1Stats.Errors != 1 {
+		t.Errorf("v1 server errors = %d, want exactly the downgrade probe", v1Stats.Errors)
+	}
+	v1Stats.Errors = 0
+	if v2Stats != v1Stats {
+		t.Errorf("server stats diverge:\n  v2: %+v\n  v1: %+v", v2Stats, v1Stats)
+	}
+	for i := range v2Contents {
+		if v2Contents[i] != v1Contents[i] {
+			t.Errorf("open %d: v2 returned %q, v1 returned %q", i, v2Contents[i], v1Contents[i])
+		}
+	}
+	if v2Stats.CoalescedStages != 0 {
+		t.Errorf("sequential run coalesced %d stagings, want 0", v2Stats.CoalescedStages)
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync"
 )
 
 // Message types.
@@ -31,6 +32,25 @@ const (
 	msgWrite
 	// msgWriteOK acknowledges a write.
 	msgWriteOK
+	// msgHello is the client's protocol-version offer, sent as the very
+	// first frame of a connection by version-2-capable clients. Legacy
+	// servers answer it with msgError ("unknown message type") and close,
+	// which the client detects and downgrades to lock-step version 1.
+	msgHello
+	// msgHelloOK is the server's handshake reply carrying the negotiated
+	// version: min(client offer, server maximum). At version >= 2 every
+	// subsequent frame on the connection carries a request ID and replies
+	// may return out of order.
+	msgHelloOK
+)
+
+// Protocol versions. Version 1 is the original lock-step protocol (no
+// handshake, one request in flight per connection); version 2 adds the
+// hello exchange and request-ID framing for pipelining.
+const (
+	protocolV1     = 1
+	protocolV2     = 2
+	protocolLatest = protocolV2
 )
 
 // Protocol limits; violations terminate the connection.
@@ -89,6 +109,15 @@ type errorResponse struct {
 
 // writeFrame emits one frame: u32 length (type+payload), u8 type, payload.
 func writeFrame(w *bufio.Writer, typ uint8, payload []byte) error {
+	if err := putFrame(w, typ, payload); err != nil {
+		return err
+	}
+	return w.Flush()
+}
+
+// putFrame buffers one v1 frame without flushing, so batches of frames
+// can share a single flush (and, typically, a single syscall).
+func putFrame(w *bufio.Writer, typ uint8, payload []byte) error {
 	if len(payload)+1 > maxFrame {
 		return fmt.Errorf("fsnet: frame of %d bytes exceeds limit", len(payload)+1)
 	}
@@ -98,10 +127,8 @@ func writeFrame(w *bufio.Writer, typ uint8, payload []byte) error {
 	if _, err := w.Write(hdr[:]); err != nil {
 		return err
 	}
-	if _, err := w.Write(payload); err != nil {
-		return err
-	}
-	return w.Flush()
+	_, err := w.Write(payload)
+	return err
 }
 
 // readFrame reads one frame, returning its type and payload.
@@ -114,11 +141,99 @@ func readFrame(r *bufio.Reader) (uint8, []byte, error) {
 	if n == 0 || n > maxFrame {
 		return 0, nil, fmt.Errorf("fsnet: frame length %d out of range", n)
 	}
-	body := make([]byte, n)
+	body := getFrameBuf(int(n))
 	if _, err := io.ReadFull(r, body); err != nil {
+		putFrameBuf(body)
 		return 0, nil, fmt.Errorf("fsnet: short frame: %w", err)
 	}
 	return body[0], body[1:], nil
+}
+
+// Version-2 framing: u32 length (type + id + payload), u8 type, u64
+// request ID, payload. The request ID ties a reply to its request so a
+// pipelined connection may return replies out of order.
+const v2HdrLen = 1 + 8 // type + request ID, inside the length prefix
+
+// putFrameID buffers one v2 frame without flushing.
+func putFrameID(w *bufio.Writer, typ uint8, id uint64, payload []byte) error {
+	if len(payload)+v2HdrLen > maxFrame {
+		return fmt.Errorf("fsnet: frame of %d bytes exceeds limit", len(payload)+v2HdrLen)
+	}
+	var hdr [4 + v2HdrLen]byte
+	binary.BigEndian.PutUint32(hdr[:4], uint32(len(payload)+v2HdrLen))
+	hdr[4] = typ
+	binary.BigEndian.PutUint64(hdr[5:], id)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// readFrameID reads one v2 frame, returning its type, request ID, and
+// payload. The payload aliases a pooled buffer; hand it back via
+// putFrameBuf once fully decoded.
+func readFrameID(r *bufio.Reader) (uint8, uint64, []byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, 0, nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n < v2HdrLen || n > maxFrame {
+		return 0, 0, nil, fmt.Errorf("fsnet: frame length %d out of range", n)
+	}
+	body := getFrameBuf(int(n))
+	if _, err := io.ReadFull(r, body); err != nil {
+		putFrameBuf(body)
+		return 0, 0, nil, fmt.Errorf("fsnet: short frame: %w", err)
+	}
+	return body[0], binary.BigEndian.Uint64(body[1:9]), body[9:], nil
+}
+
+// frameBufPool recycles frame bodies across requests. Decoders copy every
+// string and blob they keep, so a frame buffer is free for reuse as soon
+// as its payload has been decoded; the hot open path then performs no
+// per-frame allocation beyond the decoded file contents themselves.
+var frameBufPool = sync.Pool{New: func() interface{} { return make([]byte, 0, 4096) }}
+
+func getFrameBuf(n int) []byte {
+	b := frameBufPool.Get().([]byte)
+	if cap(b) < n {
+		frameBufPool.Put(b) //nolint:staticcheck // keep the small one for small frames
+		return make([]byte, n)
+	}
+	return b[:n]
+}
+
+// putFrameBuf returns a frame payload (or body) to the pool. Accepts the
+// payload sub-slice handed out by readFrame/readFrameID; the lost header
+// bytes of capacity are irrelevant to reuse.
+func putFrameBuf(b []byte) {
+	if cap(b) == 0 || cap(b) > maxFrame {
+		return
+	}
+	frameBufPool.Put(b[:0]) //nolint:staticcheck
+}
+
+// helloRequest is the payload of msgHello and msgHelloOK: just a protocol
+// version.
+func encodeHello(version int) []byte {
+	return appendUvarint(nil, uint64(version))
+}
+
+func decodeHello(payload []byte) (int, error) {
+	d := decoder{buf: payload}
+	v, err := d.uvarint()
+	if err != nil {
+		return 0, err
+	}
+	if v == 0 || v > 1<<16 {
+		return 0, fmt.Errorf("fsnet: protocol version %d out of range", v)
+	}
+	if err := d.done(); err != nil {
+		return 0, err
+	}
+	return int(v), nil
 }
 
 // Payload encoding helpers: strings and byte blobs are uvarint length +

@@ -203,8 +203,8 @@ func TestPiggybackRetainedAcrossFailedRoundTrip(t *testing.T) {
 	}
 
 	before := func() uint64 {
-		srv.mu.Lock()
-		defer srv.mu.Unlock()
+		srv.aggMu.Lock()
+		defer srv.aggMu.Unlock()
 		return srv.agg.Tracker().Observed()
 	}()
 
@@ -215,8 +215,8 @@ func TestPiggybackRetainedAcrossFailedRoundTrip(t *testing.T) {
 		t.Fatalf("recovery open: %v", err)
 	}
 	after := func() uint64 {
-		srv.mu.Lock()
-		defer srv.mu.Unlock()
+		srv.aggMu.Lock()
+		defer srv.aggMu.Unlock()
 		return srv.agg.Tracker().Observed()
 	}()
 	// f000,f001 hits + f005 (failed demanded, re-sent as history) +
@@ -225,7 +225,7 @@ func TestPiggybackRetainedAcrossFailedRoundTrip(t *testing.T) {
 		t.Errorf("server observed %d accesses after recovery, want 4 (history retained)", after-before)
 	}
 	// And the hit-path transition f000 -> f001 was learned.
-	srv.mu.Lock()
+	srv.aggMu.Lock()
 	id0, ok0 := srv.ids.Lookup("/data/f000")
 	id1, ok1 := srv.ids.Lookup("/data/f001")
 	var learned bool
@@ -236,7 +236,7 @@ func TestPiggybackRetainedAcrossFailedRoundTrip(t *testing.T) {
 			}
 		}
 	}
-	srv.mu.Unlock()
+	srv.aggMu.Unlock()
 	if !learned {
 		t.Error("server did not learn the piggybacked f000 -> f001 transition")
 	}

@@ -9,11 +9,17 @@ import (
 	"net"
 	"os"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"aggcache/internal/core"
 	"aggcache/internal/trace"
 )
+
+// maxServerPipeline bounds the request-handler goroutines in flight per
+// pipelined connection, so one peer flooding requests cannot exhaust the
+// scheduler before backpressure reaches its socket.
+const maxServerPipeline = 64
 
 // ServerConfig parameterizes a file server.
 type ServerConfig struct {
@@ -29,15 +35,29 @@ type ServerConfig struct {
 	// long. Zero disables the timeout.
 	IdleTimeout time.Duration
 	// WriteTimeout bounds each reply write so a stalled reader cannot
-	// wedge its handler (the write deadline is re-armed per reply).
-	// Zero disables the bound.
+	// wedge its handler (the write deadline is re-armed per reply
+	// batch). Zero disables the bound.
 	WriteTimeout time.Duration
 	// MaxConns caps concurrently served connections. Excess connections
 	// are rejected gracefully: the server sends msgError with CodeBusy
 	// and closes. Zero means unlimited.
 	MaxConns int
+	// MaxProtocol caps the protocol version the server negotiates. Zero
+	// allows the latest. Setting 1 makes the server answer the version
+	// handshake exactly like a pre-handshake server ("unknown message
+	// type", then close) — every client is forced onto the lock-step
+	// protocol, which doubles as the serialized benchmark baseline.
+	MaxProtocol int
 	// Logger receives connection-level errors; nil discards them.
 	Logger *log.Logger
+}
+
+// maxProto normalizes MaxProtocol to a usable version number.
+func (cfg ServerConfig) maxProto() int {
+	if cfg.MaxProtocol <= 0 || cfg.MaxProtocol > protocolLatest {
+		return protocolLatest
+	}
+	return cfg.MaxProtocol
 }
 
 // ServerStats is a snapshot of server activity.
@@ -57,6 +77,10 @@ type ServerStats struct {
 	// Disconnects counts connections terminated abnormally by I/O
 	// failures (including reply writes cut off by WriteTimeout).
 	Disconnects uint64
+	// CoalescedStages counts open requests that shared another request's
+	// in-flight store staging of the same demanded path instead of
+	// reading the store themselves.
+	CoalescedStages uint64
 	// Cache is the server memory cache accounting (hits are requests
 	// served without staging from the store).
 	Cache core.Stats
@@ -65,20 +89,40 @@ type ServerStats struct {
 // Server is the remote file server of Figure 2: it owns the relationship
 // metadata, answers opens with groups, and keeps its own aggregating
 // memory cache in front of the store.
+//
+// The serving path is sharded so concurrent requests mostly avoid each
+// other (see DESIGN.md §10): counters are atomics, the path interner has
+// a read-lock fast path for known paths, store reads happen outside any
+// server lock with singleflight coalescing per demanded path, and only
+// the successor-table update plus cache admission sit under the short
+// aggMu critical section.
 type Server struct {
 	cfg    ServerConfig
 	store  *Store
 	logger *log.Logger
 
-	mu          sync.Mutex // guards agg, ids, stats
-	agg         *core.AggregatingCache
-	ids         *trace.Interner
-	requests    uint64
-	errors      uint64
-	sent        uint64
-	rejected    uint64
-	panics      uint64
-	disconnects uint64
+	// Hot counters; atomic so concurrent handlers never contend and
+	// Stats snapshots never tear.
+	requests    atomic.Uint64
+	errors      atomic.Uint64
+	sent        atomic.Uint64
+	rejected    atomic.Uint64
+	panics      atomic.Uint64
+	disconnects atomic.Uint64
+	coalesced   atomic.Uint64
+
+	// ids translates paths to dense FileIDs and back; internally
+	// read-write locked with a fast path for already-known paths.
+	ids *trace.SyncInterner
+
+	// aggMu guards the aggregating cache: successor learning, residency
+	// bookkeeping, and group building. Never held across store or
+	// network I/O.
+	aggMu sync.Mutex
+	agg   *core.AggregatingCache
+
+	// flights coalesces concurrent store stagings of the same group.
+	flights flightGroup
 
 	connMu   sync.Mutex
 	conns    map[net.Conn]struct{}
@@ -115,7 +159,7 @@ func NewServer(store *Store, cfg ServerConfig) (*Server, error) {
 		store:  store,
 		logger: cfg.Logger,
 		agg:    agg,
-		ids:    trace.NewInterner(),
+		ids:    trace.NewSyncInterner(),
 		conns:  make(map[net.Conn]struct{}),
 	}, nil
 }
@@ -151,9 +195,7 @@ func (s *Server) Serve(l net.Listener) error {
 		}
 		if s.cfg.MaxConns > 0 && len(s.conns) >= s.cfg.MaxConns {
 			s.connMu.Unlock()
-			s.mu.Lock()
-			s.rejected++
-			s.mu.Unlock()
+			s.rejected.Add(1)
 			s.wg.Add(1)
 			go func() {
 				defer s.wg.Done()
@@ -177,7 +219,9 @@ func (s *Server) Serve(l net.Listener) error {
 
 // rejectConn turns an over-limit connection away gracefully: a best-effort
 // msgError carrying CodeBusy, then close. The write is deadline-bounded so
-// a non-reading peer cannot pin the goroutine.
+// a non-reading peer cannot pin the goroutine. The reply uses version-1
+// framing, which both protocol generations decode (a version-2 client sees
+// it as the answer to its handshake).
 func (s *Server) rejectConn(conn net.Conn) {
 	defer conn.Close()
 	d := s.cfg.WriteTimeout
@@ -217,16 +261,18 @@ func (s *Server) Close() error {
 
 // Stats returns a snapshot of server activity.
 func (s *Server) Stats() ServerStats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.aggMu.Lock()
+	cacheStats := s.agg.Stats()
+	s.aggMu.Unlock()
 	return ServerStats{
-		Requests:    s.requests,
-		Errors:      s.errors,
-		FilesSent:   s.sent,
-		Rejected:    s.rejected,
-		Panics:      s.panics,
-		Disconnects: s.disconnects,
-		Cache:       s.agg.Stats(),
+		Requests:        s.requests.Load(),
+		Errors:          s.errors.Load(),
+		FilesSent:       s.sent.Load(),
+		Rejected:        s.rejected.Load(),
+		Panics:          s.panics.Load(),
+		Disconnects:     s.disconnects.Load(),
+		CoalescedStages: s.coalesced.Load(),
+		Cache:           cacheStats,
 	}
 }
 
@@ -234,9 +280,9 @@ func (s *Server) forget(conn net.Conn, src uint64) {
 	s.connMu.Lock()
 	delete(s.conns, conn)
 	s.connMu.Unlock()
-	s.mu.Lock()
+	s.aggMu.Lock()
 	s.agg.Tracker().ForgetSource(src)
-	s.mu.Unlock()
+	s.aggMu.Unlock()
 	_ = conn.Close()
 }
 
@@ -251,67 +297,125 @@ func (s *Server) logf(format string, args ...interface{}) {
 // recorded within one client's stream, so interleaved clients cannot
 // manufacture relationships that never happened on any machine (§2.2).
 //
-// A panic anywhere in request handling is recovered, counted, and
-// converted into a best-effort msgError reply before the connection
-// closes — one poisoned request must never take the whole server down.
+// The first frame selects the protocol: msgHello negotiates a version
+// (when the server allows version 2) and hands the connection to the
+// pipelined serving loop; anything else is served by the original
+// lock-step loop, first frame included, so pre-handshake clients work
+// byte-for-byte as before.
 func (s *Server) handleConn(conn net.Conn, src uint64) {
 	r := bufio.NewReader(conn)
 	w := bufio.NewWriter(conn)
+	// Panic recovery for the negotiation and lock-step paths. The
+	// pipelined path recovers per request (and in its read loop) and
+	// never panics out of serveV2, so this defer cannot race its reply
+	// writer.
 	defer func() {
 		if p := recover(); p != nil {
-			s.mu.Lock()
-			s.panics++
-			s.mu.Unlock()
+			s.panics.Add(1)
 			s.logf("fsnet: %s: recovered handler panic: %v", conn.RemoteAddr(), p)
 			s.armWrite(conn)
-			_ = s.reply(w, nil, errorResponse{Code: CodeInternal, Message: "internal server error"})
+			_ = s.replyV1(w, nil, errorResponse{Code: CodeInternal, Message: "internal server error"})
 		}
 	}()
+
+	typ, payload, ok := s.readRequestV1(conn, r)
+	if !ok {
+		return
+	}
+	if typ == msgHello && s.cfg.maxProto() >= protocolV2 {
+		offered, err := decodeHello(payload)
+		putFrameBuf(payload)
+		if err != nil {
+			s.armWrite(conn)
+			_ = s.replyV1(w, nil, errorResponse{Code: CodeBadRequest, Message: err.Error()})
+			return
+		}
+		ver := offered
+		if ver > s.cfg.maxProto() {
+			ver = s.cfg.maxProto()
+		}
+		s.armWrite(conn)
+		if err := writeFrame(w, msgHelloOK, encodeHello(ver)); err != nil {
+			s.disconnect(conn, err)
+			return
+		}
+		if ver >= protocolV2 {
+			s.serveV2(conn, r, w, src)
+			return
+		}
+		s.serveV1(conn, r, w, src, 0, nil, false)
+		return
+	}
+	// A msgHello reaching serveV1 (MaxProtocol 1) hits the unknown-type
+	// branch — the exact answer a pre-handshake server gives, which is
+	// what tells the client to downgrade.
+	s.serveV1(conn, r, w, src, typ, payload, true)
+}
+
+// readRequestV1 arms the idle deadline and reads one version-1 frame,
+// classifying read failures: clean departures (EOF, closed, idle timeout)
+// are silent, anything else counts as a protocol error.
+func (s *Server) readRequestV1(conn net.Conn, r *bufio.Reader) (uint8, []byte, bool) {
+	if s.cfg.IdleTimeout > 0 {
+		if err := conn.SetReadDeadline(time.Now().Add(s.cfg.IdleTimeout)); err != nil {
+			return 0, nil, false
+		}
+	}
+	typ, payload, err := readFrame(r)
+	if err != nil {
+		if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) && !errors.Is(err, os.ErrDeadlineExceeded) {
+			s.errors.Add(1)
+			s.logf("fsnet: %s: read: %v", conn.RemoteAddr(), err)
+		}
+		return 0, nil, false
+	}
+	return typ, payload, true
+}
+
+// serveV1 is the original lock-step loop: one request, one reply, in
+// order. first (when haveFirst) is a frame handleConn already read.
+func (s *Server) serveV1(conn net.Conn, r *bufio.Reader, w *bufio.Writer, src uint64, firstTyp uint8, firstPayload []byte, haveFirst bool) {
 	for {
-		if s.cfg.IdleTimeout > 0 {
-			if err := conn.SetReadDeadline(time.Now().Add(s.cfg.IdleTimeout)); err != nil {
+		var typ uint8
+		var payload []byte
+		if haveFirst {
+			typ, payload = firstTyp, firstPayload
+			haveFirst = false
+		} else {
+			var ok bool
+			typ, payload, ok = s.readRequestV1(conn, r)
+			if !ok {
 				return
 			}
-		}
-		typ, payload, err := readFrame(r)
-		if err != nil {
-			// EOF, closed connections and idle timeouts are normal
-			// departures; anything else is a protocol violation or I/O
-			// failure worth counting.
-			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) && !errors.Is(err, os.ErrDeadlineExceeded) {
-				s.mu.Lock()
-				s.errors++
-				s.mu.Unlock()
-				s.logf("fsnet: %s: read: %v", conn.RemoteAddr(), err)
-			}
-			return
 		}
 		switch typ {
 		case msgOpen:
 			req, err := decodeOpenRequest(payload)
+			putFrameBuf(payload)
 			if err != nil {
 				s.armWrite(conn)
-				_ = s.reply(w, nil, errorResponse{Code: CodeBadRequest, Message: err.Error()})
+				_ = s.replyV1(w, nil, errorResponse{Code: CodeBadRequest, Message: err.Error()})
 				return
 			}
 			group, errResp := s.open(req, src)
 			s.armWrite(conn)
-			if err := s.reply(w, group, errResp); err != nil {
+			if err := s.replyV1(w, group, errResp); err != nil {
 				s.disconnect(conn, err)
 				return
 			}
 		case msgWrite:
 			req, err := decodeWriteRequest(payload)
+			putFrameBuf(payload)
 			if err != nil {
 				s.armWrite(conn)
-				_ = s.reply(w, nil, errorResponse{Code: CodeBadRequest, Message: err.Error()})
+				_ = s.replyV1(w, nil, errorResponse{Code: CodeBadRequest, Message: err.Error()})
 				return
 			}
 			errResp := s.write(req)
 			s.armWrite(conn)
 			var sendErr error
 			if errResp.Code != 0 {
-				sendErr = s.reply(w, nil, errResp)
+				sendErr = s.replyV1(w, nil, errResp)
 			} else {
 				sendErr = writeFrame(w, msgWriteOK, nil)
 			}
@@ -323,13 +427,107 @@ func (s *Server) handleConn(conn net.Conn, src uint64) {
 			// The frame itself parsed, so the stream is intact; still,
 			// an unknown type means an incompatible peer. Reply with a
 			// typed error, then depart.
+			putFrameBuf(payload)
 			s.armWrite(conn)
-			_ = s.reply(w, nil, errorResponse{
+			_ = s.replyV1(w, nil, errorResponse{
 				Code:    CodeBadRequest,
 				Message: fmt.Sprintf("unknown message type %d", typ),
 			})
 			return
 		}
+	}
+}
+
+// serveV2 is the pipelined loop: the read side spawns a bounded handler
+// goroutine per request, and a dedicated reply writer batches completed
+// replies — out of order — onto the wire with one flush per batch. A
+// malformed request payload fails only its own request; the framed stream
+// stays intact, so the connection keeps serving.
+func (s *Server) serveV2(conn net.Conn, r *bufio.Reader, w *bufio.Writer, src uint64) {
+	rw := newReplyWriter(s, conn, w)
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, maxServerPipeline)
+	func() {
+		// A panic in the read loop itself (as opposed to in a handler,
+		// which recovers per request) must not skip the drain below: the
+		// reply writer owns the write side and a stray v1-framed reply
+		// would corrupt it.
+		defer func() {
+			if p := recover(); p != nil {
+				s.panics.Add(1)
+				s.logf("fsnet: %s: recovered read-loop panic: %v", conn.RemoteAddr(), p)
+			}
+		}()
+		for {
+			if s.cfg.IdleTimeout > 0 {
+				if err := conn.SetReadDeadline(time.Now().Add(s.cfg.IdleTimeout)); err != nil {
+					return
+				}
+			}
+			typ, id, payload, err := readFrameID(r)
+			if err != nil {
+				if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) && !errors.Is(err, os.ErrDeadlineExceeded) {
+					s.errors.Add(1)
+					s.logf("fsnet: %s: read: %v", conn.RemoteAddr(), err)
+				}
+				return
+			}
+			sem <- struct{}{}
+			wg.Add(1)
+			go func(typ uint8, id uint64, payload []byte) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				s.serveRequestV2(rw, src, typ, id, payload)
+			}(typ, id, payload)
+		}
+	}()
+	wg.Wait()
+	rw.drainAndStop()
+}
+
+// serveRequestV2 handles one pipelined request. A panic is recovered
+// here, converted into a CodeInternal reply for this request only, and
+// the connection keeps serving.
+func (s *Server) serveRequestV2(rw *replyWriter, src uint64, typ uint8, id uint64, payload []byte) {
+	defer func() {
+		if p := recover(); p != nil {
+			s.panics.Add(1)
+			s.logf("fsnet: recovered handler panic: %v", p)
+			rw.sendError(id, errorResponse{Code: CodeInternal, Message: "internal server error"})
+		}
+	}()
+	switch typ {
+	case msgOpen:
+		req, err := decodeOpenRequest(payload)
+		putFrameBuf(payload)
+		if err != nil {
+			rw.sendError(id, errorResponse{Code: CodeBadRequest, Message: err.Error()})
+			return
+		}
+		files, errResp := s.open(req, src)
+		if errResp.Code != 0 {
+			rw.sendError(id, errResp)
+			return
+		}
+		rw.send(id, msgGroup, encodeGroupResponse(groupResponse{Files: files}))
+	case msgWrite:
+		req, err := decodeWriteRequest(payload)
+		putFrameBuf(payload)
+		if err != nil {
+			rw.sendError(id, errorResponse{Code: CodeBadRequest, Message: err.Error()})
+			return
+		}
+		if errResp := s.write(req); errResp.Code != 0 {
+			rw.sendError(id, errResp)
+			return
+		}
+		rw.send(id, msgWriteOK, nil)
+	default:
+		putFrameBuf(payload)
+		rw.sendError(id, errorResponse{
+			Code:    CodeBadRequest,
+			Message: fmt.Sprintf("unknown message type %d", typ),
+		})
 	}
 }
 
@@ -344,17 +542,14 @@ func (s *Server) armWrite(conn net.Conn) {
 // disconnect records an abnormal connection termination caused by a
 // failed reply write (stalled reader, reset, ...).
 func (s *Server) disconnect(conn net.Conn, err error) {
-	s.mu.Lock()
-	s.disconnects++
-	s.mu.Unlock()
+	s.disconnects.Add(1)
 	s.logf("fsnet: %s: write: %v", conn.RemoteAddr(), err)
 }
 
-func (s *Server) reply(w *bufio.Writer, group []fileData, errResp errorResponse) error {
+// replyV1 writes one lock-step reply, counting error replies.
+func (s *Server) replyV1(w *bufio.Writer, group []fileData, errResp errorResponse) error {
 	if errResp.Code != 0 {
-		s.mu.Lock()
-		s.errors++
-		s.mu.Unlock()
+		s.errors.Add(1)
 		return writeFrame(w, msgError, encodeErrorResponse(errResp))
 	}
 	return writeFrame(w, msgGroup, encodeGroupResponse(groupResponse{Files: group}))
@@ -366,9 +561,7 @@ func (s *Server) reply(w *bufio.Writer, group []fileData, errResp errorResponse)
 // clients is last-writer-wins; like the paper's model, the system is
 // read-mostly and provides no cross-client invalidation.
 func (s *Server) write(req writeRequest) errorResponse {
-	s.mu.Lock()
-	s.requests++
-	s.mu.Unlock()
+	s.requests.Add(1)
 	if err := s.store.Put(req.Path, req.Data); err != nil {
 		return errorResponse{Code: CodeBadRequest, Message: err.Error()}
 	}
@@ -376,45 +569,229 @@ func (s *Server) write(req writeRequest) errorResponse {
 }
 
 // open runs one request through the metadata and the server cache and
-// assembles the group reply.
+// assembles the group reply. The store is only touched outside aggMu:
+// existence is checked lock-free up front, and the group's contents are
+// staged after the critical section, coalesced with any concurrent
+// staging of the same demanded path.
 func (s *Server) open(req openRequest, src uint64) ([]fileData, errorResponse) {
-	data, ok := s.store.Get(req.Path)
-	if !ok {
-		s.mu.Lock()
-		s.requests++
-		s.mu.Unlock()
+	s.requests.Add(1)
+	if !s.store.Contains(req.Path) {
 		return nil, errorResponse{Code: CodeNotFound, Message: req.Path}
 	}
 
-	s.mu.Lock()
-	s.requests++
-	// Piggybacked history first (oldest..newest), then the demanded
-	// open, preserving the client's true access order.
+	// Path→ID translation takes the interner's read-lock fast path for
+	// already-known paths and never needs aggMu.
+	accessedIDs := make([]trace.FileID, 0, len(req.Accessed))
 	for _, p := range req.Accessed {
 		if p == "" || len(p) > maxPath {
 			continue
 		}
-		s.agg.LearnFrom(src, s.ids.Intern(p))
+		accessedIDs = append(accessedIDs, s.ids.Intern(p))
 	}
 	id := s.ids.Intern(req.Path)
+
+	s.aggMu.Lock()
+	// Piggybacked history first (oldest..newest), then the demanded
+	// open, preserving the client's true access order.
+	for _, aid := range accessedIDs {
+		s.agg.LearnFrom(src, aid)
+	}
 	s.agg.LearnFrom(src, id)
 	s.agg.Serve(id) // stage the group into the server memory cache
 	groupIDs := s.agg.BuildGroup(id)
+	s.aggMu.Unlock()
+
 	paths := make([]string, 0, len(groupIDs))
 	for _, gid := range groupIDs {
 		paths = append(paths, s.ids.Path(gid))
 	}
-	s.mu.Unlock()
 
-	files := make([]fileData, 0, len(paths))
-	files = append(files, fileData{Path: req.Path, Data: data})
-	for _, p := range paths[1:] {
-		if d, ok := s.store.Get(p); ok {
-			files = append(files, fileData{Path: p, Data: d})
+	files, ok := s.stageGroup(req.Path, paths)
+	if !ok {
+		// The file vanished between the existence check and the staged
+		// read; rare, and the learning above recorded a genuine access.
+		return nil, errorResponse{Code: CodeNotFound, Message: req.Path}
+	}
+	s.sent.Add(uint64(len(files)))
+	return files, errorResponse{}
+}
+
+// stageGroup reads the demanded file plus the group members from the
+// store, coalescing with any concurrent staging of the same demanded
+// path: followers wait for the leader's read and share its (read-only)
+// result instead of hitting the store themselves.
+func (s *Server) stageGroup(path string, paths []string) ([]fileData, bool) {
+	files, ok, coalesced := s.flights.do(path, func() ([]fileData, bool) {
+		data, ok := s.store.Get(path)
+		if !ok {
+			return nil, false
+		}
+		files := make([]fileData, 0, len(paths))
+		files = append(files, fileData{Path: path, Data: data})
+		for _, p := range paths[1:] {
+			if d, ok := s.store.Get(p); ok {
+				files = append(files, fileData{Path: p, Data: d})
+			}
+		}
+		return files, true
+	})
+	if coalesced {
+		s.coalesced.Add(1)
+	}
+	return files, ok
+}
+
+// flightGroup is a minimal singleflight: concurrent do calls with the
+// same key share the first caller's result. Results are only shared
+// between calls that overlap in time; a later call starts fresh.
+type flightGroup struct {
+	mu      sync.Mutex
+	flights map[string]*flight
+}
+
+type flight struct {
+	done  chan struct{}
+	files []fileData
+	ok    bool
+}
+
+// do runs fn once per key among overlapping callers. coalesced reports
+// whether this caller joined another caller's flight.
+func (g *flightGroup) do(key string, fn func() ([]fileData, bool)) (files []fileData, ok, coalesced bool) {
+	g.mu.Lock()
+	if g.flights == nil {
+		g.flights = make(map[string]*flight)
+	}
+	if f, exists := g.flights[key]; exists {
+		g.mu.Unlock()
+		<-f.done
+		return f.files, f.ok, true
+	}
+	f := &flight{done: make(chan struct{})}
+	g.flights[key] = f
+	g.mu.Unlock()
+
+	f.files, f.ok = fn()
+	g.mu.Lock()
+	delete(g.flights, key)
+	g.mu.Unlock()
+	close(f.done)
+	return f.files, f.ok, false
+}
+
+// replyWriter serializes and batches the replies of one pipelined
+// connection: handler goroutines enqueue completed replies, and a single
+// writer goroutine drains whatever has accumulated with one flush — so k
+// ready replies cost one syscall, and a slow store read never blocks the
+// replies queued behind it.
+type replyWriter struct {
+	s    *Server
+	conn net.Conn
+	w    *bufio.Writer
+
+	mu      sync.Mutex
+	queue   []v2Reply
+	dead    bool
+	stop    bool
+	wake    chan struct{}
+	stopped chan struct{}
+}
+
+type v2Reply struct {
+	id      uint64
+	typ     uint8
+	payload []byte
+}
+
+func newReplyWriter(s *Server, conn net.Conn, w *bufio.Writer) *replyWriter {
+	rw := &replyWriter{
+		s:       s,
+		conn:    conn,
+		w:       w,
+		wake:    make(chan struct{}, 1),
+		stopped: make(chan struct{}),
+	}
+	go rw.loop()
+	return rw
+}
+
+// sendError enqueues an error reply, counting it like the lock-step path.
+func (rw *replyWriter) sendError(id uint64, errResp errorResponse) {
+	rw.s.errors.Add(1)
+	rw.send(id, msgError, encodeErrorResponse(errResp))
+}
+
+// send enqueues one reply frame for the writer goroutine.
+func (rw *replyWriter) send(id uint64, typ uint8, payload []byte) {
+	rw.mu.Lock()
+	if rw.dead {
+		rw.mu.Unlock()
+		return
+	}
+	rw.queue = append(rw.queue, v2Reply{id: id, typ: typ, payload: payload})
+	rw.mu.Unlock()
+	select {
+	case rw.wake <- struct{}{}:
+	default:
+	}
+}
+
+// drainAndStop flushes any remaining replies and waits for the writer
+// goroutine to exit. Called after every handler has completed.
+func (rw *replyWriter) drainAndStop() {
+	rw.mu.Lock()
+	rw.stop = true
+	rw.mu.Unlock()
+	select {
+	case rw.wake <- struct{}{}:
+	default:
+	}
+	<-rw.stopped
+}
+
+func (rw *replyWriter) loop() {
+	defer close(rw.stopped)
+	for range rw.wake {
+		for {
+			rw.mu.Lock()
+			batch := rw.queue
+			rw.queue = nil
+			dead, stopped := rw.dead, rw.stop
+			rw.mu.Unlock()
+			if dead {
+				return
+			}
+			if len(batch) == 0 {
+				if stopped {
+					return
+				}
+				break
+			}
+			rw.s.armWrite(rw.conn)
+			var err error
+			for _, rep := range batch {
+				if err = putFrameID(rw.w, rep.typ, rep.id, rep.payload); err != nil {
+					break
+				}
+			}
+			if err == nil {
+				err = rw.w.Flush()
+			}
+			if err != nil {
+				rw.fail(err)
+				return
+			}
 		}
 	}
-	s.mu.Lock()
-	s.sent += uint64(len(files))
-	s.mu.Unlock()
-	return files, errorResponse{}
+}
+
+// fail marks the write side dead after an I/O failure and closes the
+// connection so the read loop unblocks; counted once as a disconnect.
+func (rw *replyWriter) fail(err error) {
+	rw.mu.Lock()
+	rw.dead = true
+	rw.queue = nil
+	rw.mu.Unlock()
+	rw.s.disconnect(rw.conn, err)
+	_ = rw.conn.Close()
 }

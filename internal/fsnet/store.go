@@ -49,6 +49,14 @@ func (s *Store) Get(path string) ([]byte, bool) {
 	return cp, true
 }
 
+// Contains reports whether path exists without copying its contents.
+func (s *Store) Contains(path string) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	_, ok := s.files[path]
+	return ok
+}
+
 // Delete removes path, reporting whether it existed.
 func (s *Store) Delete(path string) bool {
 	s.mu.Lock()

@@ -1,0 +1,62 @@
+package trace
+
+import "sync"
+
+// SyncInterner is a concurrency-safe interner with a read-lock fast path:
+// looking up an already-known path — the overwhelmingly common case on a
+// warm server — takes only an RLock, and the write lock is taken just for
+// first-time assignments. IDs remain dense and first-use ordered, exactly
+// as with Interner.
+type SyncInterner struct {
+	mu  sync.RWMutex
+	ids *Interner
+}
+
+// NewSyncInterner returns an empty concurrency-safe interner.
+func NewSyncInterner() *SyncInterner {
+	return &SyncInterner{ids: NewInterner()}
+}
+
+// WrapInterner wraps an existing interner, taking ownership of it. The
+// caller must not use in directly afterwards.
+func WrapInterner(in *Interner) *SyncInterner {
+	return &SyncInterner{ids: in}
+}
+
+// Intern returns the FileID for path, assigning the next dense ID if the
+// path has not been seen before. Known paths never contend on the write
+// lock.
+func (s *SyncInterner) Intern(path string) FileID {
+	s.mu.RLock()
+	id, ok := s.ids.Lookup(path)
+	s.mu.RUnlock()
+	if ok {
+		return id
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	// Another goroutine may have interned path between the two locks;
+	// Interner.Intern is idempotent, so this is just the slow path.
+	return s.ids.Intern(path)
+}
+
+// Lookup returns the FileID for path and whether it has been interned.
+func (s *SyncInterner) Lookup(path string) (FileID, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.ids.Lookup(path)
+}
+
+// Path returns the path for id, or "" if id has not been assigned.
+func (s *SyncInterner) Path(id FileID) string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.ids.Path(id)
+}
+
+// Len returns the number of interned paths.
+func (s *SyncInterner) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.ids.Len()
+}

@@ -1,0 +1,91 @@
+package trace
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestSyncInternerMatchesInterner(t *testing.T) {
+	s := NewSyncInterner()
+	plain := NewInterner()
+	paths := []string{"/a", "/b", "/a", "/c", "/b", "/d"}
+	for _, p := range paths {
+		if got, want := s.Intern(p), plain.Intern(p); got != want {
+			t.Errorf("Intern(%q) = %d, want %d", p, got, want)
+		}
+	}
+	if s.Len() != plain.Len() {
+		t.Errorf("Len = %d, want %d", s.Len(), plain.Len())
+	}
+	for i := 0; i < s.Len(); i++ {
+		if got, want := s.Path(FileID(i)), plain.Path(FileID(i)); got != want {
+			t.Errorf("Path(%d) = %q, want %q", i, got, want)
+		}
+	}
+	if _, ok := s.Lookup("/missing"); ok {
+		t.Error("Lookup of missing path reported ok")
+	}
+	if got := s.Path(FileID(99)); got != "" {
+		t.Errorf("Path of unassigned id = %q, want empty", got)
+	}
+}
+
+func TestSyncInternerConcurrent(t *testing.T) {
+	s := NewSyncInterner()
+	const (
+		goroutines = 8
+		universe   = 64
+		rounds     = 200
+	)
+	// Every goroutine interns an overlapping working set; IDs must come
+	// out dense, stable, and consistent across Intern/Lookup/Path.
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for n := 0; n < rounds; n++ {
+				p := fmt.Sprintf("/f%02d", (g*3+n)%universe)
+				id := s.Intern(p)
+				if got := s.Path(id); got != p {
+					t.Errorf("Path(Intern(%q)) = %q", p, got)
+					return
+				}
+				if id2, ok := s.Lookup(p); !ok || id2 != id {
+					t.Errorf("Lookup(%q) = %d,%v, want %d,true", p, id2, ok, id)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if s.Len() != universe {
+		t.Errorf("Len = %d, want %d", s.Len(), universe)
+	}
+	seen := make(map[FileID]bool)
+	for i := 0; i < universe; i++ {
+		p := fmt.Sprintf("/f%02d", i)
+		id, ok := s.Lookup(p)
+		if !ok || int(id) >= universe || seen[id] {
+			t.Errorf("Lookup(%q) = %d,%v: want a unique dense id", p, id, ok)
+		}
+		seen[id] = true
+	}
+}
+
+func TestWrapInterner(t *testing.T) {
+	in := NewInterner()
+	in.Intern("/x")
+	in.Intern("/y")
+	s := WrapInterner(in)
+	if s.Len() != 2 {
+		t.Errorf("Len = %d, want 2", s.Len())
+	}
+	if id, ok := s.Lookup("/y"); !ok || id != 1 {
+		t.Errorf("Lookup(/y) = %d,%v, want 1,true", id, ok)
+	}
+	if got := s.Intern("/z"); got != 2 {
+		t.Errorf("Intern(/z) = %d, want 2", got)
+	}
+}
