@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race race-par bench bench-json loadtest profile chaos experiments examples fuzz clean
+.PHONY: all build vet test race race-par cluster bench bench-json loadtest profile chaos experiments examples fuzz clean
 
 all: build vet test
 
@@ -29,6 +29,14 @@ race-par:
 	$(GO) test -race -run 'Parallel|RunCells|Sweep|Workload' ./internal/simulate/ ./internal/experiments/
 	$(GO) test -race -run 'Pipelined|Concurrent|FlightGroup|SyncInterner|Interleaved|Chaos' ./internal/fsnet/ ./internal/trace/
 
+# Cluster peer tier under the race detector: the 3-node in-process
+# harness (correct groups, peer-death failover, mirror absorption,
+# forward coalescing), the ring property tests, and the clustered
+# aggserve/aggbench wiring.
+cluster:
+	$(GO) test -race -run 'TestCluster|TestRing|TestMirror' ./internal/cluster/ ./internal/fsnet/
+	$(GO) test -race -run 'TestRunCluster|TestRunLoadCluster' ./cmd/aggserve/ ./cmd/aggbench/
+
 # Machine-readable baseline for the key hot-path and sweep benchmarks
 # (ns/op, B/op, allocs/op, custom metrics). Commit the refreshed file when
 # a perf change moves the numbers on purpose.
@@ -37,7 +45,9 @@ bench-json:
 	  $(GO) test -run '^$$' -bench 'BenchmarkClientSweep|BenchmarkServerSweep' -benchmem -benchtime 2x ./internal/simulate/ ; \
 	  $(GO) test -run '^$$' -bench 'BenchmarkOpenLoopback$$|BenchmarkOpenLoopbackSerial|BenchmarkOpenPipelined' -benchmem ./internal/fsnet/ ; \
 	  $(GO) run ./cmd/aggbench -conns 8 -workers 8 -opens 4000 -rtt 2ms -gobench ; \
-	  $(GO) run ./cmd/aggbench -conns 8 -workers 8 -opens 4000 -rtt 2ms -serial -gobench ; } \
+	  $(GO) run ./cmd/aggbench -conns 8 -workers 8 -opens 4000 -rtt 2ms -serial -gobench ; \
+	  $(GO) run ./cmd/aggbench -cluster 1 -conns 9 -workers 4 -opens 4000 -gobench ; \
+	  $(GO) run ./cmd/aggbench -cluster 3 -conns 9 -workers 4 -opens 4000 -gobench ; } \
 	| $(GO) run ./cmd/benchjson > BENCH_BASELINE.json
 	@echo wrote BENCH_BASELINE.json
 
@@ -47,6 +57,8 @@ bench-json:
 loadtest:
 	$(GO) run ./cmd/aggbench -conns 8 -workers 8 -opens 4000 -rtt 2ms
 	$(GO) run ./cmd/aggbench -conns 8 -workers 8 -opens 4000 -rtt 2ms -serial
+	$(GO) run ./cmd/aggbench -cluster 1 -conns 9 -workers 4 -opens 4000
+	$(GO) run ./cmd/aggbench -cluster 3 -conns 9 -workers 4 -opens 4000
 
 # Profile the headline claims experiment and print the hottest frames.
 # Leaves cpu.pprof and mem.pprof behind for interactive `go tool pprof`.
@@ -76,6 +88,7 @@ examples:
 fuzz:
 	$(GO) test -run=^$$ -fuzz=FuzzDecodeOpenRequest -fuzztime=30s ./internal/fsnet/
 	$(GO) test -run=^$$ -fuzz=FuzzReadBinary -fuzztime=30s ./internal/trace/
+	$(GO) test -run=^$$ -fuzz=FuzzRingOwner -fuzztime=30s ./internal/cluster/
 
 clean:
 	$(GO) clean ./...

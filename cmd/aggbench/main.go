@@ -12,12 +12,20 @@
 // request/reply baseline — the pipelined/serial ratio is the headline
 // speedup of the concurrent serving path (DESIGN.md §10).
 //
+// -cluster N spins up an in-process consistent-hash cluster of N nodes
+// (internal/cluster) with replicated stores and spreads the connections
+// across them round-robin, so the same workload measures the sharded
+// peer tier — forwarded group hops, mirror absorption, and all — against
+// the single-server baseline (-cluster 1 runs one node through the same
+// code path for an apples-to-apples comparison).
+//
 // Examples:
 //
 //	aggbench -conns 8 -workers 4
 //	aggbench -conns 8 -workers 4 -serial
 //	aggbench -addr 127.0.0.1:7070 -conns 16 -opens 50000
 //	aggbench -conns 8 -json > pipelined.json
+//	aggbench -cluster 3 -conns 9 -workers 4
 package main
 
 import (
@@ -32,6 +40,7 @@ import (
 	"time"
 
 	"aggcache/internal/benchparse"
+	"aggcache/internal/cluster"
 	"aggcache/internal/fsnet"
 	"aggcache/internal/trace"
 	"aggcache/internal/workload"
@@ -146,6 +155,7 @@ type config struct {
 	seed        int64
 	rtt         time.Duration
 	serial      bool
+	cluster     int
 	jsonOut     bool
 	gobench     bool
 }
@@ -165,6 +175,7 @@ func parseFlags(args []string) (config, error) {
 	fs.Int64Var(&cfg.seed, "seed", 1, "workload seed")
 	fs.DurationVar(&cfg.rtt, "rtt", 0, "simulated network round-trip time (half is injected before each client read and write syscall); zero measures raw loopback")
 	fs.BoolVar(&cfg.serial, "serial", false, "cap clients at protocol version 1 (lock-step baseline)")
+	fs.IntVar(&cfg.cluster, "cluster", 0, "run an in-process consistent-hash cluster of N nodes with replicated stores, connections spread round-robin (0 = plain single server)")
 	fs.BoolVar(&cfg.jsonOut, "json", false, "emit machine-readable JSON (benchjson-compatible schema)")
 	fs.BoolVar(&cfg.gobench, "gobench", false, "emit one `go test -bench`-style result line (pipes into cmd/benchjson)")
 	if err := fs.Parse(args); err != nil {
@@ -172,6 +183,15 @@ func parseFlags(args []string) (config, error) {
 	}
 	if cfg.conns < 1 || cfg.workers < 1 || cfg.opens < 1 {
 		return cfg, fmt.Errorf("conns, workers, and opens must all be positive")
+	}
+	if cfg.cluster < 0 {
+		return cfg, fmt.Errorf("-cluster must be >= 0, got %d", cfg.cluster)
+	}
+	if cfg.cluster > 0 && cfg.addr != "" {
+		return cfg, fmt.Errorf("-cluster runs in-process nodes; it cannot target an external -addr")
+	}
+	if cfg.cluster > 0 && cfg.serial {
+		return cfg, fmt.Errorf("-cluster requires the pipelined protocol; drop -serial")
 	}
 	return cfg, nil
 }
@@ -226,6 +246,17 @@ type result struct {
 	client    fsnet.ClientStats // summed over all connections
 	hitRate   float64
 	protoName string
+	clus      clusterSummary // zero when not clustered
+}
+
+// clusterSummary aggregates node routing counters across the ring.
+type clusterSummary struct {
+	nodes      int
+	local      uint64
+	forwarded  uint64
+	mirrorHits uint64
+	coalesced  uint64
+	degraded   uint64
 }
 
 func (r *result) throughput() float64 {
@@ -343,9 +374,49 @@ func runLoad(cfg config) (*result, error) {
 		return nil, err
 	}
 
-	addr := cfg.addr
-	var shutdown func() error
-	if addr == "" {
+	targets := []string{cfg.addr}
+	var shutdowns []func() error
+	var nodes []*cluster.Node
+	switch {
+	case cfg.addr == "" && cfg.cluster > 0:
+		// In-process cluster: every node gets a full replica of the
+		// store, a ring membership over all the listen addresses, and a
+		// server with the node wired in as its open router.
+		listeners := make([]net.Listener, cfg.cluster)
+		addrs := make([]string, cfg.cluster)
+		for i := range listeners {
+			l, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				return nil, err
+			}
+			listeners[i] = l
+			addrs[i] = l.Addr().String()
+		}
+		for i := range addrs {
+			store, err := seedStore(cfg, seqs)
+			if err != nil {
+				return nil, err
+			}
+			node, err := cluster.NewNode(cluster.Config{Self: addrs[i], Peers: addrs})
+			if err != nil {
+				return nil, err
+			}
+			srv, err := fsnet.NewServer(store, fsnet.ServerConfig{
+				GroupSize:     cfg.group,
+				CacheCapacity: cfg.serverCache,
+				Router:        node,
+			})
+			if err != nil {
+				_ = node.Close()
+				return nil, err
+			}
+			l := listeners[i]
+			go func() { _ = srv.Serve(l) }()
+			nodes = append(nodes, node)
+			shutdowns = append(shutdowns, node.Close, srv.Close)
+		}
+		targets = addrs
+	case cfg.addr == "":
 		store, err := seedStore(cfg, seqs)
 		if err != nil {
 			return nil, err
@@ -362,8 +433,8 @@ func runLoad(cfg config) (*result, error) {
 			return nil, err
 		}
 		go func() { _ = srv.Serve(l) }()
-		addr = l.Addr().String()
-		shutdown = srv.Close
+		targets = []string{l.Addr().String()}
+		shutdowns = append(shutdowns, srv.Close)
 	}
 
 	clientCfg := fsnet.ClientConfig{
@@ -373,20 +444,6 @@ func runLoad(cfg config) (*result, error) {
 	}
 	if cfg.serial {
 		clientCfg.MaxProtocol = 1
-	}
-	if cfg.rtt > 0 {
-		// Simulated WAN: half the round trip of propagation delay in each
-		// direction. A lock-step exchange pays the full RTT per open; a
-		// pipelined flight of k requests shares one — which is exactly
-		// the latency-hiding the concurrent serving path exists for.
-		d := cfg.rtt / 2
-		clientCfg.Dialer = func() (net.Conn, error) {
-			conn, err := net.Dial("tcp", addr)
-			if err != nil {
-				return nil, err
-			}
-			return newDelayConn(conn, d), nil
-		}
 	}
 	if cfg.addr != "" {
 		// External server: provision the working set over the wire
@@ -399,7 +456,26 @@ func runLoad(cfg config) (*result, error) {
 
 	clients := make([]*fsnet.Client, cfg.conns)
 	for i := range clients {
-		c, err := fsnet.Dial(addr, clientCfg)
+		// Connections fan out over the cluster round-robin; with one
+		// target every client hits the same server, as before.
+		target := targets[i%len(targets)]
+		ccfg := clientCfg
+		if cfg.rtt > 0 {
+			// Simulated WAN: half the round trip of propagation delay in
+			// each direction. A lock-step exchange pays the full RTT per
+			// open; a pipelined flight of k requests shares one — which is
+			// exactly the latency-hiding the concurrent serving path
+			// exists for.
+			d := cfg.rtt / 2
+			ccfg.Dialer = func() (net.Conn, error) {
+				conn, err := net.Dial("tcp", target)
+				if err != nil {
+					return nil, err
+				}
+				return newDelayConn(conn, d), nil
+			}
+		}
+		c, err := fsnet.Dial(target, ccfg)
 		if err != nil {
 			return nil, err
 		}
@@ -409,8 +485,8 @@ func runLoad(cfg config) (*result, error) {
 		for _, c := range clients {
 			_ = c.Close()
 		}
-		if shutdown != nil {
-			_ = shutdown()
+		for _, stop := range shutdowns {
+			_ = stop()
 		}
 	}()
 
@@ -464,6 +540,15 @@ func runLoad(cfg config) (*result, error) {
 	if res.client.Opens > 0 {
 		res.hitRate = float64(res.client.Hits) / float64(res.client.Opens)
 	}
+	res.clus.nodes = len(nodes)
+	for _, n := range nodes {
+		st := n.Stats()
+		res.clus.local += st.LocalOpens
+		res.clus.forwarded += st.ForwardedOpens
+		res.clus.mirrorHits += st.MirrorHits
+		res.clus.coalesced += st.CoalescedForwards
+		res.clus.degraded += st.DegradedOpens
+	}
 	return res, nil
 }
 
@@ -480,9 +565,16 @@ func (r *result) writeText(out *os.File) {
 		fmt.Fprintf(out, "  recovery:   retries %d  broken-conns %d  reconnects %d\n",
 			r.client.Retries, r.client.BrokenConns, r.client.Reconnects)
 	}
+	if r.clus.nodes > 0 {
+		fmt.Fprintf(out, "  cluster:    %d nodes  local %d  forwarded %d  mirror-hits %d  coalesced %d  degraded %d\n",
+			r.clus.nodes, r.clus.local, r.clus.forwarded, r.clus.mirrorHits, r.clus.coalesced, r.clus.degraded)
+	}
 }
 
 func (r *result) benchName() string {
+	if r.cfg.cluster > 0 {
+		return fmt.Sprintf("AggbenchOpenCluster%d", r.cfg.cluster)
+	}
 	if r.cfg.serial {
 		return "AggbenchOpenSerial"
 	}
@@ -521,6 +613,14 @@ func (r *result) writeJSON(out *os.File) error {
 				"workers":  float64(r.cfg.workers),
 			},
 		}},
+	}
+	if r.clus.nodes > 0 {
+		m := set.Benchmarks[0].Metrics
+		m["cluster_nodes"] = float64(r.clus.nodes)
+		m["forwarded"] = float64(r.clus.forwarded)
+		m["mirror_hits"] = float64(r.clus.mirrorHits)
+		m["coalesced"] = float64(r.clus.coalesced)
+		m["degraded"] = float64(r.clus.degraded)
 	}
 	enc := json.NewEncoder(out)
 	enc.SetIndent("", "  ")

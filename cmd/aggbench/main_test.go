@@ -1,0 +1,129 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"strings"
+	"testing"
+
+	"aggcache/internal/benchparse"
+)
+
+func TestParseFlagsRejectsBadCombos(t *testing.T) {
+	cases := [][]string{
+		{"-conns", "0"},
+		{"-opens", "-5"},
+		{"-cluster", "-1"},
+		{"-cluster", "3", "-addr", "127.0.0.1:7070"},
+		{"-cluster", "3", "-serial"},
+		{"-badflag"},
+	}
+	for _, args := range cases {
+		if _, err := parseFlags(args); err == nil {
+			t.Errorf("parseFlags(%v) succeeded", args)
+		}
+	}
+}
+
+func TestBenchNames(t *testing.T) {
+	for _, tc := range []struct {
+		cfg  config
+		want string
+	}{
+		{config{}, "AggbenchOpenPipelined"},
+		{config{serial: true}, "AggbenchOpenSerial"},
+		{config{cluster: 3}, "AggbenchOpenCluster3"},
+		{config{cluster: 1, serial: false}, "AggbenchOpenCluster1"},
+	} {
+		if got := (&result{cfg: tc.cfg}).benchName(); got != tc.want {
+			t.Errorf("benchName(%+v) = %q, want %q", tc.cfg, got, tc.want)
+		}
+	}
+}
+
+// TestRunLoadCluster drives a small but complete clustered load run:
+// in-process ring, replicated stores, every open correct (errors gate),
+// and the routing counters account for actual cross-node traffic.
+func TestRunLoadCluster(t *testing.T) {
+	cfg, err := parseFlags([]string{
+		"-cluster", "2", "-conns", "4", "-workers", "2",
+		"-opens", "300", "-files", "128",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := runLoad(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.errors != 0 {
+		t.Errorf("clustered load run had %d errors", res.errors)
+	}
+	if res.opens != 4*300 {
+		t.Errorf("opens = %d, want %d", res.opens, 4*300)
+	}
+	if res.clus.nodes != 2 {
+		t.Errorf("cluster nodes = %d, want 2", res.clus.nodes)
+	}
+	if res.clus.forwarded+res.clus.mirrorHits == 0 {
+		t.Error("no cross-node opens in a 2-node run")
+	}
+	if res.clus.local == 0 {
+		t.Error("no locally owned opens in a 2-node run")
+	}
+	if res.clus.degraded != 0 {
+		t.Errorf("healthy cluster degraded %d opens", res.clus.degraded)
+	}
+}
+
+// TestClusterJSONMetrics: the -cluster -json path lands the routing
+// counters in the benchparse schema the baseline gate diffs.
+func TestClusterJSONMetrics(t *testing.T) {
+	res := &result{
+		cfg:  config{cluster: 3, conns: 6, workers: 2},
+		hist: &histogram{},
+		clus: clusterSummary{nodes: 3, forwarded: 10, mirrorHits: 5},
+	}
+	tmp, err := os.CreateTemp(t.TempDir(), "bench*.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.writeJSON(tmp); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tmp.Seek(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	var set benchparse.Set
+	if err := json.NewDecoder(tmp).Decode(&set); err != nil {
+		t.Fatal(err)
+	}
+	b := set.Benchmarks[0]
+	if b.Name != "AggbenchOpenCluster3" {
+		t.Errorf("bench name = %q", b.Name)
+	}
+	if b.Metrics["cluster_nodes"] != 3 || b.Metrics["forwarded"] != 10 || b.Metrics["mirror_hits"] != 5 {
+		t.Errorf("cluster metrics missing: %v", b.Metrics)
+	}
+}
+
+func TestGobenchLineShape(t *testing.T) {
+	res := &result{cfg: config{cluster: 3, conns: 6, workers: 2}, opens: 100, elapsed: 1e6, hist: &histogram{}}
+	var buf bytes.Buffer
+	f, err := os.CreateTemp(t.TempDir(), "gobench")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.writeGobench(f)
+	if _, err := f.Seek(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := buf.ReadFrom(f); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "BenchmarkAggbenchOpenCluster3-12") {
+		t.Errorf("gobench line = %q", out)
+	}
+}

@@ -16,15 +16,27 @@
 // covering the whole serve lifetime, and -pprof serves net/http/pprof
 // for live inspection of a long-running server.
 //
+// Clustering: -peers joins a static consistent-hash peer ring
+// (internal/cluster). Opens for paths this node owns are served locally;
+// everything else is fetched from the owning peer in one group hop, with
+// a hot-group mirror and health-checked failover to the local store when
+// a peer is down. Every node of a cluster must be started with the same
+// -peers list and a -self address that appears in it. -stats serves a
+// JSON snapshot (server counters plus per-peer health) over HTTP.
+//
 // Examples:
 //
 //	aggserve -addr :7070 -root ./testdata
 //	aggserve -addr 127.0.0.1:7070 -synthetic 1000 -group 5 -cache 256
 //	aggserve -addr :7070 -synthetic 1000 -max-conns 512 -write-timeout 10s
 //	aggserve -addr :7070 -synthetic 1000 -pprof localhost:6060
+//	aggserve -addr 127.0.0.1:7071 -self 127.0.0.1:7071 \
+//	    -peers 127.0.0.1:7071,127.0.0.1:7072,127.0.0.1:7073 \
+//	    -synthetic 1000 -stats 127.0.0.1:8071
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io/fs"
@@ -37,9 +49,11 @@ import (
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 	"syscall"
 	"time"
 
+	"aggcache/internal/cluster"
 	"aggcache/internal/fsnet"
 )
 
@@ -66,6 +80,10 @@ func run(args []string) error {
 		cpuProf      = fl.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf      = fl.String("memprofile", "", "write an allocation profile to this file at shutdown")
 		pprofSrv     = fl.String("pprof", "", "serve net/http/pprof on this address while running")
+		peers        = fl.String("peers", "", "comma-separated cluster peer addresses (must include -self); empty runs standalone")
+		self         = fl.String("self", "", "this node's advertised address within -peers (defaults to -addr)")
+		replicas     = fl.Int("ring-replicas", 0, "consistent-hash virtual nodes per peer (0 = library default)")
+		statsAddr    = fl.String("stats", "", "serve a JSON stats snapshot over HTTP on this address at /stats")
 	)
 	if err := fl.Parse(args); err != nil {
 		return err
@@ -126,7 +144,33 @@ func run(args []string) error {
 	if *maxConns < 0 {
 		return fmt.Errorf("-max-conns must be >= 0, got %d", *maxConns)
 	}
-	srv, err := fsnet.NewServer(store, fsnet.ServerConfig{
+
+	var node *cluster.Node
+	if *peers != "" {
+		selfAddr := *self
+		if selfAddr == "" {
+			selfAddr = *addr
+		}
+		var peerList []string
+		for _, p := range strings.Split(*peers, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				peerList = append(peerList, p)
+			}
+		}
+		var err error
+		node, err = cluster.NewNode(cluster.Config{
+			Self:     selfAddr,
+			Peers:    peerList,
+			Replicas: *replicas,
+		})
+		if err != nil {
+			return err
+		}
+		defer node.Close()
+		log.Printf("aggserve: joined %d-peer ring as %s", len(peerList), selfAddr)
+	}
+
+	srvCfg := fsnet.ServerConfig{
 		GroupSize:         *group,
 		CacheCapacity:     *capacity,
 		SuccessorCapacity: *succCap,
@@ -134,7 +178,13 @@ func run(args []string) error {
 		WriteTimeout:      *writeTimeout,
 		MaxConns:          *maxConns,
 		Logger:            log.New(os.Stderr, "", log.LstdFlags),
-	})
+	}
+	if node != nil {
+		// A typed nil in the Router interface would still be "set"; only
+		// wire the hook when clustering is actually on.
+		srvCfg.Router = node
+	}
+	srv, err := fsnet.NewServer(store, srvCfg)
 	if err != nil {
 		return err
 	}
@@ -149,6 +199,25 @@ func run(args []string) error {
 		} else if !os.IsNotExist(err) {
 			return err
 		}
+	}
+
+	if *statsAddr != "" {
+		sl, err := net.Listen("tcp", *statsAddr)
+		if err != nil {
+			return fmt.Errorf("stats listener: %w", err)
+		}
+		defer sl.Close()
+		mux := http.NewServeMux()
+		mux.HandleFunc("/stats", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(statsSnapshot(srv, node)); err != nil {
+				log.Printf("aggserve: encode stats: %v", err)
+			}
+		})
+		go func() { _ = http.Serve(sl, mux) }()
+		log.Printf("aggserve: stats on http://%s/stats", sl.Addr())
 	}
 
 	l, err := net.Listen("tcp", *addr)
@@ -181,7 +250,29 @@ func run(args []string) error {
 	st := srv.Stats()
 	log.Printf("aggserve: requests=%d errors=%d files-sent=%d rejected=%d panics=%d disconnects=%d cache{%s}",
 		st.Requests, st.Errors, st.FilesSent, st.Rejected, st.Panics, st.Disconnects, st.Cache.String())
+	if node != nil {
+		cs := node.Stats()
+		log.Printf("aggserve: cluster local=%d forwarded=%d mirror-hits=%d coalesced=%d degraded=%d",
+			cs.LocalOpens, cs.ForwardedOpens, cs.MirrorHits, cs.CoalescedForwards, cs.DegradedOpens)
+	}
 	return nil
+}
+
+// snapshot is the /stats JSON document: the full server counters
+// (CoalescedStages and RemoteOpens included) plus, when clustering is
+// on, the node's routing counters and per-peer breaker health.
+type snapshot struct {
+	Server  fsnet.ServerStats
+	Cluster *cluster.NodeStats `json:",omitempty"`
+}
+
+func statsSnapshot(srv *fsnet.Server, node *cluster.Node) snapshot {
+	snap := snapshot{Server: srv.Stats()}
+	if node != nil {
+		cs := node.Stats()
+		snap.Cluster = &cs
+	}
+	return snap
 }
 
 // saveMetadata writes the server's learned state atomically (write to a

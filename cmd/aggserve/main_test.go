@@ -1,9 +1,13 @@
 package main
 
 import (
+	"encoding/json"
+	"fmt"
 	"net"
+	"net/http"
 	"os"
 	"path/filepath"
+	"strings"
 	"syscall"
 	"testing"
 	"time"
@@ -186,4 +190,122 @@ func TestMetadataPersistAcrossRestart(t *testing.T) {
 	}
 	// Second run loads the saved metadata without error.
 	startOnce()
+}
+
+// freeAddrs reserves n distinct loopback addresses by listening and
+// immediately closing. Racy in principle, fine for tests in practice.
+func freeAddrs(t *testing.T, n int) []string {
+	t.Helper()
+	addrs := make([]string, n)
+	for i := range addrs {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs[i] = l.Addr().String()
+		if err := l.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return addrs
+}
+
+func dialRetry(t *testing.T, addr string) *fsnet.Client {
+	t.Helper()
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		client, err := fsnet.Dial(addr, fsnet.ClientConfig{})
+		if err == nil {
+			return client
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("dial %s: %v", addr, err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestRunCluster boots a 3-node cluster of full aggserve instances with
+// replicated synthetic stores, opens every file through one node (so
+// misses forward across the ring), and reads the JSON stats endpoint.
+func TestRunCluster(t *testing.T) {
+	addrs := freeAddrs(t, 4)
+	peers := strings.Join(addrs[:3], ",")
+	statsAddr := addrs[3]
+
+	done := make(chan error, 3)
+	for i := 0; i < 3; i++ {
+		args := []string{
+			"-addr", addrs[i], "-self", addrs[i], "-peers", peers,
+			"-synthetic", "40", "-idle-timeout", "0",
+		}
+		if i == 0 {
+			args = append(args, "-stats", statsAddr)
+		}
+		go func() { done <- run(args) }()
+	}
+	shutdown := func() {
+		_ = syscall.Kill(syscall.Getpid(), syscall.SIGTERM)
+		for i := 0; i < 3; i++ {
+			select {
+			case err := <-done:
+				if err != nil {
+					t.Errorf("node exited: %v", err)
+				}
+			case <-time.After(5 * time.Second):
+				t.Error("cluster node did not shut down")
+				return
+			}
+		}
+	}
+	defer shutdown()
+
+	client := dialRetry(t, addrs[0])
+	defer client.Close()
+	for f := 0; f < 40; f++ {
+		path := fmt.Sprintf("/synthetic/f%06d", f)
+		data, err := client.Open(path)
+		if err != nil {
+			t.Fatalf("open %s: %v", path, err)
+		}
+		if string(data) != "synthetic contents of "+path {
+			t.Fatalf("open %s = %q", path, data)
+		}
+	}
+
+	resp, err := http.Get("http://" + statsAddr + "/stats")
+	if err != nil {
+		t.Fatalf("stats endpoint: %v", err)
+	}
+	defer resp.Body.Close()
+	var snap snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatalf("decode stats: %v", err)
+	}
+	if snap.Server.Requests == 0 {
+		t.Error("stats report zero requests after workload")
+	}
+	if snap.Cluster == nil {
+		t.Fatal("stats missing cluster section on a clustered node")
+	}
+	if snap.Cluster.Members != 3 || len(snap.Cluster.Peers) != 2 {
+		t.Errorf("cluster stats members=%d peers=%d, want 3/2", snap.Cluster.Members, len(snap.Cluster.Peers))
+	}
+	if snap.Cluster.ForwardedOpens == 0 {
+		t.Error("40-file sweep through one node forwarded nothing")
+	}
+	for _, p := range snap.Cluster.Peers {
+		if !p.Up {
+			t.Errorf("peer %s down in healthy cluster", p.Addr)
+		}
+	}
+}
+
+func TestRunClusterBadConfig(t *testing.T) {
+	// -self not a member of -peers must fail fast.
+	err := run([]string{"-addr", "127.0.0.1:0", "-synthetic", "5",
+		"-self", "10.0.0.1:1", "-peers", "10.0.0.2:1,10.0.0.3:1"})
+	if err == nil {
+		t.Fatal("self outside peers accepted")
+	}
 }

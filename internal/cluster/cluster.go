@@ -1,0 +1,383 @@
+// Package cluster shards the aggregating cache across a static set of
+// fsnet servers. Each node owns the paths that consistent-hash to it
+// (see Ring) and serves them from its own aggregating server; opens that
+// land on a non-owner are forwarded to the owner over the pipelined
+// fsnet client, and the owner's whole group reply comes back in that one
+// hop. Placement is therefore group-affine without any extra machinery:
+// a group's anchor path and its learned successors hash together only in
+// the owner's metadata, and the single OpenGroup round trip moves the
+// entire group to the requesting node, which mirrors it (see mirror) so
+// follow-on member opens are local.
+//
+// A Node plugs into an fsnet.Server as its OpenRouter: the server
+// consults RouteOpen before its own cache and store, and everything the
+// node declines — paths it owns, and paths whose owner is down — falls
+// through to the local aggregating serving path. With replicated backing
+// stores that fallback is always correct, so a dead peer degrades
+// throughput, never availability: no open errors because a peer died.
+//
+// Peer health is a consecutive-failure circuit breaker fed only by
+// transport errors (fsnet.ErrConnBroken). A tripped breaker short-
+// circuits forwarding for DownDuration, then admits exactly one probe;
+// the probe's outcome either heals the peer or re-arms the cooldown.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"aggcache/internal/fsnet"
+	"aggcache/internal/singleflight"
+)
+
+// Health and forwarding defaults.
+const (
+	defaultFailureThreshold = 3
+	defaultDownDuration     = 2 * time.Second
+	defaultPeerTimeout      = 2 * time.Second
+)
+
+// Config describes one node's view of the cluster. The peer list is
+// static: every node must be constructed with the same Peers set (order
+// irrelevant — ring ownership is build-order independent), which is what
+// lets each node compute identical placement with no coordination.
+type Config struct {
+	// Self is this node's own entry in Peers (its advertised address).
+	Self string
+	// Peers lists every member's address, Self included.
+	Peers []string
+	// Replicas is the consistent-hash virtual-node count per member
+	// (0 selects the ring default).
+	Replicas int
+
+	// FailureThreshold is how many consecutive transport failures mark
+	// a peer down (default 3; negative is rejected).
+	FailureThreshold int
+	// DownDuration is how long a tripped peer stays down before one
+	// probe is admitted (default 2s).
+	DownDuration time.Duration
+	// PeerTimeout bounds each forwarded round trip (default 2s). A
+	// forward must never hang longer than a degraded local fetch would.
+	PeerTimeout time.Duration
+
+	// MirrorCapacity bounds the hot-group mirror in whole groups
+	// (0 selects the default of 128, negative disables the mirror).
+	MirrorCapacity int
+	// MirrorTTL ages mirrored groups so owner-side learning propagates
+	// (0 selects the default of 5s, negative never expires).
+	MirrorTTL time.Duration
+
+	// Dialer opens a connection to a peer address; nil selects TCP.
+	// Tests use it to interpose faultnet gates and latency.
+	Dialer func(addr string) (net.Conn, error)
+	// Now is the clock for mirror TTLs and breaker cooldowns; nil
+	// selects time.Now. Tests substitute a fake clock.
+	Now func() time.Time
+}
+
+func (cfg Config) withDefaults() Config {
+	if cfg.FailureThreshold == 0 {
+		cfg.FailureThreshold = defaultFailureThreshold
+	}
+	if cfg.DownDuration == 0 {
+		cfg.DownDuration = defaultDownDuration
+	}
+	if cfg.PeerTimeout == 0 {
+		cfg.PeerTimeout = defaultPeerTimeout
+	}
+	if cfg.Dialer == nil {
+		cfg.Dialer = func(addr string) (net.Conn, error) { return net.Dial("tcp", addr) }
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	return cfg
+}
+
+// Node is one member of the peer tier. It implements fsnet.OpenRouter;
+// wire it into the co-located server via ServerConfig.Router. All
+// methods are safe for concurrent use.
+type Node struct {
+	cfg   Config
+	self  string
+	ring  *Ring
+	peers map[string]*peer // owner address -> peer, Self excluded
+
+	mirMu  sync.Mutex
+	mirror *mirror
+
+	flights singleflight.Group[forward]
+
+	localOpens     atomic.Uint64
+	forwardedOpens atomic.Uint64
+	mirrorHits     atomic.Uint64
+	coalesced      atomic.Uint64
+	degradedOpens  atomic.Uint64
+	notFound       atomic.Uint64
+}
+
+// forward is one owner fetch's outcome, shared across coalesced opens.
+type forward struct {
+	files []fsnet.GroupFile
+	err   error
+}
+
+// NewNode validates cfg and builds the ring and one lazy-dialing fsnet
+// client per remote peer. No connection is opened until the first
+// forward, so nodes of a cluster can start in any order.
+func NewNode(cfg Config) (*Node, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Self == "" {
+		return nil, errors.New("cluster: Self must be set")
+	}
+	if cfg.FailureThreshold < 0 {
+		return nil, fmt.Errorf("cluster: negative FailureThreshold %d", cfg.FailureThreshold)
+	}
+	ring := NewRing(cfg.Replicas)
+	ring.Add(cfg.Peers...)
+	if _, ok := ring.members[cfg.Self]; !ok {
+		return nil, fmt.Errorf("cluster: Self %q not in Peers %v", cfg.Self, cfg.Peers)
+	}
+	n := &Node{
+		cfg:    cfg,
+		self:   cfg.Self,
+		ring:   ring,
+		peers:  make(map[string]*peer),
+		mirror: newMirror(cfg.MirrorCapacity, cfg.MirrorTTL, cfg.Now),
+	}
+	for _, addr := range ring.Members() {
+		if addr == cfg.Self {
+			continue
+		}
+		addr := addr
+		client, err := fsnet.NewClient(nil, fsnet.ClientConfig{
+			Dialer:  func() (net.Conn, error) { return cfg.Dialer(addr) },
+			Timeout: cfg.PeerTimeout,
+			// Fail fast: retries would only delay the breaker's verdict,
+			// and the degraded local path is always available.
+			MaxRetries: 0,
+		})
+		if err != nil {
+			return nil, err
+		}
+		n.peers[addr] = &peer{
+			addr:      addr,
+			client:    client,
+			threshold: uint64(cfg.FailureThreshold),
+			downFor:   cfg.DownDuration,
+			now:       cfg.Now,
+		}
+	}
+	return n, nil
+}
+
+// Owner returns the peer address that owns path.
+func (n *Node) Owner(path string) string { return n.ring.Owner(path) }
+
+// Self returns this node's own address.
+func (n *Node) Self() string { return n.self }
+
+// RouteOpen implements fsnet.OpenRouter. Paths this node owns — and
+// paths whose owner is unreachable — are declined so the embedding
+// server serves them from its own aggregating cache and store; everything
+// else is answered from the mirror or by one OpenGroup hop to the owner,
+// with the downstream client's piggybacked history relayed so the
+// owner's successor metadata stays as complete as a direct client's.
+func (n *Node) RouteOpen(path string, accessed []string) ([]fsnet.GroupFile, bool, error) {
+	owner := n.ring.Owner(path)
+	if owner == n.self || owner == "" {
+		n.localOpens.Add(1)
+		return nil, false, nil
+	}
+	p := n.peers[owner]
+
+	// Mirror first: a mirrored group answers even while its owner is
+	// down, and relays the history so it rides the next forward fetch.
+	n.mirMu.Lock()
+	files, ok := n.mirror.get(path)
+	n.mirMu.Unlock()
+	if ok {
+		n.mirrorHits.Add(1)
+		p.client.NoteAccess(accessed...)
+		p.client.NoteAccess(path)
+		return files, true, nil
+	}
+
+	if !p.admit() {
+		n.degradedOpens.Add(1)
+		return nil, false, nil
+	}
+
+	// Coalesce concurrent forwards of the same path: one OpenGroup
+	// serves every open that arrived while it was in flight.
+	res, _, coalesced := n.flights.Do(path, func() (forward, bool) {
+		p.client.NoteAccess(accessed...)
+		files, err := p.client.OpenGroup(path)
+		switch {
+		case err == nil:
+			p.noteSuccess()
+			n.mirMu.Lock()
+			n.mirror.put(files)
+			n.mirMu.Unlock()
+		case errors.Is(err, fsnet.ErrConnBroken):
+			p.noteFailure()
+		case errors.Is(err, fsnet.ErrNotFound):
+			p.noteSuccess() // the owner answered; not-found is healthy
+		}
+		return forward{files: files, err: err}, true
+	})
+	switch {
+	case res.err == nil:
+		if coalesced {
+			n.coalesced.Add(1)
+		} else {
+			n.forwardedOpens.Add(1)
+		}
+		return res.files, true, nil
+	case errors.Is(res.err, fsnet.ErrNotFound):
+		// The owner is authoritative and the stores are replicas: a
+		// local re-check cannot succeed, so answer not-found directly.
+		n.notFound.Add(1)
+		return nil, true, res.err
+	default:
+		// Transport or server failure: degrade to the local store. The
+		// open still succeeds, just without the owner's group metadata.
+		n.degradedOpens.Add(1)
+		return nil, false, nil
+	}
+}
+
+// Close shuts down every peer client. In-flight forwards fail over to
+// the degraded local path like any other transport failure.
+func (n *Node) Close() error {
+	var first error
+	for _, p := range n.peers {
+		if err := p.client.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// PeerStatus is one remote peer's health snapshot.
+type PeerStatus struct {
+	Addr string
+	// Up reports whether forwards are currently admitted (a peer in
+	// cooldown reports false; one admitting its probe reports true).
+	Up bool
+	// Failures is the consecutive transport-failure count (resets on
+	// any successful round trip).
+	Failures uint64
+	// Trips counts how many times the breaker opened.
+	Trips uint64
+}
+
+// NodeStats is a snapshot of the node's routing activity, shaped for
+// JSON export by the aggserve stats endpoint.
+type NodeStats struct {
+	Self    string
+	Members int
+	// LocalOpens counts opens this node owned (declined to the local
+	// serving path); ForwardedOpens counts opens answered by an owner
+	// fetch this open itself performed (coalesced followers are counted
+	// under CoalescedForwards instead, so ForwardedOpens is also the
+	// number of successful peer hops).
+	LocalOpens     uint64
+	ForwardedOpens uint64
+	// MirrorHits were answered from the hot-group mirror without a peer
+	// hop; MirrorGroups is its current residency.
+	MirrorHits   uint64
+	MirrorGroups int
+	// CoalescedForwards counts opens that shared another open's
+	// in-flight owner fetch.
+	CoalescedForwards uint64
+	// DegradedOpens were declined to the local path because the owner
+	// was down or the forward failed.
+	DegradedOpens uint64
+	// NotFound counts owner replies that the path does not exist.
+	NotFound uint64
+	Peers    []PeerStatus
+}
+
+// Stats returns a point-in-time snapshot.
+func (n *Node) Stats() NodeStats {
+	st := NodeStats{
+		Self:              n.self,
+		Members:           n.ring.Len(),
+		LocalOpens:        n.localOpens.Load(),
+		ForwardedOpens:    n.forwardedOpens.Load(),
+		MirrorHits:        n.mirrorHits.Load(),
+		CoalescedForwards: n.coalesced.Load(),
+		DegradedOpens:     n.degradedOpens.Load(),
+		NotFound:          n.notFound.Load(),
+	}
+	n.mirMu.Lock()
+	st.MirrorGroups = n.mirror.groups()
+	n.mirMu.Unlock()
+	for _, p := range n.peers {
+		st.Peers = append(st.Peers, PeerStatus{
+			Addr:     p.addr,
+			Up:       p.up(),
+			Failures: p.fails.Load(),
+			Trips:    p.trips.Load(),
+		})
+	}
+	sort.Slice(st.Peers, func(i, j int) bool { return st.Peers[i].Addr < st.Peers[j].Addr })
+	return st
+}
+
+// peer couples a lazy fsnet client with a consecutive-failure circuit
+// breaker. Only transport failures (ErrConnBroken) feed the breaker:
+// typed server errors prove the peer is alive.
+type peer struct {
+	addr      string
+	client    *fsnet.Client
+	threshold uint64
+	downFor   time.Duration
+	now       func() time.Time
+
+	fails     atomic.Uint64 // consecutive transport failures
+	trips     atomic.Uint64
+	downUntil atomic.Int64 // unixnano; 0 = up
+	probe     atomic.Bool  // half-open: one probe admitted post-cooldown
+}
+
+// admit reports whether a forward may proceed. While the cooldown runs
+// every forward is refused; once it lapses exactly one caller wins the
+// probe slot and the rest stay refused until the probe's outcome lands.
+func (p *peer) admit() bool {
+	du := p.downUntil.Load()
+	if du == 0 {
+		return true
+	}
+	if p.now().UnixNano() < du {
+		return false
+	}
+	return p.probe.CompareAndSwap(false, true)
+}
+
+// up reports the breaker state for stats (true once cooldown lapsed,
+// even before a probe has confirmed recovery).
+func (p *peer) up() bool {
+	du := p.downUntil.Load()
+	return du == 0 || p.now().UnixNano() >= du
+}
+
+func (p *peer) noteSuccess() {
+	p.fails.Store(0)
+	p.downUntil.Store(0)
+	p.probe.Store(false)
+}
+
+func (p *peer) noteFailure() {
+	if p.fails.Add(1) >= p.threshold {
+		p.downUntil.Store(p.now().Add(p.downFor).UnixNano())
+		p.probe.Store(false)
+		p.trips.Add(1)
+	}
+}

@@ -1,0 +1,186 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"aggcache/internal/fsnet"
+)
+
+// tick is a fake clock for mirror TTL and breaker cooldown tests.
+type tick struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newTick() *tick { return &tick{t: time.Unix(1000, 0)} }
+
+func (c *tick) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *tick) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func mkGroup(paths ...string) []fsnet.GroupFile {
+	out := make([]fsnet.GroupFile, len(paths))
+	for i, p := range paths {
+		out[i] = fsnet.GroupFile{Path: p, Data: []byte("data " + p)}
+	}
+	return out
+}
+
+func TestMirrorIndexesEveryMember(t *testing.T) {
+	clk := newTick()
+	m := newMirror(4, time.Minute, clk.Now)
+	m.put(mkGroup("/a", "/b", "/c"))
+
+	// Anchor lookup returns the group as stored.
+	files, ok := m.get("/a")
+	if !ok || len(files) != 3 || files[0].Path != "/a" {
+		t.Fatalf("get(/a) = %v, %v", files, ok)
+	}
+	// Member lookup reorders: demanded path leads, rest keep order.
+	files, ok = m.get("/c")
+	if !ok || len(files) != 3 {
+		t.Fatalf("get(/c) = %v, %v", files, ok)
+	}
+	if files[0].Path != "/c" || files[1].Path != "/a" || files[2].Path != "/b" {
+		t.Errorf("member get order = %q %q %q", files[0].Path, files[1].Path, files[2].Path)
+	}
+	if string(files[0].Data) != "data /c" {
+		t.Errorf("member data = %q", files[0].Data)
+	}
+	if _, ok := m.get("/missing"); ok {
+		t.Error("get(/missing) hit")
+	}
+	if m.hits != 2 || m.misses != 1 {
+		t.Errorf("hits=%d misses=%d, want 2/1", m.hits, m.misses)
+	}
+}
+
+func TestMirrorTTLExpiry(t *testing.T) {
+	clk := newTick()
+	m := newMirror(4, time.Second, clk.Now)
+	m.put(mkGroup("/a", "/b"))
+	if _, ok := m.get("/a"); !ok {
+		t.Fatal("fresh entry missed")
+	}
+	clk.Advance(1500 * time.Millisecond)
+	if _, ok := m.get("/a"); ok {
+		t.Error("expired entry still served")
+	}
+	// Expiry evicts the whole group, every index included.
+	if _, ok := m.get("/b"); ok {
+		t.Error("expired group still served via member")
+	}
+	if m.groups() != 0 {
+		t.Errorf("groups = %d after expiry, want 0", m.groups())
+	}
+	if m.expired != 1 {
+		t.Errorf("expired = %d, want 1", m.expired)
+	}
+}
+
+func TestMirrorNeverExpires(t *testing.T) {
+	clk := newTick()
+	m := newMirror(4, -1, clk.Now)
+	m.put(mkGroup("/a"))
+	clk.Advance(1000 * time.Hour)
+	if _, ok := m.get("/a"); !ok {
+		t.Error("negative TTL entry expired")
+	}
+}
+
+func TestMirrorLRUEviction(t *testing.T) {
+	clk := newTick()
+	m := newMirror(2, time.Minute, clk.Now)
+	m.put(mkGroup("/g1", "/g1.m"))
+	m.put(mkGroup("/g2"))
+	m.get("/g1") // touch: g2 is now LRU
+	m.put(mkGroup("/g3"))
+	if _, ok := m.get("/g2"); ok {
+		t.Error("LRU group survived eviction")
+	}
+	if _, ok := m.get("/g1"); !ok {
+		t.Error("recently used group evicted")
+	}
+	if _, ok := m.get("/g3"); !ok {
+		t.Error("fresh group evicted")
+	}
+	if m.evicted != 1 {
+		t.Errorf("evicted = %d, want 1", m.evicted)
+	}
+}
+
+func TestMirrorNewerGroupWinsSharedMember(t *testing.T) {
+	clk := newTick()
+	m := newMirror(4, time.Minute, clk.Now)
+	m.put(mkGroup("/a", "/shared"))
+	m.put(mkGroup("/b", "/shared"))
+	files, ok := m.get("/shared")
+	if !ok || files[1].Path != "/b" {
+		t.Fatalf("shared member resolves to %v, want /b's group", files)
+	}
+	// /a's group is still reachable through its anchor.
+	if files, ok := m.get("/a"); !ok || len(files) != 2 {
+		t.Errorf("get(/a) = %v, %v after member re-point", files, ok)
+	}
+}
+
+func TestMirrorSingleMemberOverlapDropsOldGroup(t *testing.T) {
+	clk := newTick()
+	m := newMirror(4, time.Minute, clk.Now)
+	m.put(mkGroup("/solo"))
+	m.put(mkGroup("/other", "/solo"))
+	if m.groups() != 1 {
+		t.Errorf("groups = %d, want 1 (old single-member group unreachable)", m.groups())
+	}
+	files, ok := m.get("/solo")
+	if !ok || files[1].Path != "/other" {
+		t.Errorf("get(/solo) = %v, %v", files, ok)
+	}
+}
+
+func TestMirrorDisabledIsNilSafe(t *testing.T) {
+	m := newMirror(-1, 0, newTick().Now)
+	if m != nil {
+		t.Fatal("capacity < 0 should disable the mirror")
+	}
+	m.put(mkGroup("/a"))
+	if _, ok := m.get("/a"); ok {
+		t.Error("disabled mirror served a hit")
+	}
+	if m.groups() != 0 {
+		t.Error("disabled mirror reports residency")
+	}
+}
+
+func TestMirrorManyGroups(t *testing.T) {
+	clk := newTick()
+	m := newMirror(8, time.Minute, clk.Now)
+	for i := 0; i < 32; i++ {
+		anchor := fmt.Sprintf("/g%02d", i)
+		m.put(mkGroup(anchor, anchor+".m1", anchor+".m2"))
+	}
+	if m.groups() != 8 {
+		t.Errorf("groups = %d, want capacity 8", m.groups())
+	}
+	// Index size tracks residency: 3 paths per resident group.
+	if len(m.entries) != 24 {
+		t.Errorf("index size = %d, want 24", len(m.entries))
+	}
+	// The newest 8 survive.
+	for i := 24; i < 32; i++ {
+		if _, ok := m.get(fmt.Sprintf("/g%02d.m2", i)); !ok {
+			t.Errorf("recent group g%02d evicted", i)
+		}
+	}
+}

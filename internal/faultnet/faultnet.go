@@ -40,6 +40,11 @@ type Faults struct {
 	// schedule.
 	Seed int64
 
+	// Gate, when non-nil, attaches a deterministic on/off kill switch to
+	// the connection: while the gate is down every Read and Write fails
+	// immediately (no randomness involved). See the Gate type.
+	Gate *Gate
+
 	// LatencyProb is the chance an operation sleeps for Latency before
 	// touching the wire.
 	LatencyProb float64
@@ -74,13 +79,55 @@ type Stats struct {
 	WriteErrs     atomic.Uint64
 	Resets        atomic.Uint64
 	Blackholes    atomic.Uint64
+	Gated         atomic.Uint64
 }
 
 // Total returns the number of injected faults of every class, latency
 // included.
 func (s *Stats) Total() uint64 {
 	return s.Latencies.Load() + s.PartialWrites.Load() + s.ReadErrs.Load() +
-		s.WriteErrs.Load() + s.Resets.Load() + s.Blackholes.Load()
+		s.WriteErrs.Load() + s.Resets.Load() + s.Blackholes.Load() + s.Gated.Load()
+}
+
+// Gate is a deterministic on/off fault shared by any number of
+// connections and dialers: while down, every Read and Write on a gated
+// connection fails immediately with ErrInjected and gated dials are
+// refused. Unlike the probabilistic fault classes it consumes no random
+// draws, so flipping a gate never perturbs another fault's schedule. It
+// models a peer dropping off the network at an exact, test-controlled
+// instant — the primitive the cluster failover suite kills peers with.
+type Gate struct {
+	down atomic.Bool
+}
+
+// SetDown opens (true) or heals (false) the gate.
+func (g *Gate) SetDown(down bool) { g.down.Store(down) }
+
+// Down reports whether the gate is currently failing operations.
+func (g *Gate) Down() bool { return g.down.Load() }
+
+// gated reports whether the gate fault fires for this connection.
+func (c *Conn) gated() bool {
+	return c.f.Gate != nil && c.f.Gate.Down()
+}
+
+// GatedDialer returns a dial function producing connections to addr that
+// all share gate: while the gate is down the dial itself is refused, and
+// connections established earlier fail their next Read or Write. The
+// shared Stats counts refused dials and failed operations as Gated.
+func GatedDialer(addr string, gate *Gate) (func() (net.Conn, error), *Stats) {
+	stats := &Stats{}
+	return func() (net.Conn, error) {
+		if gate.Down() {
+			stats.Gated.Add(1)
+			return nil, fmt.Errorf("%w: gate down: dial %s", ErrInjected, addr)
+		}
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			return nil, err
+		}
+		return Wrap(conn, Faults{Gate: gate}, stats), nil
+	}, stats
 }
 
 // Conn wraps a net.Conn with fault injection. Methods not listed here
@@ -152,6 +199,10 @@ func (c *Conn) reset(op string) error {
 
 // Read implements net.Conn.
 func (c *Conn) Read(p []byte) (int, error) {
+	if c.gated() {
+		c.stats.Gated.Add(1)
+		return 0, fmt.Errorf("%w: gate down: read", ErrInjected)
+	}
 	c.maybeLatency()
 	switch {
 	case c.roll(c.f.ReadErrProb):
@@ -188,6 +239,10 @@ func (c *Conn) blackhole() error {
 
 // Write implements net.Conn.
 func (c *Conn) Write(p []byte) (int, error) {
+	if c.gated() {
+		c.stats.Gated.Add(1)
+		return 0, fmt.Errorf("%w: gate down: write", ErrInjected)
+	}
 	c.maybeLatency()
 	switch {
 	case c.roll(c.f.WriteErrProb):

@@ -278,3 +278,130 @@ func TestDialerProducesFaultyConns(t *testing.T) {
 		t.Errorf("shared stats = %d write errors", stats.WriteErrs.Load())
 	}
 }
+
+// TestGateKillsAndHeals: a shared gate fails live connections and new
+// dials deterministically while down, and everything works again once
+// healed — the exact peer-death/revival cycle the cluster suite drives.
+func TestGateKillsAndHeals(t *testing.T) {
+	raw, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer raw.Close()
+	go func() {
+		for {
+			conn, err := raw.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				defer c.Close()
+				buf := make([]byte, 64)
+				for {
+					n, err := c.Read(buf)
+					if err != nil {
+						return
+					}
+					if _, err := c.Write(buf[:n]); err != nil {
+						return
+					}
+				}
+			}(conn)
+		}
+	}()
+
+	var gate Gate
+	dial, stats := GatedDialer(raw.Addr().String(), &gate)
+	conn, err := dial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	// Gate up: the connection echoes.
+	if _, err := conn.Write([]byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 4)
+	if _, err := io.ReadFull(conn, buf); err != nil {
+		t.Fatal(err)
+	}
+
+	// Gate down: the live connection fails its next operation, and new
+	// dials are refused.
+	gate.SetDown(true)
+	if !gate.Down() {
+		t.Error("Down() = false after SetDown(true)")
+	}
+	if _, err := conn.Write([]byte("ping")); !errors.Is(err, ErrInjected) {
+		t.Errorf("gated write err = %v, want ErrInjected", err)
+	}
+	if _, err := conn.Read(buf); !errors.Is(err, ErrInjected) {
+		t.Errorf("gated read err = %v, want ErrInjected", err)
+	}
+	if _, err := dial(); !errors.Is(err, ErrInjected) {
+		t.Errorf("gated dial err = %v, want ErrInjected", err)
+	}
+	if got := stats.Gated.Load(); got != 3 {
+		t.Errorf("Gated = %d, want 3", got)
+	}
+	if stats.Total() != 3 {
+		t.Errorf("Total = %d, want 3", stats.Total())
+	}
+
+	// Healed: new dials and operations succeed again.
+	gate.SetDown(false)
+	conn2, err := dial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn2.Close()
+	if _, err := conn2.Write([]byte("pong")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := io.ReadFull(conn2, buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGateDoesNotPerturbSchedule: flipping a gate consumes no random
+// draws, so the probabilistic fault schedule is identical with and
+// without gate checks in between.
+func TestGateDoesNotPerturbSchedule(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	go func() {
+		buf := make([]byte, 1)
+		for {
+			if _, err := b.Read(buf); err != nil {
+				return
+			}
+		}
+	}()
+
+	run := func(gate *Gate) []bool {
+		c := Wrap(a, Faults{Seed: 7, WriteErrProb: 0.5, Gate: gate}, nil)
+		outcomes := make([]bool, 0, 16)
+		for i := 0; i < 16; i++ {
+			if gate != nil {
+				gate.SetDown(true)
+				if _, err := c.Write([]byte("x")); !errors.Is(err, ErrInjected) {
+					t.Fatalf("gated write err = %v", err)
+				}
+				gate.SetDown(false)
+			}
+			_, err := c.Write([]byte("x"))
+			outcomes = append(outcomes, err == nil)
+		}
+		return outcomes
+	}
+
+	plain := run(nil)
+	gated := run(&Gate{})
+	for i := range plain {
+		if plain[i] != gated[i] {
+			t.Fatalf("schedules diverge at op %d: plain=%v gated=%v", i, plain, gated)
+		}
+	}
+}

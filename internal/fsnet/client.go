@@ -372,6 +372,72 @@ func (c *Client) Open(path string) ([]byte, error) {
 	return out, nil
 }
 
+// OpenGroup fetches path from the server and returns the entire group
+// reply — the demanded file first, then its opportunistically fetched
+// members — installing the group into the local cache exactly like Open.
+// Unlike Open it never answers from the local cache: the cluster tier
+// uses it to stage a whole remote group in one peer hop, and it must see
+// the owner's current group, not a stale local copy. The returned slices
+// are the caller's to keep.
+func (c *Client) OpenGroup(path string) ([]GroupFile, error) {
+	if path == "" || len(path) > maxPath {
+		return nil, fmt.Errorf("fsnet: invalid path %q", path)
+	}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, errClientClosed
+	}
+	id := c.ids.Intern(path)
+	c.ensureDense(id)
+	if !c.cfg.DisablePiggyback && len(c.pending) < maxStatPaths {
+		c.pending = append(c.pending, path)
+	}
+	c.mu.Unlock()
+
+	resp, err := c.fetch(path)
+	if err != nil {
+		return nil, err
+	}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.stats.Opens++
+	c.stats.Fetches++
+	c.install(id, resp)
+	out := make([]GroupFile, len(resp.Files))
+	for i, f := range resp.Files {
+		// The cache owns resp's slices after install; hand the caller
+		// copies so neither side can corrupt the other.
+		data := make([]byte, len(f.Data))
+		copy(data, f.Data)
+		out[i] = GroupFile{Path: f.Path, Data: data}
+	}
+	return out, nil
+}
+
+// NoteAccess appends externally observed opens — e.g. a cluster node
+// relaying a downstream client's piggybacked history — to the history
+// this client piggybacks on its next fetch, preserving order. Entries
+// beyond the protocol limit are dropped (the next claim also trims
+// oldest-first), so a flood cannot grow the backlog without bound.
+func (c *Client) NoteAccess(paths ...string) {
+	if c.cfg.DisablePiggyback {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, p := range paths {
+		if p == "" || len(p) > maxPath {
+			continue
+		}
+		if len(c.pending) >= maxStatPaths {
+			return
+		}
+		c.pending = append(c.pending, p)
+	}
+}
+
 // Write stores a whole file on the server (write-through) and refreshes
 // the local cached copy if resident. Writes are not access events: the
 // grouping model tracks opens (§2.2), so a write does not perturb the

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"aggcache/internal/faultnet"
+	"aggcache/internal/singleflight"
 )
 
 // The pipeline suite covers the version-2 serving path: many goroutines
@@ -236,18 +237,19 @@ func TestChaosPipelineCutMidFlight(t *testing.T) {
 	}
 }
 
-// TestFlightGroupCoalesces pins the singleflight contract: overlapping
+// TestFlightGroupCoalesces pins the server's singleflight usage contract
+// (now provided by internal/singleflight): overlapping
 // calls with one key share the leader's single execution, and
 // non-overlapping calls run fresh.
 func TestFlightGroupCoalesces(t *testing.T) {
-	var g flightGroup
+	var g singleflight.Group[[]fileData]
 	entered := make(chan struct{})
 	release := make(chan struct{})
 	var calls int
 	leaderDone := make(chan struct{})
 	go func() {
 		defer close(leaderDone)
-		files, ok, coalesced := g.do("k", func() ([]fileData, bool) {
+		files, ok, coalesced := g.Do("k", func() ([]fileData, bool) {
 			calls++
 			close(entered)
 			<-release
@@ -265,7 +267,7 @@ func TestFlightGroupCoalesces(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			files, ok, coalesced := g.do("k", func() ([]fileData, bool) {
+			files, ok, coalesced := g.Do("k", func() ([]fileData, bool) {
 				t.Error("follower executed fn despite leader in flight")
 				return nil, false
 			})
@@ -287,7 +289,7 @@ func TestFlightGroupCoalesces(t *testing.T) {
 	}
 
 	// A later, non-overlapping call starts fresh.
-	_, _, coalesced := g.do("k", func() ([]fileData, bool) { return nil, true })
+	_, _, coalesced := g.Do("k", func() ([]fileData, bool) { return nil, true })
 	if coalesced {
 		t.Error("non-overlapping call reported coalesced")
 	}

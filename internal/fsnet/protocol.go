@@ -96,6 +96,15 @@ type fileData struct {
 	Data []byte
 }
 
+// GroupFile is one file of a group, as exposed to code embedding the
+// client or server — the cluster peer tier (internal/cluster) routes
+// whole groups of these between nodes. The demanded file always leads a
+// group; the rest are its opportunistically fetched members.
+type GroupFile struct {
+	Path string
+	Data []byte
+}
+
 // groupResponse is the payload of msgGroup.
 type groupResponse struct {
 	Files []fileData

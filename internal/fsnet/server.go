@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"aggcache/internal/core"
+	"aggcache/internal/singleflight"
 	"aggcache/internal/trace"
 )
 
@@ -48,8 +49,30 @@ type ServerConfig struct {
 	// type", then close) — every client is forced onto the lock-step
 	// protocol, which doubles as the serialized benchmark baseline.
 	MaxProtocol int
+	// Router, when set, is consulted before any open is served from the
+	// local cache and store. It lets an embedding tier (internal/cluster)
+	// place a path's group on another server: when RouteOpen reports the
+	// request handled, its files become the reply verbatim and the local
+	// metadata, cache, and store are left untouched. When it reports the
+	// request unhandled the server serves it locally as usual — which is
+	// also the cluster tier's degraded path when the owning peer is down.
+	Router OpenRouter
 	// Logger receives connection-level errors; nil discards them.
 	Logger *log.Logger
+}
+
+// OpenRouter routes open requests whose group is placed on another
+// server. Implementations must be safe for concurrent use; RouteOpen is
+// called outside every server lock and may block on network I/O.
+type OpenRouter interface {
+	// RouteOpen resolves path into its group — demanded file first — or
+	// reports handled=false to have the server stage the group from its
+	// own store. accessed is the client's piggybacked access history,
+	// relayed so the remote owner's metadata stays as complete as the
+	// local server's would (§3). A handled error is returned to the
+	// client: ErrNotFound maps to CodeNotFound, anything else to
+	// CodeInternal.
+	RouteOpen(path string, accessed []string) (files []GroupFile, handled bool, err error)
 }
 
 // maxProto normalizes MaxProtocol to a usable version number.
@@ -81,6 +104,9 @@ type ServerStats struct {
 	// in-flight store staging of the same demanded path instead of
 	// reading the store themselves.
 	CoalescedStages uint64
+	// RemoteOpens counts open requests answered by the configured Router
+	// (the cluster peer tier) rather than by the local cache and store.
+	RemoteOpens uint64
 	// Cache is the server memory cache accounting (hits are requests
 	// served without staging from the store).
 	Cache core.Stats
@@ -110,6 +136,7 @@ type Server struct {
 	panics      atomic.Uint64
 	disconnects atomic.Uint64
 	coalesced   atomic.Uint64
+	remote      atomic.Uint64
 
 	// ids translates paths to dense FileIDs and back; internally
 	// read-write locked with a fast path for already-known paths.
@@ -122,7 +149,7 @@ type Server struct {
 	agg   *core.AggregatingCache
 
 	// flights coalesces concurrent store stagings of the same group.
-	flights flightGroup
+	flights singleflight.Group[[]fileData]
 
 	connMu   sync.Mutex
 	conns    map[net.Conn]struct{}
@@ -272,6 +299,7 @@ func (s *Server) Stats() ServerStats {
 		Panics:          s.panics.Load(),
 		Disconnects:     s.disconnects.Load(),
 		CoalescedStages: s.coalesced.Load(),
+		RemoteOpens:     s.remote.Load(),
 		Cache:           cacheStats,
 	}
 }
@@ -575,6 +603,11 @@ func (s *Server) write(req writeRequest) errorResponse {
 // staging of the same demanded path.
 func (s *Server) open(req openRequest, src uint64) ([]fileData, errorResponse) {
 	s.requests.Add(1)
+	if s.cfg.Router != nil {
+		if files, errResp, handled := s.routeOpen(req); handled {
+			return files, errResp
+		}
+	}
 	if !s.store.Contains(req.Path) {
 		return nil, errorResponse{Code: CodeNotFound, Message: req.Path}
 	}
@@ -616,12 +649,42 @@ func (s *Server) open(req openRequest, src uint64) ([]fileData, errorResponse) {
 	return files, errorResponse{}
 }
 
+// routeOpen hands one open to the configured Router. handled=false means
+// the caller serves the request locally (the router declined: the path is
+// locally owned, or its owner is down and the open degrades to a local
+// fetch).
+func (s *Server) routeOpen(req openRequest) ([]fileData, errorResponse, bool) {
+	files, handled, err := s.cfg.Router.RouteOpen(req.Path, req.Accessed)
+	if !handled {
+		return nil, errorResponse{}, false
+	}
+	if err != nil {
+		if errors.Is(err, ErrNotFound) {
+			return nil, errorResponse{Code: CodeNotFound, Message: req.Path}, true
+		}
+		return nil, errorResponse{Code: CodeInternal, Message: err.Error()}, true
+	}
+	if len(files) == 0 || files[0].Path != req.Path {
+		return nil, errorResponse{Code: CodeInternal, Message: "router returned malformed group"}, true
+	}
+	if len(files) > maxGroup {
+		files = files[:maxGroup]
+	}
+	out := make([]fileData, len(files))
+	for i, f := range files {
+		out[i] = fileData{Path: f.Path, Data: f.Data}
+	}
+	s.remote.Add(1)
+	s.sent.Add(uint64(len(out)))
+	return out, errorResponse{}, true
+}
+
 // stageGroup reads the demanded file plus the group members from the
 // store, coalescing with any concurrent staging of the same demanded
 // path: followers wait for the leader's read and share its (read-only)
 // result instead of hitting the store themselves.
 func (s *Server) stageGroup(path string, paths []string) ([]fileData, bool) {
-	files, ok, coalesced := s.flights.do(path, func() ([]fileData, bool) {
+	files, ok, coalesced := s.flights.Do(path, func() ([]fileData, bool) {
 		data, ok := s.store.Get(path)
 		if !ok {
 			return nil, false
@@ -639,44 +702,6 @@ func (s *Server) stageGroup(path string, paths []string) ([]fileData, bool) {
 		s.coalesced.Add(1)
 	}
 	return files, ok
-}
-
-// flightGroup is a minimal singleflight: concurrent do calls with the
-// same key share the first caller's result. Results are only shared
-// between calls that overlap in time; a later call starts fresh.
-type flightGroup struct {
-	mu      sync.Mutex
-	flights map[string]*flight
-}
-
-type flight struct {
-	done  chan struct{}
-	files []fileData
-	ok    bool
-}
-
-// do runs fn once per key among overlapping callers. coalesced reports
-// whether this caller joined another caller's flight.
-func (g *flightGroup) do(key string, fn func() ([]fileData, bool)) (files []fileData, ok, coalesced bool) {
-	g.mu.Lock()
-	if g.flights == nil {
-		g.flights = make(map[string]*flight)
-	}
-	if f, exists := g.flights[key]; exists {
-		g.mu.Unlock()
-		<-f.done
-		return f.files, f.ok, true
-	}
-	f := &flight{done: make(chan struct{})}
-	g.flights[key] = f
-	g.mu.Unlock()
-
-	f.files, f.ok = fn()
-	g.mu.Lock()
-	delete(g.flights, key)
-	g.mu.Unlock()
-	close(f.done)
-	return f.files, f.ok, false
 }
 
 // replyWriter serializes and batches the replies of one pipelined

@@ -1,0 +1,56 @@
+// Package singleflight coalesces concurrent calls that share a key:
+// overlapping Do calls with the same key run the function once and share
+// the first caller's result. It generalizes the staging coalescer that
+// grew up inside internal/fsnet's server (DESIGN.md §10) so the cluster
+// peer tier can reuse the exact same contract for cross-peer fetches.
+//
+// Results are only shared between calls that overlap in time; a call that
+// starts after the flight completed runs fresh. That is deliberately
+// weaker than a cache — the point is to collapse a thundering herd into
+// one execution, not to remember answers.
+package singleflight
+
+import "sync"
+
+// Group coalesces concurrent Do calls per key. The zero value is ready to
+// use. A Group must not be copied after first use.
+type Group[V any] struct {
+	mu      sync.Mutex
+	flights map[string]*flight[V]
+}
+
+type flight[V any] struct {
+	done chan struct{}
+	val  V
+	ok   bool
+}
+
+// Do runs fn once per key among overlapping callers: the first caller for
+// a key (the leader) executes fn; callers that arrive while the leader is
+// in flight block and share its result. coalesced reports whether this
+// caller joined another caller's flight instead of executing fn itself.
+//
+// The ok result is carried through from fn verbatim; it lets callers
+// distinguish "ran and found nothing" from a usable result without
+// resorting to sentinel values.
+func (g *Group[V]) Do(key string, fn func() (V, bool)) (val V, ok, coalesced bool) {
+	g.mu.Lock()
+	if g.flights == nil {
+		g.flights = make(map[string]*flight[V])
+	}
+	if f, exists := g.flights[key]; exists {
+		g.mu.Unlock()
+		<-f.done
+		return f.val, f.ok, true
+	}
+	f := &flight[V]{done: make(chan struct{})}
+	g.flights[key] = f
+	g.mu.Unlock()
+
+	f.val, f.ok = fn()
+	g.mu.Lock()
+	delete(g.flights, key)
+	g.mu.Unlock()
+	close(f.done)
+	return f.val, f.ok, false
+}

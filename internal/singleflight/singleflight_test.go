@@ -1,0 +1,133 @@
+package singleflight
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestDoCoalescesOverlappingCalls pins the contract fsnet and cluster
+// both rely on: one execution per key among overlapping callers, fresh
+// execution once the flight has landed.
+func TestDoCoalescesOverlappingCalls(t *testing.T) {
+	var g Group[string]
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	var calls atomic.Int64
+	leaderDone := make(chan struct{})
+	go func() {
+		defer close(leaderDone)
+		val, ok, coalesced := g.Do("k", func() (string, bool) {
+			calls.Add(1)
+			close(entered)
+			<-release
+			return "value", true
+		})
+		if !ok || coalesced || val != "value" {
+			t.Errorf("leader got val=%q ok=%v coalesced=%v", val, ok, coalesced)
+		}
+	}()
+	<-entered
+
+	const followers = 8
+	var wg sync.WaitGroup
+	for i := 0; i < followers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			val, ok, coalesced := g.Do("k", func() (string, bool) {
+				t.Error("follower executed fn despite leader in flight")
+				return "", false
+			})
+			if !ok || !coalesced || val != "value" {
+				t.Errorf("follower got val=%q ok=%v coalesced=%v", val, ok, coalesced)
+			}
+		}()
+	}
+	time.Sleep(10 * time.Millisecond) // let the followers join the flight
+	close(release)
+	wg.Wait()
+	<-leaderDone
+	if n := calls.Load(); n != 1 {
+		t.Errorf("fn ran %d times, want 1", n)
+	}
+
+	// Non-overlapping call starts fresh.
+	_, _, coalesced := g.Do("k", func() (string, bool) { calls.Add(1); return "", true })
+	if coalesced {
+		t.Error("later call reported coalesced")
+	}
+	if n := calls.Load(); n != 2 {
+		t.Errorf("fn ran %d times after fresh call, want 2", n)
+	}
+}
+
+// TestDoDistinctKeysRunIndependently: flights on different keys never
+// block each other or share results.
+func TestDoDistinctKeysRunIndependently(t *testing.T) {
+	var g Group[int]
+	aEntered := make(chan struct{})
+	aRelease := make(chan struct{})
+	go g.Do("a", func() (int, bool) {
+		close(aEntered)
+		<-aRelease
+		return 1, true
+	})
+	<-aEntered
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		val, ok, coalesced := g.Do("b", func() (int, bool) { return 2, true })
+		if val != 2 || !ok || coalesced {
+			t.Errorf(`Do("b") = %d,%v,%v`, val, ok, coalesced)
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal(`Do("b") blocked behind the "a" flight`)
+	}
+	close(aRelease)
+}
+
+// TestDoNotOK: a leader returning ok=false shares that verdict with its
+// followers (the "ran and found nothing" case).
+func TestDoNotOK(t *testing.T) {
+	var g Group[[]byte]
+	val, ok, coalesced := g.Do("missing", func() ([]byte, bool) { return nil, false })
+	if val != nil || ok || coalesced {
+		t.Errorf("Do = %v,%v,%v, want nil,false,false", val, ok, coalesced)
+	}
+}
+
+// TestDoConcurrentStress hammers one Group from many goroutines across a
+// handful of keys; run under -race this pins memory safety of the
+// flight lifecycle (claim, execute, land, delete).
+func TestDoConcurrentStress(t *testing.T) {
+	var g Group[int]
+	keys := []string{"a", "b", "c", "d"}
+	var executions atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				key := keys[(i+j)%len(keys)]
+				val, ok, _ := g.Do(key, func() (int, bool) {
+					executions.Add(1)
+					return len(key), true
+				})
+				if !ok || val != len(key) {
+					t.Errorf("Do(%q) = %d,%v", key, val, ok)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	if executions.Load() == 0 {
+		t.Error("fn never executed")
+	}
+}
