@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race race-par cluster bench bench-json loadtest profile chaos experiments examples fuzz clean
+.PHONY: all build vet test race race-par cluster bench bench-json loadtest metrics-smoke profile chaos experiments examples fuzz clean
 
 all: build vet test
 
@@ -59,6 +59,12 @@ loadtest:
 	$(GO) run ./cmd/aggbench -conns 8 -workers 8 -opens 4000 -rtt 2ms -serial
 	$(GO) run ./cmd/aggbench -cluster 1 -conns 9 -workers 4 -opens 4000
 	$(GO) run ./cmd/aggbench -cluster 3 -conns 9 -workers 4 -opens 4000
+
+# End-to-end observability smoke: boot an aggserve, drive load with
+# aggbench, scrape /metrics, and validate the exposition with the strict
+# parser in internal/obs (DESIGN.md §12).
+metrics-smoke:
+	sh ./scripts/metrics_smoke.sh
 
 # Profile the headline claims experiment and print the hottest frames.
 # Leaves cpu.pprof and mem.pprof behind for interactive `go tool pprof`.

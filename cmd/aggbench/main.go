@@ -12,6 +12,11 @@
 // request/reply baseline — the pipelined/serial ratio is the headline
 // speedup of the concurrent serving path (DESIGN.md §10).
 //
+// -metrics wires an internal/obs registry into the clients and reports
+// its series alongside the usual summary; the benchmark name gains an
+// "Obs" suffix so baselines track instrumented and bare runs separately
+// (their difference is the client-side instrumentation overhead).
+//
 // -cluster N spins up an in-process consistent-hash cluster of N nodes
 // (internal/cluster) with replicated stores and spreads the connections
 // across them round-robin, so the same workload measures the sharded
@@ -32,7 +37,6 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
-	"math/bits"
 	"net"
 	"os"
 	"sync"
@@ -42,6 +46,7 @@ import (
 	"aggcache/internal/benchparse"
 	"aggcache/internal/cluster"
 	"aggcache/internal/fsnet"
+	"aggcache/internal/obs"
 	"aggcache/internal/trace"
 	"aggcache/internal/workload"
 )
@@ -156,6 +161,7 @@ type config struct {
 	rtt         time.Duration
 	serial      bool
 	cluster     int
+	metrics     bool
 	jsonOut     bool
 	gobench     bool
 }
@@ -176,6 +182,7 @@ func parseFlags(args []string) (config, error) {
 	fs.DurationVar(&cfg.rtt, "rtt", 0, "simulated network round-trip time (half is injected before each client read and write syscall); zero measures raw loopback")
 	fs.BoolVar(&cfg.serial, "serial", false, "cap clients at protocol version 1 (lock-step baseline)")
 	fs.IntVar(&cfg.cluster, "cluster", 0, "run an in-process consistent-hash cluster of N nodes with replicated stores, connections spread round-robin (0 = plain single server)")
+	fs.BoolVar(&cfg.metrics, "metrics", false, "wire an obs registry into the clients and report its series; the benchmark name gains an Obs suffix so instrumented and bare runs diff separately")
 	fs.BoolVar(&cfg.jsonOut, "json", false, "emit machine-readable JSON (benchjson-compatible schema)")
 	fs.BoolVar(&cfg.gobench, "gobench", false, "emit one `go test -bench`-style result line (pipes into cmd/benchjson)")
 	if err := fs.Parse(args); err != nil {
@@ -196,57 +203,26 @@ func parseFlags(args []string) (config, error) {
 	return cfg, nil
 }
 
-// histogram is a fixed-bucket latency histogram: bucket i holds samples
-// with bits.Len64(ns) == i, i.e. latencies in [2^(i-1), 2^i). Recording
-// is one atomic add; percentiles come out as bucket upper bounds, which
-// is plenty of resolution for order-of-magnitude latency reporting.
-type histogram struct {
-	buckets [65]atomic.Uint64
-}
-
-func (h *histogram) record(d time.Duration) {
-	ns := uint64(d.Nanoseconds())
-	h.buckets[bits.Len64(ns)].Add(1)
-}
-
-// percentile returns the upper bound of the bucket holding the p-th
-// percentile sample (p in [0,100]).
-func (h *histogram) percentile(p float64) time.Duration {
-	var total uint64
-	for i := range h.buckets {
-		total += h.buckets[i].Load()
-	}
-	if total == 0 {
-		return 0
-	}
-	rank := uint64(p / 100 * float64(total))
-	if rank >= total {
-		rank = total - 1
-	}
-	var seen uint64
-	for i := range h.buckets {
-		seen += h.buckets[i].Load()
-		if seen > rank {
-			if i == 0 {
-				return 0
-			}
-			return time.Duration(uint64(1)<<uint(i) - 1)
-		}
-	}
-	return time.Duration(1<<63 - 1)
-}
-
-// result is one complete load-generation run.
+// result is one complete load-generation run. Latency lands in an
+// obs.Histogram — the same power-of-two-bucket histogram aggbench used to
+// carry privately, now shared through internal/obs so /metrics and the
+// load generator report percentiles from identical math.
 type result struct {
 	cfg       config
 	opens     uint64
 	errors    uint64
 	elapsed   time.Duration
-	hist      *histogram
+	hist      *obs.Histogram
+	reg       *obs.Registry     // client-side registry; nil unless -metrics
 	client    fsnet.ClientStats // summed over all connections
 	hitRate   float64
 	protoName string
 	clus      clusterSummary // zero when not clustered
+}
+
+// pct converts the histogram's nanosecond percentile back to a Duration.
+func (r *result) pct(p float64) time.Duration {
+	return time.Duration(r.hist.Percentile(p))
 }
 
 // clusterSummary aggregates node routing counters across the ring.
@@ -437,10 +413,18 @@ func runLoad(cfg config) (*result, error) {
 		shutdowns = append(shutdowns, srv.Close)
 	}
 
+	// -metrics: one shared client-side registry; every connection's
+	// counters land in the same series, so the report is fleet-wide.
+	var reg *obs.Registry
+	if cfg.metrics {
+		reg = obs.NewRegistry()
+	}
+
 	clientCfg := fsnet.ClientConfig{
 		CacheCapacity: cfg.clientCache,
 		MaxRetries:    3,
 		Seed:          cfg.seed,
+		Obs:           reg,
 	}
 	if cfg.serial {
 		clientCfg.MaxProtocol = 1
@@ -490,7 +474,7 @@ func runLoad(cfg config) (*result, error) {
 		}
 	}()
 
-	res := &result{cfg: cfg, hist: &histogram{}, protoName: "pipelined"}
+	res := &result{cfg: cfg, hist: obs.NewHistogram(), reg: reg, protoName: "pipelined"}
 	if cfg.serial {
 		res.protoName = "serial"
 	}
@@ -511,7 +495,7 @@ func runLoad(cfg config) (*result, error) {
 					}
 					t0 := time.Now()
 					_, err := c.Open(seq[n])
-					res.hist.record(time.Since(t0))
+					res.hist.ObserveDuration(time.Since(t0))
 					if err != nil {
 						errCount.Add(1)
 						continue
@@ -558,7 +542,7 @@ func (r *result) writeText(out *os.File) {
 	fmt.Fprintf(out, "  throughput: %.0f opens/s (%d opens in %v, %d errors)\n",
 		r.throughput(), r.opens, r.elapsed.Round(time.Millisecond), r.errors)
 	fmt.Fprintf(out, "  latency:    p50 %v  p95 %v  p99 %v\n",
-		r.hist.percentile(50), r.hist.percentile(95), r.hist.percentile(99))
+		r.pct(50), r.pct(95), r.pct(99))
 	fmt.Fprintf(out, "  client:     hit-rate %.3f  fetches %d  files-received %d  prefetch-hits %d\n",
 		r.hitRate, r.client.Fetches, r.client.FilesReceived, r.client.PrefetchHits)
 	if r.client.Retries+r.client.BrokenConns > 0 {
@@ -569,16 +553,59 @@ func (r *result) writeText(out *os.File) {
 		fmt.Fprintf(out, "  cluster:    %d nodes  local %d  forwarded %d  mirror-hits %d  coalesced %d  degraded %d\n",
 			r.clus.nodes, r.clus.local, r.clus.forwarded, r.clus.mirrorHits, r.clus.coalesced, r.clus.degraded)
 	}
+	if r.reg != nil {
+		for _, s := range r.reg.Snapshot() {
+			if s.Hist != nil {
+				fmt.Fprintf(out, "  obs:        %s count %d  p50 %v  p95 %v\n",
+					s.Name, s.Hist.Count,
+					time.Duration(s.Hist.Percentile(50)), time.Duration(s.Hist.Percentile(95)))
+			} else {
+				fmt.Fprintf(out, "  obs:        %s %v\n", s.Name, s.Value)
+			}
+		}
+	}
 }
 
+// benchName is the identity the baseline gate diffs on; -metrics runs get
+// an Obs suffix so instrumented throughput is tracked as its own series
+// against the bare run, never mixed into it.
 func (r *result) benchName() string {
-	if r.cfg.cluster > 0 {
-		return fmt.Sprintf("AggbenchOpenCluster%d", r.cfg.cluster)
+	name := "AggbenchOpenPipelined"
+	switch {
+	case r.cfg.cluster > 0:
+		name = fmt.Sprintf("AggbenchOpenCluster%d", r.cfg.cluster)
+	case r.cfg.serial:
+		name = "AggbenchOpenSerial"
 	}
-	if r.cfg.serial {
-		return "AggbenchOpenSerial"
+	if r.cfg.metrics {
+		name += "Obs"
 	}
-	return "AggbenchOpenPipelined"
+	return name
+}
+
+// obsMetrics flattens the client registry into metric-name -> value pairs
+// for the machine-readable outputs. Histograms contribute _count/_p50/_p95
+// pseudo-series; labelled series are rare on the client side, so labels
+// are folded into the name.
+func (r *result) obsMetrics() map[string]float64 {
+	if r.reg == nil {
+		return nil
+	}
+	out := make(map[string]float64)
+	for _, s := range r.reg.Snapshot() {
+		name := s.Name
+		for _, l := range s.Labels {
+			name += "_" + l.Value
+		}
+		if s.Hist != nil {
+			out[name+"_count"] = float64(s.Hist.Count)
+			out[name+"_p50"] = float64(s.Hist.Percentile(50))
+			out[name+"_p95"] = float64(s.Hist.Percentile(95))
+			continue
+		}
+		out[name] = s.Value
+	}
+	return out
 }
 
 // writeGobench emits the run as one standard benchmark result line, so
@@ -587,9 +614,14 @@ func (r *result) benchName() string {
 func (r *result) writeGobench(out *os.File) {
 	nsPerOp := float64(r.elapsed.Nanoseconds()) / float64(r.opens)
 	fmt.Fprintf(out, "pkg: aggcache/cmd/aggbench\n")
-	fmt.Fprintf(out, "Benchmark%s-%d\t%8d\t%.1f ns/op\t%.0f opens/s\t%d p95_ns\t%d p99_ns\t%.3f hit_rate\n",
+	fmt.Fprintf(out, "Benchmark%s-%d\t%8d\t%.1f ns/op\t%.0f opens/s\t%d p95_ns\t%d p99_ns\t%.3f hit_rate",
 		r.benchName(), r.cfg.conns*r.cfg.workers, r.opens, nsPerOp, r.throughput(),
-		r.hist.percentile(95).Nanoseconds(), r.hist.percentile(99).Nanoseconds(), r.hitRate)
+		r.pct(95).Nanoseconds(), r.pct(99).Nanoseconds(), r.hitRate)
+	if om := r.obsMetrics(); om != nil {
+		fmt.Fprintf(out, "\t%.0f obs_call_p95_ns\t%.0f obs_reconnects",
+			om["fsnet_client_call_latency_ns_p95"], om["fsnet_client_reconnects_total"])
+	}
+	fmt.Fprintln(out)
 }
 
 // writeJSON emits the run in the benchparse schema, so the loadtest
@@ -603,9 +635,9 @@ func (r *result) writeJSON(out *os.File) error {
 			Iterations: int64(r.opens),
 			Metrics: map[string]float64{
 				"opens/s":  r.throughput(),
-				"p50_ns":   float64(r.hist.percentile(50).Nanoseconds()),
-				"p95_ns":   float64(r.hist.percentile(95).Nanoseconds()),
-				"p99_ns":   float64(r.hist.percentile(99).Nanoseconds()),
+				"p50_ns":   float64(r.pct(50).Nanoseconds()),
+				"p95_ns":   float64(r.pct(95).Nanoseconds()),
+				"p99_ns":   float64(r.pct(99).Nanoseconds()),
 				"errors":   float64(r.errors),
 				"hit_rate": r.hitRate,
 				"fetches":  float64(r.client.Fetches),
@@ -621,6 +653,9 @@ func (r *result) writeJSON(out *os.File) error {
 		m["mirror_hits"] = float64(r.clus.mirrorHits)
 		m["coalesced"] = float64(r.clus.coalesced)
 		m["degraded"] = float64(r.clus.degraded)
+	}
+	for name, v := range r.obsMetrics() {
+		set.Benchmarks[0].Metrics[name] = v
 	}
 	enc := json.NewEncoder(out)
 	enc.SetIndent("", "  ")

@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"aggcache/internal/benchparse"
+	"aggcache/internal/obs"
 )
 
 func TestParseFlagsRejectsBadCombos(t *testing.T) {
@@ -35,6 +36,9 @@ func TestBenchNames(t *testing.T) {
 		{config{serial: true}, "AggbenchOpenSerial"},
 		{config{cluster: 3}, "AggbenchOpenCluster3"},
 		{config{cluster: 1, serial: false}, "AggbenchOpenCluster1"},
+		{config{metrics: true}, "AggbenchOpenPipelinedObs"},
+		{config{cluster: 3, metrics: true}, "AggbenchOpenCluster3Obs"},
+		{config{serial: true, metrics: true}, "AggbenchOpenSerialObs"},
 	} {
 		if got := (&result{cfg: tc.cfg}).benchName(); got != tc.want {
 			t.Errorf("benchName(%+v) = %q, want %q", tc.cfg, got, tc.want)
@@ -82,7 +86,7 @@ func TestRunLoadCluster(t *testing.T) {
 func TestClusterJSONMetrics(t *testing.T) {
 	res := &result{
 		cfg:  config{cluster: 3, conns: 6, workers: 2},
-		hist: &histogram{},
+		hist: obs.NewHistogram(),
 		clus: clusterSummary{nodes: 3, forwarded: 10, mirrorHits: 5},
 	}
 	tmp, err := os.CreateTemp(t.TempDir(), "bench*.json")
@@ -108,8 +112,64 @@ func TestClusterJSONMetrics(t *testing.T) {
 	}
 }
 
+// TestRunLoadMetrics drives a small instrumented run end to end and
+// checks the client-side registry lands in the benchparse JSON: the call
+// latency histogram must account for every open, and the bare summary
+// counters must agree with their obs twins.
+func TestRunLoadMetrics(t *testing.T) {
+	cfg, err := parseFlags([]string{
+		"-metrics", "-conns", "2", "-workers", "2",
+		"-opens", "200", "-files", "64", "-json",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := runLoad(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.reg == nil {
+		t.Fatal("-metrics run has no registry")
+	}
+	om := res.obsMetrics()
+	if got := om["fsnet_client_call_latency_ns_count"]; got < float64(res.client.Fetches) {
+		t.Errorf("call latency count %v < %d wire fetches", got, res.client.Fetches)
+	}
+	if om["fsnet_client_inflight"] != 0 {
+		t.Errorf("in-flight gauge %v nonzero at quiescence", om["fsnet_client_inflight"])
+	}
+
+	tmp, err := os.CreateTemp(t.TempDir(), "bench*.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.writeJSON(tmp); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tmp.Seek(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	var set benchparse.Set
+	if err := json.NewDecoder(tmp).Decode(&set); err != nil {
+		t.Fatal(err)
+	}
+	b := set.Benchmarks[0]
+	if b.Name != "AggbenchOpenPipelinedObs" {
+		t.Errorf("bench name = %q, want AggbenchOpenPipelinedObs", b.Name)
+	}
+	for _, want := range []string{
+		"fsnet_client_call_latency_ns_p95",
+		"fsnet_client_reconnects_total",
+		"fsnet_client_degraded_hits_total",
+	} {
+		if _, ok := b.Metrics[want]; !ok {
+			t.Errorf("JSON metrics missing %s: %v", want, b.Metrics)
+		}
+	}
+}
+
 func TestGobenchLineShape(t *testing.T) {
-	res := &result{cfg: config{cluster: 3, conns: 6, workers: 2}, opens: 100, elapsed: 1e6, hist: &histogram{}}
+	res := &result{cfg: config{cluster: 3, conns: 6, workers: 2}, opens: 100, elapsed: 1e6, hist: obs.NewHistogram()}
 	var buf bytes.Buffer
 	f, err := os.CreateTemp(t.TempDir(), "gobench")
 	if err != nil {

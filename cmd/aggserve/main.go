@@ -24,6 +24,15 @@
 // -peers list and a -self address that appears in it. -stats serves a
 // JSON snapshot (server counters plus per-peer health) over HTTP.
 //
+// Observability: every aggserve carries an internal/obs registry wired
+// through the server, cache, and cluster layers. The -stats HTTP server
+// additionally exposes /metrics (Prometheus text format: request
+// counters, per-phase latency histograms, cache hit/miss counters,
+// per-peer breaker gauges) and /metrics.json (the same snapshot plus
+// recent events as JSON). -slow-request logs opens slower than the
+// threshold to the bounded event log, and -log-events mirrors every
+// recorded event to stderr through log/slog.
+//
 // Examples:
 //
 //	aggserve -addr :7070 -root ./testdata
@@ -33,6 +42,8 @@
 //	aggserve -addr 127.0.0.1:7071 -self 127.0.0.1:7071 \
 //	    -peers 127.0.0.1:7071,127.0.0.1:7072,127.0.0.1:7073 \
 //	    -synthetic 1000 -stats 127.0.0.1:8071
+//	aggserve -addr :7070 -synthetic 1000 -stats 127.0.0.1:8071 \
+//	    -slow-request 50ms -log-events   # then: curl 127.0.0.1:8071/metrics
 package main
 
 import (
@@ -41,6 +52,7 @@ import (
 	"fmt"
 	"io/fs"
 	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	_ "net/http/pprof"
@@ -55,6 +67,7 @@ import (
 
 	"aggcache/internal/cluster"
 	"aggcache/internal/fsnet"
+	"aggcache/internal/obs"
 )
 
 func main() {
@@ -83,7 +96,9 @@ func run(args []string) error {
 		peers        = fl.String("peers", "", "comma-separated cluster peer addresses (must include -self); empty runs standalone")
 		self         = fl.String("self", "", "this node's advertised address within -peers (defaults to -addr)")
 		replicas     = fl.Int("ring-replicas", 0, "consistent-hash virtual nodes per peer (0 = library default)")
-		statsAddr    = fl.String("stats", "", "serve a JSON stats snapshot over HTTP on this address at /stats")
+		statsAddr    = fl.String("stats", "", "serve stats over HTTP on this address: /stats (JSON counters), /metrics (Prometheus text), /metrics.json (metrics plus recent events)")
+		slowReq      = fl.Duration("slow-request", 0, "record opens slower than this to the event log (0 disables)")
+		logEvents    = fl.Bool("log-events", false, "mirror recorded events (slow requests, breaker transitions, reconnects) to stderr via log/slog")
 	)
 	if err := fl.Parse(args); err != nil {
 		return err
@@ -145,6 +160,14 @@ func run(args []string) error {
 		return fmt.Errorf("-max-conns must be >= 0, got %d", *maxConns)
 	}
 
+	// The registry is unconditional: a standing server always pays the few
+	// nanoseconds of instrumentation so /metrics and the event log work
+	// the moment anyone asks, with no restart-to-observe dance.
+	reg := obs.NewRegistry()
+	if *logEvents {
+		reg.Events().SetSink(slog.New(slog.NewTextHandler(os.Stderr, nil)))
+	}
+
 	var node *cluster.Node
 	if *peers != "" {
 		selfAddr := *self
@@ -162,6 +185,7 @@ func run(args []string) error {
 			Self:     selfAddr,
 			Peers:    peerList,
 			Replicas: *replicas,
+			Obs:      reg,
 		})
 		if err != nil {
 			return err
@@ -178,6 +202,8 @@ func run(args []string) error {
 		WriteTimeout:      *writeTimeout,
 		MaxConns:          *maxConns,
 		Logger:            log.New(os.Stderr, "", log.LstdFlags),
+		Obs:               reg,
+		SlowRequest:       *slowReq,
 	}
 	if node != nil {
 		// A typed nil in the Router interface would still be "set"; only
@@ -216,8 +242,10 @@ func run(args []string) error {
 				log.Printf("aggserve: encode stats: %v", err)
 			}
 		})
+		mux.Handle("/metrics", reg.MetricsHandler())
+		mux.Handle("/metrics.json", reg.JSONHandler())
 		go func() { _ = http.Serve(sl, mux) }()
-		log.Printf("aggserve: stats on http://%s/stats", sl.Addr())
+		log.Printf("aggserve: stats on http://%s/stats (Prometheus at /metrics, events at /metrics.json)", sl.Addr())
 	}
 
 	l, err := net.Listen("tcp", *addr)

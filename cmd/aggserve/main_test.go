@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"aggcache/internal/fsnet"
+	"aggcache/internal/obs"
 )
 
 func TestSeedFromDir(t *testing.T) {
@@ -298,6 +299,70 @@ func TestRunCluster(t *testing.T) {
 		if !p.Up {
 			t.Errorf("peer %s down in healthy cluster", p.Addr)
 		}
+	}
+
+	// The same stats server exposes Prometheus text; it must parse under
+	// the strict exposition parser and carry the full catalogue.
+	mresp, err := http.Get("http://" + statsAddr + "/metrics")
+	if err != nil {
+		t.Fatalf("metrics endpoint: %v", err)
+	}
+	defer mresp.Body.Close()
+	if ct := mresp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("metrics Content-Type = %q", ct)
+	}
+	parsed, err := obs.ParseExposition(mresp.Body)
+	if err != nil {
+		t.Fatalf("exposition does not parse: %v", err)
+	}
+	if s, ok := parsed.Find("fsnet_server_requests_total", nil); !ok || s.Value == 0 {
+		t.Errorf("fsnet_server_requests_total = %+v, %v; want nonzero", s, ok)
+	}
+	if parsed.Types["fsnet_server_request_latency_ns"] != "histogram" {
+		t.Errorf("latency type = %q, want histogram", parsed.Types["fsnet_server_request_latency_ns"])
+	}
+	// The latency histogram is split by phase (hit/stage/forward); the
+	// sweep must have landed somewhere, whichever way routing went.
+	var latCount float64
+	for _, s := range parsed.Samples {
+		if s.Name == "fsnet_server_request_latency_ns_count" {
+			latCount += s.Value
+		}
+	}
+	if latCount == 0 {
+		t.Error("latency histogram empty after workload")
+	}
+	for _, name := range []string{"core_cache_hits_total", "core_cache_misses_total", "cluster_forwarded_opens_total"} {
+		if _, ok := parsed.Find(name, nil); !ok {
+			t.Errorf("metric %s not exported", name)
+		}
+	}
+	// Per-peer breaker gauges: one closed series per remote peer.
+	for _, p := range snap.Cluster.Peers {
+		s, ok := parsed.Find("cluster_peer_state", map[string]string{"peer": p.Addr})
+		if !ok {
+			t.Errorf("cluster_peer_state{peer=%q} not exported", p.Addr)
+		} else if s.Value != 0 {
+			t.Errorf("breaker state for healthy peer %s = %v, want 0 (closed)", p.Addr, s.Value)
+		}
+	}
+
+	// /metrics.json serves the same snapshot for humans and scripts.
+	jresp, err := http.Get("http://" + statsAddr + "/metrics.json")
+	if err != nil {
+		t.Fatalf("metrics.json endpoint: %v", err)
+	}
+	defer jresp.Body.Close()
+	var doc struct {
+		Metrics []struct {
+			Name string `json:"name"`
+		} `json:"metrics"`
+	}
+	if err := json.NewDecoder(jresp.Body).Decode(&doc); err != nil {
+		t.Fatalf("decode metrics.json: %v", err)
+	}
+	if len(doc.Metrics) == 0 {
+		t.Error("metrics.json carries no metrics")
 	}
 }
 

@@ -27,11 +27,13 @@ import (
 	"fmt"
 	"net"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"aggcache/internal/fsnet"
+	"aggcache/internal/obs"
 	"aggcache/internal/singleflight"
 )
 
@@ -78,6 +80,12 @@ type Config struct {
 	// Now is the clock for mirror TTLs and breaker cooldowns; nil
 	// selects time.Now. Tests substitute a fake clock.
 	Now func() time.Time
+	// Obs, when set, registers the node's routing counters, a per-peer
+	// breaker-state gauge (0 closed, 1 open, 2 half-open), per-peer
+	// failure/trip gauges, and a mirror-residency gauge with the given
+	// registry, and records breaker transitions to its event log.
+	// NodeStats works either way, fed from the same counters.
+	Obs *obs.Registry
 }
 
 func (cfg Config) withDefaults() Config {
@@ -113,12 +121,14 @@ type Node struct {
 
 	flights singleflight.Group[forward]
 
-	localOpens     atomic.Uint64
-	forwardedOpens atomic.Uint64
-	mirrorHits     atomic.Uint64
-	coalesced      atomic.Uint64
-	degradedOpens  atomic.Uint64
-	notFound       atomic.Uint64
+	// Routing counters (obs.Counter wraps one atomic each). With cfg.Obs
+	// these are the series /metrics exposes, so NodeStats cannot drift.
+	localOpens     *obs.Counter
+	forwardedOpens *obs.Counter
+	mirrorHits     *obs.Counter
+	coalesced      *obs.Counter
+	degradedOpens  *obs.Counter
+	notFound       *obs.Counter
 }
 
 // forward is one owner fetch's outcome, shared across coalesced opens.
@@ -150,6 +160,7 @@ func NewNode(cfg Config) (*Node, error) {
 		peers:  make(map[string]*peer),
 		mirror: newMirror(cfg.MirrorCapacity, cfg.MirrorTTL, cfg.Now),
 	}
+	n.wireMetrics(cfg.Obs)
 	for _, addr := range ring.Members() {
 		if addr == cfg.Self {
 			continue
@@ -165,15 +176,43 @@ func NewNode(cfg Config) (*Node, error) {
 		if err != nil {
 			return nil, err
 		}
-		n.peers[addr] = &peer{
+		p := &peer{
 			addr:      addr,
 			client:    client,
 			threshold: uint64(cfg.FailureThreshold),
 			downFor:   cfg.DownDuration,
 			now:       cfg.Now,
 		}
+		p.wireMetrics(cfg.Obs)
+		n.peers[addr] = p
 	}
 	return n, nil
+}
+
+// wireMetrics initializes the routing counters — standalone atomics with
+// no registry, registered series otherwise — plus the pull-style mirror
+// residency gauge.
+func (n *Node) wireMetrics(reg *obs.Registry) {
+	if reg == nil {
+		n.localOpens = obs.NewCounter()
+		n.forwardedOpens = obs.NewCounter()
+		n.mirrorHits = obs.NewCounter()
+		n.coalesced = obs.NewCounter()
+		n.degradedOpens = obs.NewCounter()
+		n.notFound = obs.NewCounter()
+		return
+	}
+	n.localOpens = reg.Counter("cluster_local_opens_total", "opens this node owned, declined to the local serving path")
+	n.forwardedOpens = reg.Counter("cluster_forwarded_opens_total", "opens answered by an owner fetch (successful peer hops)")
+	n.mirrorHits = reg.Counter("cluster_mirror_hits_total", "opens answered from the hot-group mirror without a peer hop")
+	n.coalesced = reg.Counter("cluster_coalesced_forwards_total", "opens that shared another open's in-flight owner fetch")
+	n.degradedOpens = reg.Counter("cluster_degraded_opens_total", "opens declined to the local path because the owner was down or the forward failed")
+	n.notFound = reg.Counter("cluster_not_found_total", "owner replies that the path does not exist")
+	reg.GaugeFunc("cluster_mirror_groups", "groups currently resident in the hot-group mirror", func() float64 {
+		n.mirMu.Lock()
+		defer n.mirMu.Unlock()
+		return float64(n.mirror.groups())
+	})
 }
 
 // Owner returns the peer address that owns path.
@@ -345,6 +384,35 @@ type peer struct {
 	trips     atomic.Uint64
 	downUntil atomic.Int64 // unixnano; 0 = up
 	probe     atomic.Bool  // half-open: one probe admitted post-cooldown
+
+	// state mirrors the breaker into a gauge (0 closed, 1 open, 2
+	// half-open) and events records the transitions; both nil without a
+	// registry, so the breaker itself pays nothing extra.
+	state  *obs.Gauge
+	events *obs.EventLog
+}
+
+// Breaker gauge values exported as cluster_peer_state.
+const (
+	breakerClosed   = 0
+	breakerOpen     = 1
+	breakerHalfOpen = 2
+)
+
+// wireMetrics registers the peer's breaker-state gauge plus pull-style
+// failure and trip gauges, labelled by peer address.
+func (p *peer) wireMetrics(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	p.state = reg.Gauge("cluster_peer_state", "peer breaker state: 0 closed, 1 open, 2 half-open", obs.L("peer", p.addr))
+	p.events = reg.Events()
+	reg.GaugeFunc("cluster_peer_failures", "consecutive transport failures to the peer", func() float64 {
+		return float64(p.fails.Load())
+	}, obs.L("peer", p.addr))
+	reg.GaugeFunc("cluster_peer_trips", "times the peer's breaker opened", func() float64 {
+		return float64(p.trips.Load())
+	}, obs.L("peer", p.addr))
 }
 
 // admit reports whether a forward may proceed. While the cooldown runs
@@ -358,7 +426,14 @@ func (p *peer) admit() bool {
 	if p.now().UnixNano() < du {
 		return false
 	}
-	return p.probe.CompareAndSwap(false, true)
+	if !p.probe.CompareAndSwap(false, true) {
+		return false
+	}
+	// Exactly one caller gets here per cooldown lapse: the half-open
+	// transition, observed once.
+	p.state.Set(breakerHalfOpen)
+	p.events.Record("breaker_half_open", obs.F("peer", p.addr))
+	return true
 }
 
 // up reports the breaker state for stats (true once cooldown lapsed,
@@ -370,14 +445,31 @@ func (p *peer) up() bool {
 
 func (p *peer) noteSuccess() {
 	p.fails.Store(0)
-	p.downUntil.Store(0)
+	// Swap detects the actual transition so concurrent successes emit
+	// one breaker_close, and steady-state successes emit none.
+	prev := p.downUntil.Swap(0)
 	p.probe.Store(false)
+	if prev != 0 {
+		p.state.Set(breakerClosed)
+		p.events.Record("breaker_close", obs.F("peer", p.addr))
+	}
 }
 
 func (p *peer) noteFailure() {
-	if p.fails.Add(1) >= p.threshold {
-		p.downUntil.Store(p.now().Add(p.downFor).UnixNano())
-		p.probe.Store(false)
-		p.trips.Add(1)
+	fails := p.fails.Add(1)
+	if fails < p.threshold {
+		return
+	}
+	prev := p.downUntil.Swap(p.now().Add(p.downFor).UnixNano())
+	p.probe.Store(false)
+	p.trips.Add(1)
+	// Emit only on a real transition: closed→open (prev zero) or a
+	// failed probe re-opening (prev lapsed). Failures landing while the
+	// cooldown still runs just extend it silently.
+	if prev == 0 || p.now().UnixNano() >= prev {
+		p.state.Set(breakerOpen)
+		p.events.Record("breaker_open",
+			obs.F("peer", p.addr),
+			obs.F("fails", strconv.FormatUint(fails, 10)))
 	}
 }

@@ -15,6 +15,7 @@ import (
 
 	"aggcache/internal/cache"
 	"aggcache/internal/group"
+	"aggcache/internal/obs"
 	"aggcache/internal/successor"
 	"aggcache/internal/trace"
 )
@@ -60,6 +61,12 @@ type Config struct {
 	// 2x GroupSize).
 	MinGroupSize int
 	MaxGroupSize int
+	// Obs, when set, registers hit/miss/prefetch/eviction counters and a
+	// group-size distribution histogram with the given registry,
+	// incremented alongside Stats. Nil (the simulator default) leaves the
+	// access path with nothing but nil-check branches, preserving the
+	// allocation-free hot path (DESIGN.md §9).
+	Obs *obs.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -176,6 +183,7 @@ type AggregatingCache struct {
 	// on every miss.
 	prefetched []bool
 	stats      Stats
+	m          coreMetrics
 
 	// groupBuf is the reused per-miss group scratch: fetchGroup builds
 	// into it via Builder.AppendBuild and consumes it immediately, so
@@ -221,9 +229,34 @@ func New(cfg Config) (*AggregatingCache, error) {
 		lru:     lru,
 		tracker: tracker,
 		builder: builder,
+		m:       newCoreMetrics(cfg.Obs),
 	}
 	lru.OnEvict(c.evicted)
 	return c, nil
+}
+
+// coreMetrics mirrors the cache counters into an obs registry. All nil
+// without a registry, so the uninstrumented access path pays only
+// nil-check branches and stays allocation-free.
+type coreMetrics struct {
+	hits         *obs.Counter
+	misses       *obs.Counter
+	prefetchHits *obs.Counter
+	evictions    *obs.Counter
+	groupSize    *obs.Histogram
+}
+
+func newCoreMetrics(reg *obs.Registry) coreMetrics {
+	if reg == nil {
+		return coreMetrics{}
+	}
+	return coreMetrics{
+		hits:         reg.Counter("core_cache_hits_total", "demand accesses served from the cache"),
+		misses:       reg.Counter("core_cache_misses_total", "demand accesses that triggered a group fetch"),
+		prefetchHits: reg.Counter("core_cache_prefetch_hits_total", "demand hits on files that arrived as non-demanded group members"),
+		evictions:    reg.Counter("core_cache_evictions_total", "capacity evictions"),
+		groupSize:    reg.Histogram("core_group_size", "files per fetched group, demanded file included"),
+	}
 }
 
 // Access processes a demand open for id: metadata learns the access, then
@@ -252,14 +285,17 @@ func (c *AggregatingCache) LearnFrom(src uint64, id trace.FileID) {
 func (c *AggregatingCache) Serve(id trace.FileID) bool {
 	if c.lru.Contains(id) {
 		c.stats.Hits++
+		c.m.hits.Inc()
 		if c.isPrefetched(id) {
 			c.stats.PrefetchHits++
+			c.m.prefetchHits.Inc()
 			c.prefetched[id] = false
 		}
 		c.lru.Touch(id)
 		return true
 	}
 	c.stats.Misses++
+	c.m.misses.Inc()
 	c.fetchGroup(id)
 	return false
 }
@@ -276,6 +312,7 @@ func (c *AggregatingCache) fetchGroup(id trace.FileID) {
 	g := c.groupBuf
 	c.stats.GroupFetches++
 	c.stats.FilesFetched += uint64(len(g))
+	c.m.groupSize.Observe(uint64(len(g)))
 
 	// The group itself is the protected set: making room never evicts a
 	// file belonging to the incoming group (a linear scan over the small
@@ -361,6 +398,7 @@ func (c *AggregatingCache) CurrentGroupSize() int { return c.builder.Size() }
 // evicted is the LRU eviction hook: it retires prefetch bookkeeping and
 // counts wasted speculation.
 func (c *AggregatingCache) evicted(id trace.FileID) {
+	c.m.evictions.Inc()
 	if c.isPrefetched(id) {
 		c.stats.PrefetchedEvicted++
 		c.prefetched[id] = false

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"aggcache/internal/cache"
+	"aggcache/internal/obs"
 	"aggcache/internal/trace"
 )
 
@@ -117,6 +118,12 @@ type ClientConfig struct {
 	// speaks the original lock-step protocol — useful against ancient
 	// servers and as the serialized baseline in benchmarks.
 	MaxProtocol int
+	// Obs, when set, registers client-side counters (reconnects, broken
+	// connections, retries, degraded hits), an in-flight gauge, and a
+	// round-trip latency histogram with the given registry, and records
+	// reconnect/downgrade/conn_broken/degraded_hit events to its event
+	// log. ClientStats stays authoritative either way.
+	Obs *obs.Registry
 }
 
 // maxProto normalizes MaxProtocol to a usable version number.
@@ -184,6 +191,7 @@ type clientConn struct {
 // Order: reqMu / connMu → mux.mu → mu; rngMu is a leaf.
 type Client struct {
 	cfg ClientConfig
+	m   clientMetrics
 
 	mu         sync.Mutex
 	conn       *clientConn // v1 or not-yet-negotiated connection; nil while disconnected
@@ -237,6 +245,7 @@ func NewClient(conn net.Conn, cfg ClientConfig) (*Client, error) {
 	}
 	c := &Client{
 		cfg: cfg,
+		m:   newClientMetrics(cfg.Obs),
 		ids: trace.NewInterner(),
 		lru: lru,
 		rng: rand.New(rand.NewSource(seed)),
@@ -342,7 +351,8 @@ func (c *Client) Open(path string) ([]byte, error) {
 	if c.lru.Contains(id) {
 		c.stats.Opens++
 		c.stats.Hits++
-		if c.conn == nil && c.mux == nil {
+		degraded := c.conn == nil && c.mux == nil
+		if degraded {
 			c.stats.DegradedHits++
 		}
 		if c.prefetched[id] {
@@ -353,6 +363,10 @@ func (c *Client) Open(path string) ([]byte, error) {
 		out := make([]byte, len(c.data[id]))
 		copy(out, c.data[id])
 		c.mu.Unlock()
+		if degraded {
+			c.m.degradedHits.Inc()
+			c.m.events.Record("degraded_hit", obs.F("path", path))
+		}
 		return out, nil
 	}
 	c.mu.Unlock()
@@ -585,6 +599,14 @@ func (c *Client) backoffDelay(attempt int) time.Duration {
 // returned to the caller undisturbed. The returned payload aliases a
 // pooled buffer; the caller recycles it with putFrameBuf after decoding.
 func (c *Client) roundTrip(reqType uint8, path string, payload []byte) (uint8, []byte, error) {
+	if c.m.inflight != nil {
+		c.m.inflight.Add(1)
+		start := time.Now()
+		defer func() {
+			c.m.callLat.ObserveDuration(time.Since(start))
+			c.m.inflight.Add(-1)
+		}()
+	}
 	var lastErr error
 	for attempt := 0; ; attempt++ {
 		if attempt > 0 {
@@ -598,6 +620,7 @@ func (c *Client) roundTrip(reqType uint8, path string, payload []byte) (uint8, [
 			if closed {
 				return 0, nil, errClientClosed
 			}
+			c.m.retries.Inc()
 		}
 		m, cc, err := c.transport()
 		if err != nil {
@@ -768,6 +791,7 @@ func (c *Client) transport() (*muxConn, *clientConn, error) {
 			// and redial; the downgrade redial is connection
 			// establishment, not a reconnect or a broken connection, so
 			// neither stat moves.
+			c.m.events.Record("downgrade", obs.F("proto", "1"))
 			c.setProto(protocolV1)
 			proto = protocolV1
 			c.dropConn(cc)
@@ -850,8 +874,8 @@ func (c *Client) handshake(cc *clientConn) (int, error) {
 // installV1 publishes a lock-step connection. Called with connMu held.
 func (c *Client) installV1(cc *clientConn, countRedial bool) (*clientConn, error) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if c.closed {
+		c.mu.Unlock()
 		_ = cc.conn.Close()
 		return nil, errClientClosed
 	}
@@ -860,7 +884,22 @@ func (c *Client) installV1(cc *clientConn, countRedial bool) (*clientConn, error
 	if countRedial {
 		c.stats.Reconnects++
 	}
+	c.mu.Unlock()
+	if countRedial {
+		c.noteReconnect(cc.conn)
+	}
 	return cc, nil
+}
+
+// noteReconnect mirrors a successful redial into the obs registry.
+// Called outside mu so a slow event sink never stalls the cache.
+func (c *Client) noteReconnect(conn net.Conn) {
+	c.m.reconnects.Inc()
+	addr := ""
+	if ra := conn.RemoteAddr(); ra != nil {
+		addr = ra.String()
+	}
+	c.m.events.Record("reconnect", obs.F("addr", addr))
 }
 
 // installMux publishes a pipelined connection and starts its goroutines.
@@ -882,6 +921,9 @@ func (c *Client) installMux(cc *clientConn, countRedial bool) (*muxConn, error) 
 		c.stats.Reconnects++
 	}
 	c.mu.Unlock()
+	if countRedial {
+		c.noteReconnect(cc.conn)
+	}
 	m.start()
 	return m, nil
 }
@@ -903,11 +945,16 @@ func (c *Client) dropConn(cc *clientConn) {
 func (c *Client) poison(cc *clientConn) {
 	_ = cc.conn.Close()
 	c.mu.Lock()
-	if c.conn == cc {
+	counted := c.conn == cc
+	if counted {
 		c.conn = nil
 		c.stats.BrokenConns++
 	}
 	c.mu.Unlock()
+	if counted {
+		c.m.brokenConns.Inc()
+		c.m.events.Record("conn_broken", obs.F("transport", "v1"))
+	}
 }
 
 // dropMux empties the pipelined-connection slot after a poison. The
@@ -915,13 +962,19 @@ func (c *Client) poison(cc *clientConn) {
 // with Close does not count a broken connection.
 func (c *Client) dropMux(m *muxConn) {
 	c.mu.Lock()
+	counted := false
 	if c.mux == m {
 		c.mux = nil
 		if !c.closed {
 			c.stats.BrokenConns++
+			counted = true
 		}
 	}
 	c.mu.Unlock()
+	if counted {
+		c.m.brokenConns.Inc()
+		c.m.events.Record("conn_broken", obs.F("transport", "v2"))
+	}
 }
 
 // poisonCurrent poisons whatever transport is currently installed; used

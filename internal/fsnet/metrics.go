@@ -1,0 +1,116 @@
+package fsnet
+
+import (
+	"time"
+
+	"aggcache/internal/obs"
+)
+
+// serverMetrics is the server's instrumentation bundle. The eight
+// counters exist unconditionally — standalone atomics when no registry
+// is configured, registry-owned series otherwise — so ServerStats reads
+// the same storage /metrics is scraped from and the two can never
+// disagree. Latency histograms and the event log exist only with a
+// registry: that nil keeps time.Now off the uninstrumented hot path.
+type serverMetrics struct {
+	requests    *obs.Counter
+	errors      *obs.Counter
+	sent        *obs.Counter
+	rejected    *obs.Counter
+	panics      *obs.Counter
+	disconnects *obs.Counter
+	coalesced   *obs.Counter
+	remote      *obs.Counter
+
+	// Per-phase open latency: a request is a cache hit, a store stage,
+	// or a router forward — the three serving paths of DESIGN.md §10/§11.
+	latHit     *obs.Histogram
+	latStage   *obs.Histogram
+	latForward *obs.Histogram
+
+	events *obs.EventLog
+	slow   time.Duration
+}
+
+// newServerMetrics wires the bundle, registering with reg when non-nil.
+func newServerMetrics(reg *obs.Registry, slow time.Duration) serverMetrics {
+	m := serverMetrics{slow: slow}
+	if reg == nil {
+		m.requests = obs.NewCounter()
+		m.errors = obs.NewCounter()
+		m.sent = obs.NewCounter()
+		m.rejected = obs.NewCounter()
+		m.panics = obs.NewCounter()
+		m.disconnects = obs.NewCounter()
+		m.coalesced = obs.NewCounter()
+		m.remote = obs.NewCounter()
+		return m
+	}
+	m.requests = reg.Counter("fsnet_server_requests_total", "open and write requests served, including errors")
+	m.errors = reg.Counter("fsnet_server_errors_total", "error replies plus protocol violations")
+	m.sent = reg.Counter("fsnet_server_files_sent_total", "files transferred in group replies")
+	m.rejected = reg.Counter("fsnet_server_rejected_total", "connections turned away at the MaxConns limit")
+	m.panics = reg.Counter("fsnet_server_panics_total", "handler panics recovered and converted to error replies")
+	m.disconnects = reg.Counter("fsnet_server_disconnects_total", "connections terminated abnormally by I/O failures")
+	m.coalesced = reg.Counter("fsnet_server_coalesced_stages_total", "open requests that shared another request's in-flight store staging")
+	m.remote = reg.Counter("fsnet_server_remote_opens_total", "open requests answered by the configured router")
+	const latName = "fsnet_server_request_latency_ns"
+	const latHelp = "open latency in nanoseconds by serving phase"
+	m.latHit = reg.Histogram(latName, latHelp, obs.L("phase", "hit"))
+	m.latStage = reg.Histogram(latName, latHelp, obs.L("phase", "stage"))
+	m.latForward = reg.Histogram(latName, latHelp, obs.L("phase", "forward"))
+	m.events = reg.Events()
+	return m
+}
+
+// timed reports whether the open path should read the clock at all.
+func (m *serverMetrics) timed() bool { return m.latHit != nil || m.slow > 0 }
+
+// observeOpen records one open's latency under its serving phase and
+// emits a slow_request event when the configured threshold is crossed.
+func (m *serverMetrics) observeOpen(phase string, path string, d time.Duration) {
+	switch phase {
+	case "hit":
+		m.latHit.ObserveDuration(d)
+	case "stage":
+		m.latStage.ObserveDuration(d)
+	case "forward":
+		m.latForward.ObserveDuration(d)
+	}
+	if m.slow > 0 && d >= m.slow {
+		m.events.Record("slow_request",
+			obs.F("path", path),
+			obs.F("phase", phase),
+			obs.F("elapsed", d.String()))
+	}
+}
+
+// clientMetrics is the client's instrumentation bundle. ClientStats (the
+// mutex-guarded snapshot struct) stays authoritative; these series are
+// bumped alongside at the same sites and are all nil without a registry,
+// so the uninstrumented client pays only nil-check branches.
+type clientMetrics struct {
+	reconnects   *obs.Counter
+	brokenConns  *obs.Counter
+	retries      *obs.Counter
+	degradedHits *obs.Counter
+	inflight     *obs.Gauge
+	callLat      *obs.Histogram
+	events       *obs.EventLog
+}
+
+// newClientMetrics wires the bundle; everything stays nil when reg is.
+func newClientMetrics(reg *obs.Registry) clientMetrics {
+	if reg == nil {
+		return clientMetrics{}
+	}
+	return clientMetrics{
+		reconnects:   reg.Counter("fsnet_client_reconnects_total", "successful redials after a broken connection"),
+		brokenConns:  reg.Counter("fsnet_client_broken_conns_total", "connections poisoned after an I/O or protocol error"),
+		retries:      reg.Counter("fsnet_client_retries_total", "round-trip attempts beyond each request's first"),
+		degradedHits: reg.Counter("fsnet_client_degraded_hits_total", "cache hits served with no live connection"),
+		inflight:     reg.Gauge("fsnet_client_inflight", "round trips currently on the wire"),
+		callLat:      reg.Histogram("fsnet_client_call_latency_ns", "round-trip latency in nanoseconds, retries included"),
+		events:       reg.Events(),
+	}
+}

@@ -9,10 +9,10 @@ import (
 	"net"
 	"os"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"aggcache/internal/core"
+	"aggcache/internal/obs"
 	"aggcache/internal/singleflight"
 	"aggcache/internal/trace"
 )
@@ -59,6 +59,15 @@ type ServerConfig struct {
 	Router OpenRouter
 	// Logger receives connection-level errors; nil discards them.
 	Logger *log.Logger
+	// Obs, when set, registers the server's counters, per-phase open
+	// latency histograms, and an open-connection gauge with the given
+	// registry, and routes slow-request events to its event log. Nil
+	// keeps the serving path free of clock reads and histogram updates;
+	// ServerStats works either way, fed from the same counters.
+	Obs *obs.Registry
+	// SlowRequest, when positive and Obs is set, records a structured
+	// slow_request event for every open that takes at least this long.
+	SlowRequest time.Duration
 }
 
 // OpenRouter routes open requests whose group is placed on another
@@ -127,16 +136,10 @@ type Server struct {
 	store  *Store
 	logger *log.Logger
 
-	// Hot counters; atomic so concurrent handlers never contend and
-	// Stats snapshots never tear.
-	requests    atomic.Uint64
-	errors      atomic.Uint64
-	sent        atomic.Uint64
-	rejected    atomic.Uint64
-	panics      atomic.Uint64
-	disconnects atomic.Uint64
-	coalesced   atomic.Uint64
-	remote      atomic.Uint64
+	// Hot counters; atomic (obs.Counter wraps one atomic each) so
+	// concurrent handlers never contend. With cfg.Obs these are the very
+	// series /metrics exposes, so Stats and the exposition cannot drift.
+	m serverMetrics
 
 	// ids translates paths to dense FileIDs and back; internally
 	// read-write locked with a fast path for already-known paths.
@@ -177,18 +180,28 @@ func NewServer(store *Store, cfg ServerConfig) (*Server, error) {
 		Capacity:          cfg.CacheCapacity,
 		GroupSize:         cfg.GroupSize,
 		SuccessorCapacity: cfg.SuccessorCapacity,
+		Obs:               cfg.Obs,
 	})
 	if err != nil {
 		return nil, err
 	}
-	return &Server{
+	s := &Server{
 		cfg:    cfg,
 		store:  store,
 		logger: cfg.Logger,
 		agg:    agg,
 		ids:    trace.NewSyncInterner(),
 		conns:  make(map[net.Conn]struct{}),
-	}, nil
+		m:      newServerMetrics(cfg.Obs, cfg.SlowRequest),
+	}
+	if cfg.Obs != nil {
+		cfg.Obs.GaugeFunc("fsnet_server_open_conns", "connections currently served", func() float64 {
+			s.connMu.Lock()
+			defer s.connMu.Unlock()
+			return float64(len(s.conns))
+		})
+	}
+	return s, nil
 }
 
 // Serve accepts connections on l until Close is called. It blocks; run it
@@ -222,7 +235,7 @@ func (s *Server) Serve(l net.Listener) error {
 		}
 		if s.cfg.MaxConns > 0 && len(s.conns) >= s.cfg.MaxConns {
 			s.connMu.Unlock()
-			s.rejected.Add(1)
+			s.m.rejected.Add(1)
 			s.wg.Add(1)
 			go func() {
 				defer s.wg.Done()
@@ -287,21 +300,36 @@ func (s *Server) Close() error {
 }
 
 // Stats returns a snapshot of server activity.
+//
+// Consistency is deliberately relaxed: each field is an atomic load, but
+// the snapshot is not taken under one lock, so fields may be mutually
+// inconsistent while requests are in flight. The load order makes the
+// skew one-sided — the cache accounting and per-path counters are read
+// first and Requests last, and every handler increments its request
+// counter before anything else — so a snapshot always satisfies
+//
+//	Requests >= Cache.Hits + Cache.GroupFetches + RemoteOpens
+//
+// mid-flight, with equality at quiescence for an error-free, opens-only
+// workload (writes and not-found errors count a request without a cache
+// access). TestConcurrentStatsSnapshot enforces exactly this contract.
 func (s *Server) Stats() ServerStats {
 	s.aggMu.Lock()
 	cacheStats := s.agg.Stats()
 	s.aggMu.Unlock()
-	return ServerStats{
-		Requests:        s.requests.Load(),
-		Errors:          s.errors.Load(),
-		FilesSent:       s.sent.Load(),
-		Rejected:        s.rejected.Load(),
-		Panics:          s.panics.Load(),
-		Disconnects:     s.disconnects.Load(),
-		CoalescedStages: s.coalesced.Load(),
-		RemoteOpens:     s.remote.Load(),
+	st := ServerStats{
+		Errors:          s.m.errors.Load(),
+		FilesSent:       s.m.sent.Load(),
+		Rejected:        s.m.rejected.Load(),
+		Panics:          s.m.panics.Load(),
+		Disconnects:     s.m.disconnects.Load(),
+		CoalescedStages: s.m.coalesced.Load(),
+		RemoteOpens:     s.m.remote.Load(),
 		Cache:           cacheStats,
 	}
+	// Last, so its value bounds every per-outcome counter read above.
+	st.Requests = s.m.requests.Load()
+	return st
 }
 
 func (s *Server) forget(conn net.Conn, src uint64) {
@@ -339,7 +367,7 @@ func (s *Server) handleConn(conn net.Conn, src uint64) {
 	// writer.
 	defer func() {
 		if p := recover(); p != nil {
-			s.panics.Add(1)
+			s.m.panics.Add(1)
 			s.logf("fsnet: %s: recovered handler panic: %v", conn.RemoteAddr(), p)
 			s.armWrite(conn)
 			_ = s.replyV1(w, nil, errorResponse{Code: CodeInternal, Message: "internal server error"})
@@ -392,7 +420,7 @@ func (s *Server) readRequestV1(conn net.Conn, r *bufio.Reader) (uint8, []byte, b
 	typ, payload, err := readFrame(r)
 	if err != nil {
 		if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) && !errors.Is(err, os.ErrDeadlineExceeded) {
-			s.errors.Add(1)
+			s.m.errors.Add(1)
 			s.logf("fsnet: %s: read: %v", conn.RemoteAddr(), err)
 		}
 		return 0, nil, false
@@ -482,7 +510,7 @@ func (s *Server) serveV2(conn net.Conn, r *bufio.Reader, w *bufio.Writer, src ui
 		// would corrupt it.
 		defer func() {
 			if p := recover(); p != nil {
-				s.panics.Add(1)
+				s.m.panics.Add(1)
 				s.logf("fsnet: %s: recovered read-loop panic: %v", conn.RemoteAddr(), p)
 			}
 		}()
@@ -495,7 +523,7 @@ func (s *Server) serveV2(conn net.Conn, r *bufio.Reader, w *bufio.Writer, src ui
 			typ, id, payload, err := readFrameID(r)
 			if err != nil {
 				if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) && !errors.Is(err, os.ErrDeadlineExceeded) {
-					s.errors.Add(1)
+					s.m.errors.Add(1)
 					s.logf("fsnet: %s: read: %v", conn.RemoteAddr(), err)
 				}
 				return
@@ -519,7 +547,7 @@ func (s *Server) serveV2(conn net.Conn, r *bufio.Reader, w *bufio.Writer, src ui
 func (s *Server) serveRequestV2(rw *replyWriter, src uint64, typ uint8, id uint64, payload []byte) {
 	defer func() {
 		if p := recover(); p != nil {
-			s.panics.Add(1)
+			s.m.panics.Add(1)
 			s.logf("fsnet: recovered handler panic: %v", p)
 			rw.sendError(id, errorResponse{Code: CodeInternal, Message: "internal server error"})
 		}
@@ -570,14 +598,14 @@ func (s *Server) armWrite(conn net.Conn) {
 // disconnect records an abnormal connection termination caused by a
 // failed reply write (stalled reader, reset, ...).
 func (s *Server) disconnect(conn net.Conn, err error) {
-	s.disconnects.Add(1)
+	s.m.disconnects.Add(1)
 	s.logf("fsnet: %s: write: %v", conn.RemoteAddr(), err)
 }
 
 // replyV1 writes one lock-step reply, counting error replies.
 func (s *Server) replyV1(w *bufio.Writer, group []fileData, errResp errorResponse) error {
 	if errResp.Code != 0 {
-		s.errors.Add(1)
+		s.m.errors.Add(1)
 		return writeFrame(w, msgError, encodeErrorResponse(errResp))
 	}
 	return writeFrame(w, msgGroup, encodeGroupResponse(groupResponse{Files: group}))
@@ -589,7 +617,7 @@ func (s *Server) replyV1(w *bufio.Writer, group []fileData, errResp errorRespons
 // clients is last-writer-wins; like the paper's model, the system is
 // read-mostly and provides no cross-client invalidation.
 func (s *Server) write(req writeRequest) errorResponse {
-	s.requests.Add(1)
+	s.m.requests.Add(1)
 	if err := s.store.Put(req.Path, req.Data); err != nil {
 		return errorResponse{Code: CodeBadRequest, Message: err.Error()}
 	}
@@ -602,9 +630,19 @@ func (s *Server) write(req writeRequest) errorResponse {
 // staged after the critical section, coalesced with any concurrent
 // staging of the same demanded path.
 func (s *Server) open(req openRequest, src uint64) ([]fileData, errorResponse) {
-	s.requests.Add(1)
+	s.m.requests.Add(1)
+	// The clock is only read when a registry (or slow-request threshold)
+	// is configured, so uninstrumented servers keep a syscall-free path.
+	var start time.Time
+	timed := s.m.timed()
+	if timed {
+		start = time.Now()
+	}
 	if s.cfg.Router != nil {
 		if files, errResp, handled := s.routeOpen(req); handled {
+			if timed {
+				s.m.observeOpen("forward", req.Path, time.Since(start))
+			}
 			return files, errResp
 		}
 	}
@@ -630,7 +668,9 @@ func (s *Server) open(req openRequest, src uint64) ([]fileData, errorResponse) {
 		s.agg.LearnFrom(src, aid)
 	}
 	s.agg.LearnFrom(src, id)
-	s.agg.Serve(id) // stage the group into the server memory cache
+	// Stage the group into the server memory cache; hit-or-miss selects
+	// the latency phase below.
+	hit := s.agg.Serve(id)
 	groupIDs := s.agg.BuildGroup(id)
 	s.aggMu.Unlock()
 
@@ -645,7 +685,14 @@ func (s *Server) open(req openRequest, src uint64) ([]fileData, errorResponse) {
 		// read; rare, and the learning above recorded a genuine access.
 		return nil, errorResponse{Code: CodeNotFound, Message: req.Path}
 	}
-	s.sent.Add(uint64(len(files)))
+	s.m.sent.Add(uint64(len(files)))
+	if timed {
+		phase := "stage"
+		if hit {
+			phase = "hit"
+		}
+		s.m.observeOpen(phase, req.Path, time.Since(start))
+	}
 	return files, errorResponse{}
 }
 
@@ -674,8 +721,8 @@ func (s *Server) routeOpen(req openRequest) ([]fileData, errorResponse, bool) {
 	for i, f := range files {
 		out[i] = fileData{Path: f.Path, Data: f.Data}
 	}
-	s.remote.Add(1)
-	s.sent.Add(uint64(len(out)))
+	s.m.remote.Add(1)
+	s.m.sent.Add(uint64(len(out)))
 	return out, errorResponse{}, true
 }
 
@@ -699,7 +746,7 @@ func (s *Server) stageGroup(path string, paths []string) ([]fileData, bool) {
 		return files, true
 	})
 	if coalesced {
-		s.coalesced.Add(1)
+		s.m.coalesced.Add(1)
 	}
 	return files, ok
 }
@@ -742,7 +789,7 @@ func newReplyWriter(s *Server, conn net.Conn, w *bufio.Writer) *replyWriter {
 
 // sendError enqueues an error reply, counting it like the lock-step path.
 func (rw *replyWriter) sendError(id uint64, errResp errorResponse) {
-	rw.s.errors.Add(1)
+	rw.s.m.errors.Add(1)
 	rw.send(id, msgError, encodeErrorResponse(errResp))
 }
 

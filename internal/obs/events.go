@@ -1,0 +1,133 @@
+package obs
+
+import (
+	"log/slog"
+	"sync"
+	"time"
+)
+
+// defaultEventCapacity bounds the event ring when NewEventLog is given a
+// non-positive capacity.
+const defaultEventCapacity = 256
+
+// Field is one key=value attribute of an event.
+type Field struct {
+	Key   string
+	Value string
+}
+
+// F is shorthand for constructing a Field.
+func F(key, value string) Field { return Field{Key: key, Value: value} }
+
+// Event is one structured occurrence worth keeping: a slow request, a
+// breaker transition, a reconnect, a downgrade, a degraded-mode hit.
+type Event struct {
+	Time   time.Time
+	Kind   string
+	Fields []Field
+}
+
+// EventLog is a bounded ring of structured events. Recording is cheap
+// (one short critical section, one slice allocation for the fields) and
+// the ring overwrites oldest-first, so a misbehaving component can cost
+// memory proportional only to the capacity. An optional log/slog sink
+// mirrors every event to ordinary logging for operators who want a
+// stream rather than a buffer. A nil *EventLog no-ops.
+type EventLog struct {
+	mu    sync.Mutex
+	buf   []Event
+	next  int // next write position
+	full  bool
+	total uint64
+	sink  *slog.Logger
+	now   func() time.Time
+}
+
+// NewEventLog returns an event log holding up to capacity events
+// (capacity <= 0 selects the default of 256).
+func NewEventLog(capacity int) *EventLog {
+	if capacity <= 0 {
+		capacity = defaultEventCapacity
+	}
+	return &EventLog{buf: make([]Event, capacity), now: time.Now}
+}
+
+// SetSink mirrors every subsequent event to s (nil disables mirroring).
+func (l *EventLog) SetSink(s *slog.Logger) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	l.sink = s
+	l.mu.Unlock()
+}
+
+// SetClock substitutes the timestamp source; tests use a fake clock so
+// recorded times are deterministic. nil restores time.Now.
+func (l *EventLog) SetClock(now func() time.Time) {
+	if l == nil {
+		return
+	}
+	if now == nil {
+		now = time.Now
+	}
+	l.mu.Lock()
+	l.now = now
+	l.mu.Unlock()
+}
+
+// Record appends one event, overwriting the oldest when full.
+func (l *EventLog) Record(kind string, fields ...Field) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	ev := Event{Time: l.now(), Kind: kind, Fields: fields}
+	l.buf[l.next] = ev
+	l.next++
+	if l.next == len(l.buf) {
+		l.next = 0
+		l.full = true
+	}
+	l.total++
+	sink := l.sink
+	l.mu.Unlock()
+
+	if sink != nil {
+		attrs := make([]any, 0, 2*len(fields))
+		for _, f := range fields {
+			attrs = append(attrs, slog.String(f.Key, f.Value))
+		}
+		sink.Info(kind, attrs...)
+	}
+}
+
+// Events returns the retained events, oldest first.
+func (l *EventLog) Events() []Event {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var out []Event
+	if l.full {
+		out = make([]Event, 0, len(l.buf))
+		out = append(out, l.buf[l.next:]...)
+		out = append(out, l.buf[:l.next]...)
+	} else {
+		out = make([]Event, l.next)
+		copy(out, l.buf[:l.next])
+	}
+	return out
+}
+
+// Total returns how many events were ever recorded (including those the
+// ring has since overwritten).
+func (l *EventLog) Total() uint64 {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.total
+}

@@ -1,0 +1,85 @@
+package obs
+
+import (
+	"bytes"
+	"log/slog"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestEventLogRingOverwrite(t *testing.T) {
+	l := NewEventLog(3)
+	for i, kind := range []string{"a", "b", "c", "d", "e"} {
+		_ = i
+		l.Record(kind)
+	}
+	evs := l.Events()
+	if len(evs) != 3 {
+		t.Fatalf("retained %d events, want 3", len(evs))
+	}
+	var kinds []string
+	for _, e := range evs {
+		kinds = append(kinds, e.Kind)
+	}
+	if got := strings.Join(kinds, ""); got != "cde" {
+		t.Fatalf("retained kinds %q, want oldest-first cde", got)
+	}
+	if l.Total() != 5 {
+		t.Fatalf("Total = %d, want 5", l.Total())
+	}
+}
+
+func TestEventLogPartialFill(t *testing.T) {
+	l := NewEventLog(8)
+	l.Record("one", F("k", "v"))
+	l.Record("two")
+	evs := l.Events()
+	if len(evs) != 2 || evs[0].Kind != "one" || evs[1].Kind != "two" {
+		t.Fatalf("unexpected events: %+v", evs)
+	}
+	if len(evs[0].Fields) != 1 || evs[0].Fields[0] != F("k", "v") {
+		t.Fatalf("fields not retained: %+v", evs[0].Fields)
+	}
+}
+
+func TestEventLogFakeClock(t *testing.T) {
+	l := NewEventLog(4)
+	now := time.Date(2026, 1, 2, 3, 4, 5, 0, time.UTC)
+	l.SetClock(func() time.Time { return now })
+	l.Record("tick")
+	if got := l.Events()[0].Time; !got.Equal(now) {
+		t.Fatalf("event time %v, want %v", got, now)
+	}
+}
+
+func TestEventLogSlogSink(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewEventLog(4)
+	l.SetSink(slog.New(slog.NewTextHandler(&buf, nil)))
+	l.Record("breaker_open", F("peer", "127.0.0.1:9"), F("fails", "3"))
+	out := buf.String()
+	for _, want := range []string{"breaker_open", "peer=127.0.0.1:9", "fails=3"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("sink output %q missing %q", out, want)
+		}
+	}
+}
+
+func TestEventLogDefaultCapacity(t *testing.T) {
+	l := NewEventLog(0)
+	for i := 0; i < defaultEventCapacity+10; i++ {
+		l.Record("x")
+	}
+	if got := len(l.Events()); got != defaultEventCapacity {
+		t.Fatalf("retained %d, want %d", got, defaultEventCapacity)
+	}
+}
+
+func TestRegistryEventLog(t *testing.T) {
+	r := NewRegistry()
+	r.Events().Record("reconnect", F("addr", "a"))
+	if got := r.Events().Total(); got != 1 {
+		t.Fatalf("Total = %d, want 1", got)
+	}
+}

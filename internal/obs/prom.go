@@ -1,0 +1,189 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// WritePrometheus renders every registered series in the Prometheus text
+// exposition format (version 0.0.4): one # HELP and # TYPE line per
+// family, then one sample line per series. Histograms render their
+// power-of-two buckets as the standard cumulative _bucket/_sum/_count
+// triple with integer `le` upper bounds (nanoseconds for latency
+// series), trimmed after the highest non-empty bucket.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	var lastName string
+	for _, s := range r.Snapshot() {
+		if s.Name != lastName {
+			lastName = s.Name
+			if s.Help != "" {
+				fmt.Fprintf(bw, "# HELP %s %s\n", s.Name, escapeHelp(s.Help))
+			}
+			fmt.Fprintf(bw, "# TYPE %s %s\n", s.Name, s.Kind)
+		}
+		switch s.Kind {
+		case KindHistogram:
+			writeHistogram(bw, s)
+		case KindCounter:
+			fmt.Fprintf(bw, "%s%s %s\n", s.Name, labelString(s.Labels, nil), formatValue(s.Value))
+		default:
+			fmt.Fprintf(bw, "%s%s %s\n", s.Name, labelString(s.Labels, nil), formatValue(s.Value))
+		}
+	}
+	return bw.Flush()
+}
+
+// writeHistogram renders one histogram series as cumulative buckets.
+func writeHistogram(w io.Writer, s Sample) {
+	h := s.Hist
+	top := 0
+	for i := range h.Buckets {
+		if h.Buckets[i] > 0 {
+			top = i
+		}
+	}
+	var cum uint64
+	for i := 0; i <= top; i++ {
+		cum += h.Buckets[i]
+		le := strconv.FormatUint(bucketBound(i), 10)
+		fmt.Fprintf(w, "%s_bucket%s %d\n", s.Name, labelString(s.Labels, &Label{"le", le}), cum)
+	}
+	fmt.Fprintf(w, "%s_bucket%s %d\n", s.Name, labelString(s.Labels, &Label{"le", "+Inf"}), h.Count)
+	fmt.Fprintf(w, "%s_sum%s %d\n", s.Name, labelString(s.Labels, nil), h.Sum)
+	fmt.Fprintf(w, "%s_count%s %d\n", s.Name, labelString(s.Labels, nil), h.Count)
+}
+
+// labelString renders {k="v",...}, appending extra (the histogram `le`
+// label) when given. Empty label sets render as nothing.
+func labelString(labels []Label, extra *Label) string {
+	if len(labels) == 0 && extra == nil {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteByte('"')
+	}
+	if extra != nil {
+		if len(labels) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(extra.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(extra.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// formatValue renders a float sample: integers without an exponent (the
+// common counter case), everything else in Go's shortest form.
+func formatValue(v float64) string {
+	if v == float64(int64(v)) {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, "\n", `\n`)
+	return strings.ReplaceAll(s, `"`, `\"`)
+}
+
+// jsonMetric is one series in the JSON snapshot document.
+type jsonMetric struct {
+	Name   string            `json:"name"`
+	Kind   string            `json:"kind"`
+	Labels map[string]string `json:"labels,omitempty"`
+	Value  *float64          `json:"value,omitempty"`
+	Count  *uint64           `json:"count,omitempty"`
+	Sum    *uint64           `json:"sum,omitempty"`
+	P50    *uint64           `json:"p50,omitempty"`
+	P95    *uint64           `json:"p95,omitempty"`
+	P99    *uint64           `json:"p99,omitempty"`
+}
+
+// jsonEvent is one event in the JSON snapshot document.
+type jsonEvent struct {
+	Time   time.Time         `json:"time"`
+	Kind   string            `json:"kind"`
+	Fields map[string]string `json:"fields,omitempty"`
+}
+
+// WriteJSON renders the registry (and recent events) as one JSON
+// document — the machine-readable sibling of the Prometheus exposition,
+// mounted by aggserve next to /metrics.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	doc := struct {
+		Metrics []jsonMetric `json:"metrics"`
+		Events  []jsonEvent  `json:"events,omitempty"`
+	}{}
+	for _, s := range r.Snapshot() {
+		m := jsonMetric{Name: s.Name, Kind: s.Kind.String()}
+		if len(s.Labels) > 0 {
+			m.Labels = make(map[string]string, len(s.Labels))
+			for _, l := range s.Labels {
+				m.Labels[l.Key] = l.Value
+			}
+		}
+		if s.Kind == KindHistogram {
+			h := s.Hist
+			p50, p95, p99 := h.Percentile(50), h.Percentile(95), h.Percentile(99)
+			m.Count, m.Sum, m.P50, m.P95, m.P99 = &h.Count, &h.Sum, &p50, &p95, &p99
+		} else {
+			v := s.Value
+			m.Value = &v
+		}
+		doc.Metrics = append(doc.Metrics, m)
+	}
+	for _, ev := range r.Events().Events() {
+		je := jsonEvent{Time: ev.Time, Kind: ev.Kind}
+		if len(ev.Fields) > 0 {
+			je.Fields = make(map[string]string, len(ev.Fields))
+			for _, f := range ev.Fields {
+				je.Fields[f.Key] = f.Value
+			}
+		}
+		doc.Events = append(doc.Events, je)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// MetricsHandler serves the Prometheus text exposition (mount at
+// /metrics).
+func (r *Registry) MetricsHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}
+
+// JSONHandler serves the JSON snapshot (metrics plus recent events).
+func (r *Registry) JSONHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = r.WriteJSON(w)
+	})
+}

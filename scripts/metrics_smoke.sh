@@ -1,0 +1,35 @@
+#!/bin/sh
+# End-to-end metrics smoke: boot an aggserve with the stats server,
+# drive a short aggbench load through it, then validate the live
+# /metrics exposition with the strict parser in internal/obs
+# (TestLiveExposition). Run via `make metrics-smoke`.
+set -eu
+
+ADDR=${ADDR:-127.0.0.1:7390}
+STATS=${STATS:-127.0.0.1:8390}
+BIN=$(mktemp -t aggserve-smoke.XXXXXX)
+
+go build -o "$BIN" ./cmd/aggserve
+"$BIN" -addr "$ADDR" -synthetic 500 -stats "$STATS" -slow-request 1ns &
+SRV=$!
+trap 'kill "$SRV" 2>/dev/null || true; rm -f "$BIN"' EXIT
+
+ok=""
+for _ in $(seq 1 50); do
+    if curl -fsS "http://$STATS/metrics" >/dev/null 2>&1; then ok=1; break; fi
+    sleep 0.1
+done
+[ -n "$ok" ] || { echo "metrics-smoke: stats server never came up on $STATS" >&2; exit 1; }
+
+# Drive real opens over the wire so every layer has something to count.
+go run ./cmd/aggbench -addr "$ADDR" -conns 4 -workers 2 -opens 500 -metrics
+
+# Quick shape checks a human can read in CI logs (grep reads the whole
+# stream so curl never sees a closed pipe)...
+curl -fsS "http://$STATS/metrics" | grep '^fsnet_server_requests_total'
+curl -fsS "http://$STATS/metrics.json" | grep -c '"metrics"' >/dev/null
+
+# ...then the strict exposition validation.
+AGGCACHE_METRICS_URL="http://$STATS/metrics" go test -run TestLiveExposition -count=1 ./internal/obs/
+
+echo "metrics-smoke: OK"
