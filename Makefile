@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race race-par cluster bench bench-json loadtest metrics-smoke profile chaos experiments examples fuzz clean
+.PHONY: all build vet test race race-par cluster churn bench bench-json loadtest metrics-smoke rolling-smoke profile chaos experiments examples fuzz clean
 
 all: build vet test
 
@@ -37,6 +37,14 @@ cluster:
 	$(GO) test -race -run 'TestCluster|TestRing|TestMirror' ./internal/cluster/ ./internal/fsnet/
 	$(GO) test -race -run 'TestRunCluster|TestRunLoadCluster' ./cmd/aggserve/ ./cmd/aggbench/
 
+# Elastic membership under the race detector: live view updates, the
+# kill/rejoin/drain churn harness, hinted handoff, the drain handoff
+# protocol, and the aggserve/aggbench churn surfaces (DESIGN.md §13).
+churn:
+	$(GO) test -race -run 'TestMembership|TestClusterChurn|TestHint|TestParsePeersFile' ./internal/cluster/
+	$(GO) test -race -run 'TestHandoff|TestExportGroups' ./internal/fsnet/
+	$(GO) test -race -run 'TestRunClusterDrainEndpoints|TestRunPeersFileReload|TestRunLoadChurn' ./cmd/aggserve/ ./cmd/aggbench/
+
 # Machine-readable baseline for the key hot-path and sweep benchmarks
 # (ns/op, B/op, allocs/op, custom metrics). Commit the refreshed file when
 # a perf change moves the numbers on purpose.
@@ -65,6 +73,12 @@ loadtest:
 # parser in internal/obs (DESIGN.md §12).
 metrics-smoke:
 	sh ./scripts/metrics_smoke.sh
+
+# Rolling-restart smoke: boot a 3-node aggserve cluster, drain one node
+# over HTTP while aggbench drives load, and verify readiness flips with
+# zero failed opens (DESIGN.md §13).
+rolling-smoke:
+	sh ./scripts/rolling_restart_smoke.sh
 
 # Profile the headline claims experiment and print the hottest frames.
 # Leaves cpu.pprof and mem.pprof behind for interactive `go tool pprof`.

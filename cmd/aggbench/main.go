@@ -24,6 +24,13 @@
 // the single-server baseline (-cluster 1 runs one node through the same
 // code path for an apples-to-apples comparison).
 //
+// -churn (with -cluster >= 2) exercises elastic membership under load:
+// at 40% progress the survivors drop the last node from their views and
+// it drains — streaming every owned group's learned state to the new
+// owners — and at 70% the full membership is reinstalled. The workload
+// never pauses; the run fails if churn surfaces client-visible errors,
+// and the summary gains drain/handoff/hint counters.
+//
 // Examples:
 //
 //	aggbench -conns 8 -workers 4
@@ -161,6 +168,7 @@ type config struct {
 	rtt         time.Duration
 	serial      bool
 	cluster     int
+	churn       bool
 	metrics     bool
 	jsonOut     bool
 	gobench     bool
@@ -182,6 +190,7 @@ func parseFlags(args []string) (config, error) {
 	fs.DurationVar(&cfg.rtt, "rtt", 0, "simulated network round-trip time (half is injected before each client read and write syscall); zero measures raw loopback")
 	fs.BoolVar(&cfg.serial, "serial", false, "cap clients at protocol version 1 (lock-step baseline)")
 	fs.IntVar(&cfg.cluster, "cluster", 0, "run an in-process consistent-hash cluster of N nodes with replicated stores, connections spread round-robin (0 = plain single server)")
+	fs.BoolVar(&cfg.churn, "churn", false, "mid-run membership churn: at 40%% progress the last node drains out of the ring, at 70%% it rejoins; measures elastic membership under load (requires -cluster >= 2)")
 	fs.BoolVar(&cfg.metrics, "metrics", false, "wire an obs registry into the clients and report its series; the benchmark name gains an Obs suffix so instrumented and bare runs diff separately")
 	fs.BoolVar(&cfg.jsonOut, "json", false, "emit machine-readable JSON (benchjson-compatible schema)")
 	fs.BoolVar(&cfg.gobench, "gobench", false, "emit one `go test -bench`-style result line (pipes into cmd/benchjson)")
@@ -199,6 +208,9 @@ func parseFlags(args []string) (config, error) {
 	}
 	if cfg.cluster > 0 && cfg.serial {
 		return cfg, fmt.Errorf("-cluster requires the pipelined protocol; drop -serial")
+	}
+	if cfg.churn && cfg.cluster < 2 {
+		return cfg, fmt.Errorf("-churn needs a ring to leave and rejoin; use -cluster 2 or more")
 	}
 	return cfg, nil
 }
@@ -233,6 +245,16 @@ type clusterSummary struct {
 	mirrorHits uint64
 	coalesced  uint64
 	degraded   uint64
+
+	// Churn-run extras: what the departing node handed off and what the
+	// survivors installed (drainSent counts groups streamed out by the
+	// drained node; handoffs counts groups accepted ring-wide).
+	churned    bool
+	drainSent  uint64
+	drainFail  uint64
+	handoffs   uint64
+	hintQueued uint64
+	hintReplay uint64
 }
 
 func (r *result) throughput() float64 {
@@ -353,6 +375,7 @@ func runLoad(cfg config) (*result, error) {
 	targets := []string{cfg.addr}
 	var shutdowns []func() error
 	var nodes []*cluster.Node
+	var servers []*fsnet.Server
 	switch {
 	case cfg.addr == "" && cfg.cluster > 0:
 		// In-process cluster: every node gets a full replica of the
@@ -389,6 +412,7 @@ func runLoad(cfg config) (*result, error) {
 			l := listeners[i]
 			go func() { _ = srv.Serve(l) }()
 			nodes = append(nodes, node)
+			servers = append(servers, srv)
 			shutdowns = append(shutdowns, node.Close, srv.Close)
 		}
 		targets = addrs
@@ -479,6 +503,53 @@ func runLoad(cfg config) (*result, error) {
 		res.protoName = "serial"
 	}
 	var opens, errCount atomic.Uint64
+
+	// -churn: a background conductor takes the last node through a full
+	// leave/rejoin cycle while the workload runs. At 40% progress the
+	// survivors install a view without it and it drains (streaming its
+	// owned group state to the new owners); at 70% everyone installs the
+	// full view again. The workload itself never pauses — elastic
+	// membership is only working if the clients cannot tell.
+	loadDone := make(chan struct{})
+	churnDone := make(chan struct{})
+	var drainRep cluster.DrainReport
+	if cfg.churn && len(nodes) >= 2 {
+		total := uint64(cfg.conns) * uint64(cfg.opens)
+		waitFor := func(frac float64) bool {
+			threshold := uint64(frac * float64(total))
+			for opens.Load()+errCount.Load() < threshold {
+				select {
+				case <-loadDone:
+					return false
+				case <-time.After(2 * time.Millisecond):
+				}
+			}
+			return true
+		}
+		go func() {
+			defer close(churnDone)
+			victim := len(nodes) - 1
+			rest := targets[:victim]
+			if !waitFor(0.4) {
+				return
+			}
+			for _, n := range nodes[:victim] {
+				_ = n.Update(2, rest)
+			}
+			if rep, err := nodes[victim].Drain(servers[victim]); err == nil {
+				drainRep = rep
+			}
+			if !waitFor(0.7) {
+				return
+			}
+			for _, n := range nodes {
+				_ = n.Update(3, targets)
+			}
+		}()
+	} else {
+		close(churnDone)
+	}
+
 	var wg sync.WaitGroup
 	start := time.Now()
 	for ci, c := range clients {
@@ -506,6 +577,8 @@ func runLoad(cfg config) (*result, error) {
 		}
 	}
 	wg.Wait()
+	close(loadDone)
+	<-churnDone
 	res.elapsed = time.Since(start)
 	res.opens = opens.Load()
 	res.errors = errCount.Load()
@@ -532,6 +605,16 @@ func runLoad(cfg config) (*result, error) {
 		res.clus.mirrorHits += st.MirrorHits
 		res.clus.coalesced += st.CoalescedForwards
 		res.clus.degraded += st.DegradedOpens
+		res.clus.hintQueued += st.HintsQueued
+		res.clus.hintReplay += st.HintsReplayed
+	}
+	if cfg.churn {
+		res.clus.churned = true
+		res.clus.drainSent = uint64(drainRep.GroupsSent)
+		res.clus.drainFail = uint64(drainRep.GroupsFailed)
+		for _, s := range servers {
+			res.clus.handoffs += s.Stats().Handoffs
+		}
 	}
 	return res, nil
 }
@@ -553,6 +636,10 @@ func (r *result) writeText(out *os.File) {
 		fmt.Fprintf(out, "  cluster:    %d nodes  local %d  forwarded %d  mirror-hits %d  coalesced %d  degraded %d\n",
 			r.clus.nodes, r.clus.local, r.clus.forwarded, r.clus.mirrorHits, r.clus.coalesced, r.clus.degraded)
 	}
+	if r.clus.churned {
+		fmt.Fprintf(out, "  churn:      drain-sent %d  drain-failed %d  handoffs-installed %d  hints-queued %d  hints-replayed %d\n",
+			r.clus.drainSent, r.clus.drainFail, r.clus.handoffs, r.clus.hintQueued, r.clus.hintReplay)
+	}
 	if r.reg != nil {
 		for _, s := range r.reg.Snapshot() {
 			if s.Hist != nil {
@@ -572,6 +659,8 @@ func (r *result) writeText(out *os.File) {
 func (r *result) benchName() string {
 	name := "AggbenchOpenPipelined"
 	switch {
+	case r.cfg.cluster > 0 && r.cfg.churn:
+		name = fmt.Sprintf("AggbenchOpenClusterChurn%d", r.cfg.cluster)
 	case r.cfg.cluster > 0:
 		name = fmt.Sprintf("AggbenchOpenCluster%d", r.cfg.cluster)
 	case r.cfg.serial:
@@ -653,6 +742,13 @@ func (r *result) writeJSON(out *os.File) error {
 		m["mirror_hits"] = float64(r.clus.mirrorHits)
 		m["coalesced"] = float64(r.clus.coalesced)
 		m["degraded"] = float64(r.clus.degraded)
+		if r.clus.churned {
+			m["churn_drain_sent"] = float64(r.clus.drainSent)
+			m["churn_drain_failed"] = float64(r.clus.drainFail)
+			m["churn_handoffs"] = float64(r.clus.handoffs)
+			m["churn_hints_queued"] = float64(r.clus.hintQueued)
+			m["churn_hints_replayed"] = float64(r.clus.hintReplay)
+		}
 	}
 	for name, v := range r.obsMetrics() {
 		set.Benchmarks[0].Metrics[name] = v

@@ -18,6 +18,8 @@ func TestParseFlagsRejectsBadCombos(t *testing.T) {
 		{"-cluster", "-1"},
 		{"-cluster", "3", "-addr", "127.0.0.1:7070"},
 		{"-cluster", "3", "-serial"},
+		{"-churn"},
+		{"-cluster", "1", "-churn"},
 		{"-badflag"},
 	}
 	for _, args := range cases {
@@ -39,6 +41,8 @@ func TestBenchNames(t *testing.T) {
 		{config{metrics: true}, "AggbenchOpenPipelinedObs"},
 		{config{cluster: 3, metrics: true}, "AggbenchOpenCluster3Obs"},
 		{config{serial: true, metrics: true}, "AggbenchOpenSerialObs"},
+		{config{cluster: 2, churn: true}, "AggbenchOpenClusterChurn2"},
+		{config{cluster: 3, churn: true, metrics: true}, "AggbenchOpenClusterChurn3Obs"},
 	} {
 		if got := (&result{cfg: tc.cfg}).benchName(); got != tc.want {
 			t.Errorf("benchName(%+v) = %q, want %q", tc.cfg, got, tc.want)
@@ -78,6 +82,43 @@ func TestRunLoadCluster(t *testing.T) {
 	}
 	if res.clus.degraded != 0 {
 		t.Errorf("healthy cluster degraded %d opens", res.clus.degraded)
+	}
+}
+
+// TestRunLoadChurn runs the full leave/drain/rejoin cycle under load:
+// the departing node must hand its group state to the survivors without
+// a single client-visible error, and every group it sent must have been
+// installed somewhere in the ring.
+func TestRunLoadChurn(t *testing.T) {
+	cfg, err := parseFlags([]string{
+		"-cluster", "2", "-conns", "4", "-workers", "2",
+		"-opens", "400", "-files", "128", "-churn",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := runLoad(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.errors != 0 {
+		t.Errorf("churn run had %d client-visible errors, want 0", res.errors)
+	}
+	if res.opens != 4*400 {
+		t.Errorf("opens = %d, want %d", res.opens, 4*400)
+	}
+	if !res.clus.churned {
+		t.Fatal("churn summary not recorded")
+	}
+	if res.clus.drainSent == 0 {
+		t.Error("drain streamed no groups; the departing node handed nothing off")
+	}
+	if res.clus.handoffs != res.clus.drainSent {
+		t.Errorf("handoffs installed = %d, drain sent = %d; every sent group must land",
+			res.clus.handoffs, res.clus.drainSent)
+	}
+	if res.clus.drainFail != 0 {
+		t.Errorf("drain failed %d groups against healthy survivors", res.clus.drainFail)
 	}
 }
 

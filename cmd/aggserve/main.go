@@ -16,13 +16,23 @@
 // covering the whole serve lifetime, and -pprof serves net/http/pprof
 // for live inspection of a long-running server.
 //
-// Clustering: -peers joins a static consistent-hash peer ring
+// Clustering: -peers (or -peers-file) joins a consistent-hash peer ring
 // (internal/cluster). Opens for paths this node owns are served locally;
 // everything else is fetched from the owning peer in one group hop, with
 // a hot-group mirror and health-checked failover to the local store when
 // a peer is down. Every node of a cluster must be started with the same
-// -peers list and a -self address that appears in it. -stats serves a
+// peer list and a -self address that appears in it. -stats serves a
 // JSON snapshot (server counters plus per-peer health) over HTTP.
+//
+// Elastic membership: -peers-file names a file of peer addresses (one
+// per line, optional "epoch N" directive) that is re-read on SIGHUP or
+// POST /reload and installed as a new epoch-numbered membership view —
+// nodes join and leave without restarting the fleet. The -stats
+// listener additionally serves /healthz (liveness), /readyz (readiness:
+// 503 while draining, so a load balancer rotates the node out), and
+// POST /drain, which streams every owned group's learned state to its
+// next owner and flips readiness. SIGTERM on a clustered node drains
+// before exiting, so a rolling restart hands state off automatically.
 //
 // Observability: every aggserve carries an internal/obs registry wired
 // through the server, cache, and cluster layers. The -stats HTTP server
@@ -48,6 +58,7 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io/fs"
@@ -94,6 +105,7 @@ func run(args []string) error {
 		memProf      = fl.String("memprofile", "", "write an allocation profile to this file at shutdown")
 		pprofSrv     = fl.String("pprof", "", "serve net/http/pprof on this address while running")
 		peers        = fl.String("peers", "", "comma-separated cluster peer addresses (must include -self); empty runs standalone")
+		peersFile    = fl.String("peers-file", "", "file of cluster peer addresses, one per line with optional 'epoch N' directive; re-read on SIGHUP or POST /reload")
 		self         = fl.String("self", "", "this node's advertised address within -peers (defaults to -addr)")
 		replicas     = fl.Int("ring-replicas", 0, "consistent-hash virtual nodes per peer (0 = library default)")
 		statsAddr    = fl.String("stats", "", "serve stats over HTTP on this address: /stats (JSON counters), /metrics (Prometheus text), /metrics.json (metrics plus recent events)")
@@ -169,16 +181,36 @@ func run(args []string) error {
 	}
 
 	var node *cluster.Node
-	if *peers != "" {
+	if *peers != "" && *peersFile != "" {
+		return fmt.Errorf("-peers and -peers-file are mutually exclusive")
+	}
+	if *peers != "" || *peersFile != "" {
 		selfAddr := *self
 		if selfAddr == "" {
 			selfAddr = *addr
 		}
-		var peerList []string
-		for _, p := range strings.Split(*peers, ",") {
-			if p = strings.TrimSpace(p); p != "" {
-				peerList = append(peerList, p)
+		var (
+			peerList  []string
+			fileEpoch uint64
+		)
+		if *peersFile != "" {
+			var err error
+			fileEpoch, peerList, err = readPeersFile(*peersFile)
+			if err != nil {
+				return err
 			}
+		} else {
+			for _, p := range strings.Split(*peers, ",") {
+				if p = strings.TrimSpace(p); p != "" {
+					peerList = append(peerList, p)
+				}
+			}
+		}
+		// Fail fast: a -self that is malformed or absent from the peer
+		// list would otherwise surface only on the first forward, as a
+		// confusing misroute. Catch it before binding any sockets.
+		if err := validatePeers(selfAddr, peerList); err != nil {
+			return err
 		}
 		var err error
 		node, err = cluster.NewNode(cluster.Config{
@@ -191,7 +223,35 @@ func run(args []string) error {
 			return err
 		}
 		defer node.Close()
-		log.Printf("aggserve: joined %d-peer ring as %s", len(peerList), selfAddr)
+		if fileEpoch > 1 {
+			// The file declares a later epoch than NewNode's initial view;
+			// install it so a restarted node rejoins at the fleet's epoch.
+			if err := node.Update(fileEpoch, peerList); err != nil {
+				return err
+			}
+		}
+		log.Printf("aggserve: joined %d-peer ring as %s (epoch %d)", len(peerList), selfAddr, node.Epoch())
+	}
+
+	// reload re-reads -peers-file and installs it as a new membership
+	// view. An epoch 0 file (no directive) means "one past whatever is
+	// installed", so plain peer-list edits always win.
+	reload := func() error {
+		if node == nil || *peersFile == "" {
+			return fmt.Errorf("membership reload needs -peers-file")
+		}
+		epoch, peerList, err := readPeersFile(*peersFile)
+		if err != nil {
+			return err
+		}
+		if epoch == 0 {
+			epoch = node.Epoch() + 1
+		}
+		if err := node.Update(epoch, peerList); err != nil {
+			return err
+		}
+		log.Printf("aggserve: membership updated to epoch %d (%d peers)", node.Epoch(), len(peerList))
+		return nil
 	}
 
 	srvCfg := fsnet.ServerConfig{
@@ -244,6 +304,52 @@ func run(args []string) error {
 		})
 		mux.Handle("/metrics", reg.MetricsHandler())
 		mux.Handle("/metrics.json", reg.JSONHandler())
+		// Liveness: the process is up and serving HTTP. Readiness adds
+		// membership: a standalone node is always ready; a clustered node
+		// is ready only while it is in the ring and not draining, so load
+		// balancers rotate a draining node out before it exits.
+		mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+			fmt.Fprintln(w, "ok")
+		})
+		mux.HandleFunc("/readyz", func(w http.ResponseWriter, _ *http.Request) {
+			if node != nil && !node.Ready() {
+				http.Error(w, "draining", http.StatusServiceUnavailable)
+				return
+			}
+			fmt.Fprintln(w, "ready")
+		})
+		mux.HandleFunc("/drain", func(w http.ResponseWriter, r *http.Request) {
+			if r.Method != http.MethodPost {
+				http.Error(w, "POST only", http.StatusMethodNotAllowed)
+				return
+			}
+			if node == nil {
+				http.Error(w, "not clustered", http.StatusConflict)
+				return
+			}
+			rep, err := node.Drain(srv)
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusConflict)
+				return
+			}
+			log.Printf("aggserve: drained: %d groups exported, %d sent, %d failed, %d skipped",
+				rep.GroupsExported, rep.GroupsSent, rep.GroupsFailed, rep.GroupsSkipped)
+			w.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			_ = enc.Encode(rep)
+		})
+		mux.HandleFunc("/reload", func(w http.ResponseWriter, r *http.Request) {
+			if r.Method != http.MethodPost {
+				http.Error(w, "POST only", http.StatusMethodNotAllowed)
+				return
+			}
+			if err := reload(); err != nil {
+				http.Error(w, err.Error(), http.StatusConflict)
+				return
+			}
+			fmt.Fprintf(w, "epoch %d\n", node.Epoch())
+		})
 		go func() { _ = http.Serve(sl, mux) }()
 		log.Printf("aggserve: stats on http://%s/stats (Prometheus at /metrics, events at /metrics.json)", sl.Addr())
 	}
@@ -257,13 +363,37 @@ func run(args []string) error {
 	done := make(chan error, 1)
 	go func() { done <- srv.Serve(l) }()
 
-	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
-	select {
-	case s := <-sig:
-		log.Printf("aggserve: received %s, shutting down", s)
-	case err := <-done:
-		return fmt.Errorf("serve: %w", err)
+	sig := make(chan os.Signal, 4)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM, syscall.SIGHUP)
+loop:
+	for {
+		select {
+		case s := <-sig:
+			if s == syscall.SIGHUP {
+				// Hot membership reload: re-read -peers-file in place.
+				if err := reload(); err != nil {
+					log.Printf("aggserve: reload: %v", err)
+				}
+				continue
+			}
+			log.Printf("aggserve: received %s, shutting down", s)
+			if s == syscall.SIGTERM && node != nil {
+				// Graceful exit: hand owned group state to the next
+				// owners before closing, so a rolling restart stays warm.
+				// SIGINT skips the drain for a fast local stop.
+				if rep, err := node.Drain(srv); err != nil {
+					if !errors.Is(err, cluster.ErrDraining) {
+						log.Printf("aggserve: drain: %v", err)
+					}
+				} else {
+					log.Printf("aggserve: drained: %d groups exported, %d sent, %d failed, %d skipped",
+						rep.GroupsExported, rep.GroupsSent, rep.GroupsFailed, rep.GroupsSkipped)
+				}
+			}
+			break loop
+		case err := <-done:
+			return fmt.Errorf("serve: %w", err)
+		}
 	}
 	if *metadata != "" {
 		if err := saveMetadata(srv, *metadata); err != nil {
@@ -284,6 +414,44 @@ func run(args []string) error {
 			cs.LocalOpens, cs.ForwardedOpens, cs.MirrorHits, cs.CoalescedForwards, cs.DegradedOpens)
 	}
 	return nil
+}
+
+// validatePeers checks the cluster configuration before any socket is
+// bound: every peer address must be host:port shaped and the advertised
+// self address must appear in the list verbatim. Ring placement compares
+// addresses as strings, so "localhost:7071" versus "127.0.0.1:7071"
+// would silently own disjoint key ranges — require an exact match.
+func validatePeers(self string, peerList []string) error {
+	if _, _, err := net.SplitHostPort(self); err != nil {
+		return fmt.Errorf("invalid -self address %q: %w", self, err)
+	}
+	found := false
+	for _, p := range peerList {
+		if _, _, err := net.SplitHostPort(p); err != nil {
+			return fmt.Errorf("invalid peer address %q: %w", p, err)
+		}
+		if p == self {
+			found = true
+		}
+	}
+	if !found {
+		return fmt.Errorf("self address %q is not in the peer list %v; every node must list itself (addresses are compared verbatim)", self, peerList)
+	}
+	return nil
+}
+
+// readPeersFile loads and parses a -peers-file.
+func readPeersFile(path string) (epoch uint64, peerList []string, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer f.Close()
+	epoch, peerList, err = cluster.ParsePeersFile(f)
+	if err != nil {
+		return 0, nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return epoch, peerList, nil
 }
 
 // snapshot is the /stats JSON document: the full server counters

@@ -3,6 +3,7 @@ package main
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"os"
@@ -12,6 +13,7 @@ import (
 	"testing"
 	"time"
 
+	"aggcache/internal/cluster"
 	"aggcache/internal/fsnet"
 	"aggcache/internal/obs"
 )
@@ -367,10 +369,279 @@ func TestRunCluster(t *testing.T) {
 }
 
 func TestRunClusterBadConfig(t *testing.T) {
-	// -self not a member of -peers must fail fast.
-	err := run([]string{"-addr", "127.0.0.1:0", "-synthetic", "5",
-		"-self", "10.0.0.1:1", "-peers", "10.0.0.2:1,10.0.0.3:1"})
-	if err == nil {
-		t.Fatal("self outside peers accepted")
+	cases := [][]string{
+		// -self not a member of -peers must fail fast, before any socket.
+		{"-addr", "127.0.0.1:0", "-synthetic", "5",
+			"-self", "10.0.0.1:1", "-peers", "10.0.0.2:1,10.0.0.3:1"},
+		// Malformed peer address.
+		{"-addr", "127.0.0.1:0", "-synthetic", "5",
+			"-self", "10.0.0.1:1", "-peers", "10.0.0.1:1,not-an-address"},
+		// Malformed self address.
+		{"-addr", "127.0.0.1:0", "-synthetic", "5",
+			"-self", "nonsense", "-peers", "10.0.0.2:1"},
+		// -peers and -peers-file are mutually exclusive.
+		{"-addr", "127.0.0.1:0", "-synthetic", "5", "-self", "10.0.0.1:1",
+			"-peers", "10.0.0.1:1", "-peers-file", "/no/such/file"},
+		// Missing peers file.
+		{"-addr", "127.0.0.1:0", "-synthetic", "5",
+			"-self", "10.0.0.1:1", "-peers-file", "/no/such/file"},
+	}
+	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v) succeeded, want fast config error", args)
+		}
+	}
+}
+
+func TestValidatePeers(t *testing.T) {
+	ok := []string{"127.0.0.1:1", "127.0.0.1:2"}
+	if err := validatePeers("127.0.0.1:1", ok); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+	if err := validatePeers("127.0.0.1:3", ok); err == nil {
+		t.Error("self outside list accepted")
+	}
+	if err := validatePeers("no-port", ok); err == nil {
+		t.Error("malformed self accepted")
+	}
+	if err := validatePeers("127.0.0.1:1", []string{"127.0.0.1:1", "bad"}); err == nil {
+		t.Error("malformed peer accepted")
+	}
+	// Addresses are compared verbatim: an equivalent-but-different
+	// spelling of self must be rejected, not silently half-joined.
+	if err := validatePeers("localhost:1", []string{"127.0.0.1:1"}); err == nil {
+		t.Error("differently spelled self accepted")
+	}
+}
+
+// httpGet polls until the stats server answers, then returns the status
+// code and body.
+func httpGet(t *testing.T, url string) (int, string) {
+	t.Helper()
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		resp, err := http.Get(url)
+		if err == nil {
+			body, rerr := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if rerr != nil {
+				t.Fatalf("read %s: %v", url, rerr)
+			}
+			return resp.StatusCode, string(body)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("GET %s: %v", url, err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestRunClusterDrainEndpoints exercises the operational surface of a
+// rolling restart: /healthz and /readyz report a healthy joined node,
+// POST /drain hands group state off and flips readiness to 503, and a
+// second drain is rejected as a conflict.
+func TestRunClusterDrainEndpoints(t *testing.T) {
+	addrs := freeAddrs(t, 3)
+	peers := strings.Join(addrs[:2], ",")
+	statsAddr := addrs[2]
+
+	done := make(chan error, 2)
+	for i := 0; i < 2; i++ {
+		args := []string{
+			"-addr", addrs[i], "-self", addrs[i], "-peers", peers,
+			"-synthetic", "30", "-idle-timeout", "0",
+		}
+		if i == 0 {
+			args = append(args, "-stats", statsAddr)
+		}
+		go func() { done <- run(args) }()
+	}
+	defer func() {
+		_ = syscall.Kill(syscall.Getpid(), syscall.SIGTERM)
+		for i := 0; i < 2; i++ {
+			select {
+			case err := <-done:
+				if err != nil {
+					t.Errorf("node exited: %v", err)
+				}
+			case <-time.After(5 * time.Second):
+				t.Error("cluster node did not shut down")
+				return
+			}
+		}
+	}()
+
+	base := "http://" + statsAddr
+	if code, body := httpGet(t, base+"/healthz"); code != http.StatusOK || !strings.Contains(body, "ok") {
+		t.Errorf("/healthz = %d %q, want 200 ok", code, body)
+	}
+	if code, body := httpGet(t, base+"/readyz"); code != http.StatusOK || !strings.Contains(body, "ready") {
+		t.Errorf("/readyz = %d %q, want 200 ready", code, body)
+	}
+
+	// Open some files so the node has learned group state to hand off.
+	client := dialRetry(t, addrs[0])
+	for f := 0; f < 30; f++ {
+		path := fmt.Sprintf("/synthetic/f%06d", f)
+		if _, err := client.Open(path); err != nil {
+			t.Fatalf("open %s: %v", path, err)
+		}
+	}
+	client.Close()
+
+	// GET on /drain must be refused; drain is a state change.
+	if code, _ := httpGet(t, base+"/drain"); code != http.StatusMethodNotAllowed {
+		t.Errorf("GET /drain = %d, want 405", code)
+	}
+
+	resp, err := http.Post(base+"/drain", "", nil)
+	if err != nil {
+		t.Fatalf("POST /drain: %v", err)
+	}
+	var rep cluster.DrainReport
+	if derr := json.NewDecoder(resp.Body).Decode(&rep); derr != nil {
+		t.Fatalf("decode drain report: %v", derr)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /drain = %d", resp.StatusCode)
+	}
+	if rep.GroupsExported == 0 || rep.GroupsSent == 0 {
+		t.Errorf("drain report %+v: expected exported and sent groups after workload", rep)
+	}
+
+	if code, body := httpGet(t, base+"/readyz"); code != http.StatusServiceUnavailable {
+		t.Errorf("/readyz after drain = %d %q, want 503", code, body)
+	}
+	if code, _ := httpGet(t, base+"/healthz"); code != http.StatusOK {
+		t.Errorf("/healthz after drain = %d, want 200 (still alive)", code)
+	}
+
+	resp2, err := http.Post(base+"/drain", "", nil)
+	if err != nil {
+		t.Fatalf("second POST /drain: %v", err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusConflict {
+		t.Errorf("second drain = %d, want 409", resp2.StatusCode)
+	}
+
+	// A drained node still answers opens locally — degraded, never dark.
+	c2 := dialRetry(t, addrs[0])
+	if _, err := c2.Open("/synthetic/f000003"); err != nil {
+		t.Errorf("open on drained node: %v", err)
+	}
+	c2.Close()
+}
+
+// TestRunPeersFileReload boots a two-node cluster from a -peers-file,
+// then grows the membership through POST /reload and SIGHUP, watching
+// the epoch advance through /stats.
+func TestRunPeersFileReload(t *testing.T) {
+	addrs := freeAddrs(t, 4)
+	statsAddr := addrs[3]
+	pf := filepath.Join(t.TempDir(), "peers.conf")
+	writePeers := func(lines ...string) {
+		t.Helper()
+		if err := os.WriteFile(pf, []byte(strings.Join(lines, "\n")+"\n"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	writePeers("# initial two-node ring", addrs[0], addrs[1])
+
+	done := make(chan error, 3)
+	start := func(i int, extra ...string) {
+		args := append([]string{
+			"-addr", addrs[i], "-self", addrs[i], "-peers-file", pf,
+			"-synthetic", "20", "-idle-timeout", "0",
+		}, extra...)
+		go func() { done <- run(args) }()
+	}
+	start(0, "-stats", statsAddr)
+	start(1)
+	nodes := 2
+	defer func() {
+		_ = syscall.Kill(syscall.Getpid(), syscall.SIGTERM)
+		for i := 0; i < nodes; i++ {
+			select {
+			case err := <-done:
+				if err != nil {
+					t.Errorf("node exited: %v", err)
+				}
+			case <-time.After(5 * time.Second):
+				t.Error("node did not shut down")
+				return
+			}
+		}
+	}()
+
+	base := "http://" + statsAddr
+	clusterStats := func() *cluster.NodeStats {
+		t.Helper()
+		_, body := httpGet(t, base+"/stats")
+		var snap snapshot
+		if err := json.Unmarshal([]byte(body), &snap); err != nil {
+			t.Fatalf("decode stats: %v", err)
+		}
+		if snap.Cluster == nil {
+			t.Fatal("stats missing cluster section")
+		}
+		return snap.Cluster
+	}
+	if cs := clusterStats(); cs.Epoch != 1 || cs.Members != 2 {
+		t.Fatalf("initial epoch=%d members=%d, want 1/2", cs.Epoch, cs.Members)
+	}
+
+	// Grow to three nodes: extend the file, boot the joiner at epoch 2,
+	// and tell node 0 to re-read via POST /reload.
+	writePeers("epoch 2", addrs[0], addrs[1], addrs[2])
+	start(2)
+	nodes = 3
+	resp, err := http.Post(base+"/reload", "", nil)
+	if err != nil {
+		t.Fatalf("POST /reload: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /reload = %d", resp.StatusCode)
+	}
+	if cs := clusterStats(); cs.Epoch != 2 || cs.Members != 3 {
+		t.Fatalf("after reload epoch=%d members=%d, want 2/3", cs.Epoch, cs.Members)
+	}
+	// A replayed (stale) reload must be refused.
+	resp2, err := http.Post(base+"/reload", "", nil)
+	if err != nil {
+		t.Fatalf("stale POST /reload: %v", err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusConflict {
+		t.Errorf("stale reload = %d, want 409", resp2.StatusCode)
+	}
+
+	// SIGHUP is the other reload path; no epoch directive means "one
+	// past installed", so the edit applies everywhere it is delivered.
+	writePeers(addrs[0], addrs[1], addrs[2])
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGHUP); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		if cs := clusterStats(); cs.Epoch >= 3 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("SIGHUP reload did not advance the epoch")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// The grown ring routes: a sweep through node 0 reaches the joiner.
+	client := dialRetry(t, addrs[0])
+	defer client.Close()
+	for f := 0; f < 20; f++ {
+		path := fmt.Sprintf("/synthetic/f%06d", f)
+		if _, err := client.Open(path); err != nil {
+			t.Fatalf("open %s after growth: %v", path, err)
+		}
 	}
 }

@@ -1,6 +1,6 @@
-// Package cluster shards the aggregating cache across a static set of
-// fsnet servers. Each node owns the paths that consistent-hash to it
-// (see Ring) and serves them from its own aggregating server; opens that
+// Package cluster shards the aggregating cache across a set of fsnet
+// servers. Each node owns the paths that consistent-hash to it (see
+// Ring) and serves them from its own aggregating server; opens that
 // land on a non-owner are forwarded to the owner over the pipelined
 // fsnet client, and the owner's whole group reply comes back in that one
 // hop. Placement is therefore group-affine without any extra machinery:
@@ -15,6 +15,14 @@
 // through to the local aggregating serving path. With replicated backing
 // stores that fallback is always correct, so a dead peer degrades
 // throughput, never availability: no open errors because a peer died.
+//
+// Membership is dynamic: the ring and peer set live in an immutable,
+// epoch-numbered view swapped atomically by Update (see membership.go),
+// so nodes join and leave a running cluster without a restart. Graceful
+// departure is Drain (drain.go): the leaving node streams each owned
+// group's learned state to its new owner. While a peer is down past its
+// breaker, accesses bound for it are staged in a bounded hint queue and
+// replayed when the peer heals (hints.go).
 //
 // Peer health is a consecutive-failure circuit breaker fed only by
 // transport errors (fsnet.ErrConnBroken). A tripped breaker short-
@@ -42,12 +50,15 @@ const (
 	defaultFailureThreshold = 3
 	defaultDownDuration     = 2 * time.Second
 	defaultPeerTimeout      = 2 * time.Second
+	defaultHintCapacity     = 512
 )
 
-// Config describes one node's view of the cluster. The peer list is
-// static: every node must be constructed with the same Peers set (order
-// irrelevant — ring ownership is build-order independent), which is what
-// lets each node compute identical placement with no coordination.
+// Config describes one node's view of the cluster. Peers is only the
+// initial membership (epoch 1): every node must start from the same
+// Peers set (order irrelevant — ring ownership is build-order
+// independent), which is what lets each node compute identical placement
+// with no coordination, and later views are installed with Update using
+// the same agreed list on every node.
 type Config struct {
 	// Self is this node's own entry in Peers (its advertised address).
 	Self string
@@ -74,6 +85,11 @@ type Config struct {
 	// (0 selects the default of 5s, negative never expires).
 	MirrorTTL time.Duration
 
+	// HintCapacity bounds the per-dead-peer hinted-handoff queue in
+	// staged access paths (0 selects the default of 512, negative
+	// disables hinting). Overflow drops oldest-first and is counted.
+	HintCapacity int
+
 	// Dialer opens a connection to a peer address; nil selects TCP.
 	// Tests use it to interpose faultnet gates and latency.
 	Dialer func(addr string) (net.Conn, error)
@@ -82,9 +98,10 @@ type Config struct {
 	Now func() time.Time
 	// Obs, when set, registers the node's routing counters, a per-peer
 	// breaker-state gauge (0 closed, 1 open, 2 half-open), per-peer
-	// failure/trip gauges, and a mirror-residency gauge with the given
-	// registry, and records breaker transitions to its event log.
-	// NodeStats works either way, fed from the same counters.
+	// failure/trip gauges, membership/drain/hint counters, and a mirror-
+	// residency gauge with the given registry, and records breaker and
+	// membership transitions to its event log. NodeStats works either
+	// way, fed from the same counters.
 	Obs *obs.Registry
 }
 
@@ -97,6 +114,9 @@ func (cfg Config) withDefaults() Config {
 	}
 	if cfg.PeerTimeout == 0 {
 		cfg.PeerTimeout = defaultPeerTimeout
+	}
+	if cfg.HintCapacity == 0 {
+		cfg.HintCapacity = defaultHintCapacity
 	}
 	if cfg.Dialer == nil {
 		cfg.Dialer = func(addr string) (net.Conn, error) { return net.Dial("tcp", addr) }
@@ -111,13 +131,22 @@ func (cfg Config) withDefaults() Config {
 // wire it into the co-located server via ServerConfig.Router. All
 // methods are safe for concurrent use.
 type Node struct {
-	cfg   Config
-	self  string
-	ring  *Ring
-	peers map[string]*peer // owner address -> peer, Self excluded
+	cfg  Config
+	self string
+
+	// view is the current membership (see membership.go). Readers load
+	// the pointer once and work against that immutable view to
+	// completion; mutators (Update, Drain, Close) serialize on viewMu.
+	viewMu sync.Mutex
+	view   atomic.Pointer[view]
+	closed bool
+
+	draining atomic.Bool
 
 	mirMu  sync.Mutex
 	mirror *mirror
+
+	hints *hintTable
 
 	flights singleflight.Group[forward]
 
@@ -129,6 +158,17 @@ type Node struct {
 	coalesced      *obs.Counter
 	degradedOpens  *obs.Counter
 	notFound       *obs.Counter
+
+	// Membership, hint, and drain accounting.
+	updates       *obs.Counter
+	staleUpdates  *obs.Counter
+	hintsQueued   *obs.Counter
+	hintsReplayed *obs.Counter
+	hintsDropped  *obs.Counter
+	drainSent     *obs.Counter
+	drainFailed   *obs.Counter
+
+	events *obs.EventLog
 }
 
 // forward is one owner fetch's outcome, shared across coalesced opens.
@@ -137,9 +177,10 @@ type forward struct {
 	err   error
 }
 
-// NewNode validates cfg and builds the ring and one lazy-dialing fsnet
-// client per remote peer. No connection is opened until the first
-// forward, so nodes of a cluster can start in any order.
+// NewNode validates cfg and installs the epoch-1 view: the ring over
+// cfg.Peers plus one lazy-dialing fsnet client per remote peer. No
+// connection is opened until the first forward, so nodes of a cluster
+// can start in any order.
 func NewNode(cfg Config) (*Node, error) {
 	cfg = cfg.withDefaults()
 	if cfg.Self == "" {
@@ -150,48 +191,60 @@ func NewNode(cfg Config) (*Node, error) {
 	}
 	ring := NewRing(cfg.Replicas)
 	ring.Add(cfg.Peers...)
-	if _, ok := ring.members[cfg.Self]; !ok {
+	if !ring.Has(cfg.Self) {
 		return nil, fmt.Errorf("cluster: Self %q not in Peers %v", cfg.Self, cfg.Peers)
 	}
 	n := &Node{
 		cfg:    cfg,
 		self:   cfg.Self,
-		ring:   ring,
-		peers:  make(map[string]*peer),
 		mirror: newMirror(cfg.MirrorCapacity, cfg.MirrorTTL, cfg.Now),
+		hints:  newHintTable(cfg.HintCapacity),
 	}
 	n.wireMetrics(cfg.Obs)
+	v := &view{epoch: 1, ring: ring, peers: make(map[string]*peer)}
 	for _, addr := range ring.Members() {
 		if addr == cfg.Self {
 			continue
 		}
-		addr := addr
-		client, err := fsnet.NewClient(nil, fsnet.ClientConfig{
-			Dialer:  func() (net.Conn, error) { return cfg.Dialer(addr) },
-			Timeout: cfg.PeerTimeout,
-			// Fail fast: retries would only delay the breaker's verdict,
-			// and the degraded local path is always available.
-			MaxRetries: 0,
-		})
+		p, err := n.newPeer(addr)
 		if err != nil {
 			return nil, err
 		}
-		p := &peer{
-			addr:      addr,
-			client:    client,
-			threshold: uint64(cfg.FailureThreshold),
-			downFor:   cfg.DownDuration,
-			now:       cfg.Now,
-		}
-		p.wireMetrics(cfg.Obs)
-		n.peers[addr] = p
+		v.peers[addr] = p
 	}
+	n.view.Store(v)
 	return n, nil
+}
+
+// newPeer builds one remote peer: a lazy fsnet client plus a fresh
+// breaker, wired to the registry. Called at construction and on every
+// membership update that introduces a member.
+func (n *Node) newPeer(addr string) (*peer, error) {
+	dial := n.cfg.Dialer
+	client, err := fsnet.NewClient(nil, fsnet.ClientConfig{
+		Dialer:  func() (net.Conn, error) { return dial(addr) },
+		Timeout: n.cfg.PeerTimeout,
+		// Fail fast: retries would only delay the breaker's verdict,
+		// and the degraded local path is always available.
+		MaxRetries: 0,
+	})
+	if err != nil {
+		return nil, err
+	}
+	p := &peer{
+		addr:      addr,
+		client:    client,
+		threshold: uint64(n.cfg.FailureThreshold),
+		downFor:   n.cfg.DownDuration,
+		now:       n.cfg.Now,
+	}
+	p.wireMetrics(n.cfg.Obs)
+	return p, nil
 }
 
 // wireMetrics initializes the routing counters — standalone atomics with
 // no registry, registered series otherwise — plus the pull-style mirror
-// residency gauge.
+// residency, membership-epoch, drain, and hint-depth gauges.
 func (n *Node) wireMetrics(reg *obs.Registry) {
 	if reg == nil {
 		n.localOpens = obs.NewCounter()
@@ -200,6 +253,13 @@ func (n *Node) wireMetrics(reg *obs.Registry) {
 		n.coalesced = obs.NewCounter()
 		n.degradedOpens = obs.NewCounter()
 		n.notFound = obs.NewCounter()
+		n.updates = obs.NewCounter()
+		n.staleUpdates = obs.NewCounter()
+		n.hintsQueued = obs.NewCounter()
+		n.hintsReplayed = obs.NewCounter()
+		n.hintsDropped = obs.NewCounter()
+		n.drainSent = obs.NewCounter()
+		n.drainFailed = obs.NewCounter()
 		return
 	}
 	n.localOpens = reg.Counter("cluster_local_opens_total", "opens this node owned, declined to the local serving path")
@@ -208,15 +268,35 @@ func (n *Node) wireMetrics(reg *obs.Registry) {
 	n.coalesced = reg.Counter("cluster_coalesced_forwards_total", "opens that shared another open's in-flight owner fetch")
 	n.degradedOpens = reg.Counter("cluster_degraded_opens_total", "opens declined to the local path because the owner was down or the forward failed")
 	n.notFound = reg.Counter("cluster_not_found_total", "owner replies that the path does not exist")
+	n.updates = reg.Counter("cluster_membership_updates_total", "membership views installed by Update")
+	n.staleUpdates = reg.Counter("cluster_membership_stale_total", "membership updates rejected for a stale epoch")
+	n.hintsQueued = reg.Counter("cluster_hints_queued_total", "access paths staged for a down peer")
+	n.hintsReplayed = reg.Counter("cluster_hints_replayed_total", "staged access paths delivered to a healed peer")
+	n.hintsDropped = reg.Counter("cluster_hints_dropped_total", "staged access paths dropped: queue overflow (oldest first) or peer removed")
+	n.drainSent = reg.Counter("cluster_drain_groups_sent_total", "groups handed off to their new owners by Drain")
+	n.drainFailed = reg.Counter("cluster_drain_groups_failed_total", "groups Drain could not deliver to their new owners")
+	n.events = reg.Events()
 	reg.GaugeFunc("cluster_mirror_groups", "groups currently resident in the hot-group mirror", func() float64 {
 		n.mirMu.Lock()
 		defer n.mirMu.Unlock()
 		return float64(n.mirror.groups())
 	})
+	reg.GaugeFunc("cluster_membership_epoch", "epoch of the installed membership view", func() float64 {
+		return float64(n.Epoch())
+	})
+	reg.GaugeFunc("cluster_draining", "1 while the node is draining (readiness false)", func() float64 {
+		if n.draining.Load() {
+			return 1
+		}
+		return 0
+	})
+	reg.GaugeFunc("cluster_hint_depth", "access paths currently staged across all hint queues", func() float64 {
+		return float64(n.hints.depth())
+	})
 }
 
-// Owner returns the peer address that owns path.
-func (n *Node) Owner(path string) string { return n.ring.Owner(path) }
+// Owner returns the peer address that owns path in the current view.
+func (n *Node) Owner(path string) string { return n.view.Load().ring.Owner(path) }
 
 // Self returns this node's own address.
 func (n *Node) Self() string { return n.self }
@@ -227,13 +307,17 @@ func (n *Node) Self() string { return n.self }
 // else is answered from the mirror or by one OpenGroup hop to the owner,
 // with the downstream client's piggybacked history relayed so the
 // owner's successor metadata stays as complete as a direct client's.
+//
+// The membership view is loaded once per call: an open that raced a
+// ring swap completes against the view it started with.
 func (n *Node) RouteOpen(path string, accessed []string) ([]fsnet.GroupFile, bool, error) {
-	owner := n.ring.Owner(path)
+	v := n.view.Load()
+	owner := v.ring.Owner(path)
 	if owner == n.self || owner == "" {
 		n.localOpens.Add(1)
 		return nil, false, nil
 	}
-	p := n.peers[owner]
+	p := v.peers[owner]
 
 	// Mirror first: a mirrored group answers even while its owner is
 	// down, and relays the history so it rides the next forward fetch.
@@ -248,6 +332,10 @@ func (n *Node) RouteOpen(path string, accessed []string) ([]fsnet.GroupFile, boo
 	}
 
 	if !p.admit() {
+		// Hinted handoff: the owner is down, so stage the access history
+		// locally and replay it when the probe heals the peer. The open
+		// itself degrades to the local path as before.
+		n.stageHints(p.addr, path, accessed)
 		n.degradedOpens.Add(1)
 		return nil, false, nil
 	}
@@ -259,14 +347,19 @@ func (n *Node) RouteOpen(path string, accessed []string) ([]fsnet.GroupFile, boo
 		files, err := p.client.OpenGroup(path)
 		switch {
 		case err == nil:
-			p.noteSuccess()
+			if p.noteSuccess() {
+				go n.replayHints(p)
+			}
 			n.mirMu.Lock()
-			n.mirror.put(files)
+			n.mirror.put(files, p.addr)
 			n.mirMu.Unlock()
 		case errors.Is(err, fsnet.ErrConnBroken):
 			p.noteFailure()
 		case errors.Is(err, fsnet.ErrNotFound):
-			p.noteSuccess() // the owner answered; not-found is healthy
+			// The owner answered; not-found is healthy.
+			if p.noteSuccess() {
+				go n.replayHints(p)
+			}
 		}
 		return forward{files: files, err: err}, true
 	})
@@ -291,11 +384,18 @@ func (n *Node) RouteOpen(path string, accessed []string) ([]fsnet.GroupFile, boo
 	}
 }
 
-// Close shuts down every peer client. In-flight forwards fail over to
-// the degraded local path like any other transport failure.
+// Close shuts down every peer client of the current view. In-flight
+// forwards fail over to the degraded local path like any other
+// transport failure.
 func (n *Node) Close() error {
+	n.viewMu.Lock()
+	defer n.viewMu.Unlock()
+	if n.closed {
+		return nil
+	}
+	n.closed = true
 	var first error
-	for _, p := range n.peers {
+	for _, p := range n.view.Load().peers {
 		if err := p.client.Close(); err != nil && first == nil {
 			first = err
 		}
@@ -321,6 +421,10 @@ type PeerStatus struct {
 type NodeStats struct {
 	Self    string
 	Members int
+	// Epoch numbers the installed membership view; Draining reports
+	// whether the node has begun its graceful departure.
+	Epoch    uint64
+	Draining bool
 	// LocalOpens counts opens this node owned (declined to the local
 	// serving path); ForwardedOpens counts opens answered by an owner
 	// fetch this open itself performed (coalesced followers are counted
@@ -340,25 +444,45 @@ type NodeStats struct {
 	DegradedOpens uint64
 	// NotFound counts owner replies that the path does not exist.
 	NotFound uint64
-	Peers    []PeerStatus
+	// Hint queue accounting: paths staged for down peers, paths
+	// replayed after a heal, paths dropped (overflow or peer removal),
+	// and the current staged depth across all queues.
+	HintsQueued   uint64
+	HintsReplayed uint64
+	HintsDropped  uint64
+	HintDepth     int
+	// Drain accounting: groups handed off to their new owners, and
+	// groups the drain could not deliver.
+	DrainGroupsSent   uint64
+	DrainGroupsFailed uint64
+	Peers             []PeerStatus
 }
 
-// Stats returns a point-in-time snapshot.
+// Stats returns a point-in-time snapshot against the current view.
 func (n *Node) Stats() NodeStats {
+	v := n.view.Load()
 	st := NodeStats{
 		Self:              n.self,
-		Members:           n.ring.Len(),
+		Members:           v.ring.Len(),
+		Epoch:             v.epoch,
+		Draining:          n.draining.Load(),
 		LocalOpens:        n.localOpens.Load(),
 		ForwardedOpens:    n.forwardedOpens.Load(),
 		MirrorHits:        n.mirrorHits.Load(),
 		CoalescedForwards: n.coalesced.Load(),
 		DegradedOpens:     n.degradedOpens.Load(),
 		NotFound:          n.notFound.Load(),
+		HintsQueued:       n.hintsQueued.Load(),
+		HintsReplayed:     n.hintsReplayed.Load(),
+		HintsDropped:      n.hintsDropped.Load(),
+		HintDepth:         n.hints.depth(),
+		DrainGroupsSent:   n.drainSent.Load(),
+		DrainGroupsFailed: n.drainFailed.Load(),
 	}
 	n.mirMu.Lock()
 	st.MirrorGroups = n.mirror.groups()
 	n.mirMu.Unlock()
-	for _, p := range n.peers {
+	for _, p := range v.peers {
 		st.Peers = append(st.Peers, PeerStatus{
 			Addr:     p.addr,
 			Up:       p.up(),
@@ -400,12 +524,16 @@ const (
 )
 
 // wireMetrics registers the peer's breaker-state gauge plus pull-style
-// failure and trip gauges, labelled by peer address.
+// failure and trip gauges, labelled by peer address. Registration is
+// idempotent, so a peer removed and later re-added reuses the same
+// series; the GaugeFunc callbacks are replaced to read the new peer's
+// (fresh) breaker state.
 func (p *peer) wireMetrics(reg *obs.Registry) {
 	if reg == nil {
 		return
 	}
 	p.state = reg.Gauge("cluster_peer_state", "peer breaker state: 0 closed, 1 open, 2 half-open", obs.L("peer", p.addr))
+	p.state.Set(breakerClosed)
 	p.events = reg.Events()
 	reg.GaugeFunc("cluster_peer_failures", "consecutive transport failures to the peer", func() float64 {
 		return float64(p.fails.Load())
@@ -443,7 +571,9 @@ func (p *peer) up() bool {
 	return du == 0 || p.now().UnixNano() >= du
 }
 
-func (p *peer) noteSuccess() {
+// noteSuccess resets the breaker and reports whether this success healed
+// a down peer — the edge on which staged hints are replayed.
+func (p *peer) noteSuccess() (healed bool) {
 	p.fails.Store(0)
 	// Swap detects the actual transition so concurrent successes emit
 	// one breaker_close, and steady-state successes emit none.
@@ -452,7 +582,9 @@ func (p *peer) noteSuccess() {
 	if prev != 0 {
 		p.state.Set(breakerClosed)
 		p.events.Record("breaker_close", obs.F("peer", p.addr))
+		return true
 	}
+	return false
 }
 
 func (p *peer) noteFailure() {

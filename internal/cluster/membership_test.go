@@ -1,0 +1,487 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"aggcache/internal/fsnet"
+)
+
+// TestMembershipUpdateSwapsRing: installing a smaller view reassigns the
+// removed node's paths to the survivors, atomically and on every node
+// that applies the update, while opens keep succeeding throughout.
+func TestMembershipUpdateSwapsRing(t *testing.T) {
+	tc := startCluster(t, 3, nil)
+
+	gone := tc.pathOwnedBy(t, 2, nil)
+	for i := 0; i < 2; i++ {
+		if err := tc.nodes[i].Update(2, tc.addrs[:2]); err != nil {
+			t.Fatalf("node %d update: %v", i, err)
+		}
+	}
+	for i := 0; i < 2; i++ {
+		st := tc.nodes[i].Stats()
+		if st.Epoch != 2 || st.Members != 2 {
+			t.Errorf("node %d epoch=%d members=%d, want 2/2", i, st.Epoch, st.Members)
+		}
+		owner := tc.nodes[i].Owner(gone)
+		if owner == tc.addrs[2] {
+			t.Errorf("node %d still maps %s to the removed peer", i, gone)
+		}
+		if owner != tc.nodes[0].Owner(gone) {
+			t.Errorf("survivors disagree on the new owner of %s", gone)
+		}
+	}
+
+	// The shrunk ring still serves every path correctly end to end.
+	client := tc.client(t, 0, fsnet.ClientConfig{CacheCapacity: 4})
+	for f := 0; f < testFiles; f++ {
+		path := fmt.Sprintf("/data/f%03d", f)
+		data, err := client.Open(path)
+		if err != nil {
+			t.Fatalf("open %s after shrink: %v", path, err)
+		}
+		if string(data) != testContent(path) {
+			t.Fatalf("open %s after shrink = %q", path, data)
+		}
+	}
+}
+
+// TestMembershipStaleEpochRejected: a view numbered at or below the
+// installed epoch must be refused, so a delayed or replayed update can
+// never roll the ring backwards.
+func TestMembershipStaleEpochRejected(t *testing.T) {
+	tc := startCluster(t, 2, nil)
+	n := tc.nodes[0]
+
+	if err := n.Update(5, tc.addrs); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Update(5, tc.addrs[:1]); !errors.Is(err, ErrStaleView) {
+		t.Errorf("equal epoch accepted: %v", err)
+	}
+	if err := n.Update(3, tc.addrs[:1]); !errors.Is(err, ErrStaleView) {
+		t.Errorf("older epoch accepted: %v", err)
+	}
+	if st := n.Stats(); st.Epoch != 5 || st.Members != 2 {
+		t.Errorf("stale update changed the view: epoch=%d members=%d", st.Epoch, st.Members)
+	}
+	if err := n.Update(6, nil); err == nil {
+		t.Error("empty membership accepted")
+	}
+}
+
+// TestMembershipRemovedPeerGC is the regression test for the leak where
+// a removed peer's breaker and mirror state lived forever: dropping a
+// peer from the view must delete its breaker entry and purge its mirror
+// groups, and re-adding it must start from a fresh, closed breaker.
+func TestMembershipRemovedPeerGC(t *testing.T) {
+	tc := startCluster(t, 3, func(i int, cfg *Config) {
+		cfg.FailureThreshold = 1
+		cfg.DownDuration = time.Hour
+		cfg.MirrorTTL = time.Hour
+	})
+	n := tc.nodes[0]
+	victim := tc.addrs[2]
+	path := tc.pathOwnedBy(t, 2, nil)
+
+	// Populate mirror state owned by the victim, then trip its breaker.
+	if _, handled, err := n.RouteOpen(path, nil); err != nil || !handled {
+		t.Fatalf("warm forward: handled=%v err=%v", handled, err)
+	}
+	if n.Stats().MirrorGroups == 0 {
+		t.Fatal("forward did not mirror the group")
+	}
+	tc.gates[victim].SetDown(true)
+	second := tc.pathOwnedBy(t, 2, map[string]bool{path: true})
+	// The failed forward degrades to the local replica (handled=false)
+	// and, with threshold 1, trips the victim's breaker.
+	if _, handled, err := n.RouteOpen(second, nil); err != nil || handled {
+		t.Fatalf("tripping open: handled=%v err=%v", handled, err)
+	}
+	st := n.Stats()
+	var found bool
+	for _, p := range st.Peers {
+		if p.Addr == victim {
+			found = true
+			if p.Failures == 0 && p.Trips == 0 {
+				t.Errorf("victim breaker untouched before removal: %+v", p)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("victim missing from stats before removal")
+	}
+
+	// Remove the victim: breaker entry and mirror groups must go with it.
+	if err := n.Update(2, tc.addrs[:2]); err != nil {
+		t.Fatal(err)
+	}
+	st = n.Stats()
+	for _, p := range st.Peers {
+		if p.Addr == victim {
+			t.Errorf("removed peer still in stats: %+v", p)
+		}
+	}
+	if st.MirrorGroups != 0 {
+		t.Errorf("removed peer left %d mirror groups behind", st.MirrorGroups)
+	}
+
+	// Re-add: the peer returns with a fresh closed breaker, not the
+	// tripped one it left with.
+	tc.gates[victim].SetDown(false)
+	if err := n.Update(3, tc.addrs); err != nil {
+		t.Fatal(err)
+	}
+	st = n.Stats()
+	found = false
+	for _, p := range st.Peers {
+		if p.Addr == victim {
+			found = true
+			if !p.Up || p.Failures != 0 || p.Trips != 0 {
+				t.Errorf("re-added peer inherited old breaker state: %+v", p)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("re-added peer missing from stats")
+	}
+	// And it forwards again immediately — no cooldown carried over.
+	if _, handled, err := n.RouteOpen(path, nil); err != nil || !handled {
+		t.Errorf("forward to re-added peer: handled=%v err=%v", handled, err)
+	}
+}
+
+// TestMembershipRejoinClearsDraining: a drained node that appears in a
+// later view containing itself is back in service and ready.
+func TestMembershipRejoinClearsDraining(t *testing.T) {
+	tc := startCluster(t, 2, nil)
+	n := tc.nodes[0]
+	if !n.Ready() {
+		t.Fatal("healthy joined node not ready")
+	}
+	if _, err := n.Drain(nil); err != nil {
+		t.Fatal(err)
+	}
+	if n.Ready() || !n.Draining() {
+		t.Fatal("drain did not flip readiness")
+	}
+	if _, err := n.Drain(nil); !errors.Is(err, ErrDraining) {
+		t.Errorf("second drain = %v, want ErrDraining", err)
+	}
+	if err := n.Update(2, tc.addrs); err != nil {
+		t.Fatal(err)
+	}
+	if !n.Ready() || n.Draining() {
+		t.Error("rejoin view did not clear draining")
+	}
+}
+
+func TestParsePeersFile(t *testing.T) {
+	epoch, peers, err := ParsePeersFile(strings.NewReader(
+		"# fleet roster\nepoch 7\n\n10.0.0.1:7070\n  10.0.0.2:7070  # rack b\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if epoch != 7 {
+		t.Errorf("epoch = %d, want 7", epoch)
+	}
+	if len(peers) != 2 || peers[0] != "10.0.0.1:7070" || peers[1] != "10.0.0.2:7070" {
+		t.Errorf("peers = %v", peers)
+	}
+
+	// No directive: epoch 0 means "caller picks one past installed".
+	epoch, peers, err = ParsePeersFile(strings.NewReader("10.0.0.1:7070\n"))
+	if err != nil || epoch != 0 || len(peers) != 1 {
+		t.Errorf("directive-less parse = %d, %v, %v", epoch, peers, err)
+	}
+
+	for name, in := range map[string]string{
+		"empty":           "",
+		"comments only":   "# nothing\n",
+		"zero epoch":      "epoch 0\n10.0.0.1:1\n",
+		"bad epoch":       "epoch x\n10.0.0.1:1\n",
+		"double epoch":    "epoch 1\nepoch 2\n10.0.0.1:1\n",
+		"embedded spaces": "10.0.0.1:1 10.0.0.2:1\n",
+	} {
+		if _, _, err := ParsePeersFile(strings.NewReader(in)); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
+func TestHintTableBounds(t *testing.T) {
+	h := newHintTable(3)
+	q, d := h.add("a", []string{"/1", "/2"})
+	if q != 2 || d != 0 {
+		t.Fatalf("add = %d queued, %d dropped", q, d)
+	}
+	// Overflow sheds oldest-first: /1 goes, /3 and /4 stay.
+	q, d = h.add("a", []string{"/3", "/4"})
+	if q != 2 || d != 1 {
+		t.Fatalf("overflow add = %d queued, %d dropped", q, d)
+	}
+	if got := h.depth(); got != 3 {
+		t.Fatalf("depth = %d, want 3", got)
+	}
+	paths := h.take("a")
+	if len(paths) != 3 || paths[0] != "/2" || paths[2] != "/4" {
+		t.Fatalf("take = %v", paths)
+	}
+	if h.depth() != 0 || h.take("a") != nil {
+		t.Error("take did not clear the queue")
+	}
+
+	// A batch larger than capacity keeps only the newest entries: all
+	// five were staged, two had to be shed immediately.
+	q, d = h.add("b", []string{"/1", "/2", "/3", "/4", "/5"})
+	if q != 5 || d != 2 {
+		t.Fatalf("oversize add = %d queued, %d dropped", q, d)
+	}
+	if paths := h.take("b"); paths[0] != "/3" || paths[2] != "/5" {
+		t.Fatalf("oversize take = %v", paths)
+	}
+
+	h.add("c", []string{"/x"})
+	h.drop("c")
+	if h.depth() != 0 {
+		t.Error("drop left entries behind")
+	}
+
+	// Disabled table is nil-safe everywhere.
+	var off *hintTable
+	if q, d := off.add("a", []string{"/1"}); q != 0 || d != 0 {
+		t.Error("nil table queued")
+	}
+	if off.take("a") != nil || off.depth() != 0 {
+		t.Error("nil table not empty")
+	}
+	off.drop("a")
+}
+
+// TestHintedHandoffReplay: while an owner is down past its breaker, the
+// forwarding node stages the accesses it could not deliver; when the
+// probe heals the peer, the queue replays so the owner's learned state
+// catches up on what it missed.
+func TestHintedHandoffReplay(t *testing.T) {
+	tc := startCluster(t, 2, func(i int, cfg *Config) {
+		cfg.MirrorCapacity = -1 // every open reaches the health gate
+		cfg.FailureThreshold = 1
+		cfg.DownDuration = time.Minute
+	})
+	n := tc.nodes[0]
+	victim := tc.addrs[1]
+	path := tc.pathOwnedBy(t, 1, nil)
+	second := tc.pathOwnedBy(t, 1, map[string]bool{path: true})
+
+	tc.gates[victim].SetDown(true)
+	// First open eats the forward failure and trips the breaker (threshold
+	// 1); it is served degraded from the local replica (handled=false).
+	if _, handled, err := n.RouteOpen(path, nil); err != nil || handled {
+		t.Fatalf("degraded open: handled=%v err=%v", handled, err)
+	}
+	// Subsequent opens short-circuit on the open breaker and stage hints,
+	// including the piggybacked access history they carried.
+	if _, _, err := n.RouteOpen(second, []string{path}); err != nil {
+		t.Fatal(err)
+	}
+	st := n.Stats()
+	if st.HintsQueued == 0 || st.HintDepth == 0 {
+		t.Fatalf("no hints staged while owner down: %+v", st)
+	}
+
+	// Heal and lapse the cooldown; the next open probes, succeeds, and
+	// kicks off the replay.
+	tc.gates[victim].SetDown(false)
+	tc.clk.Advance(2 * time.Minute)
+	if _, handled, err := n.RouteOpen(path, nil); err != nil || !handled {
+		t.Fatalf("probe open: handled=%v err=%v", handled, err)
+	}
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		st = n.Stats()
+		if st.HintsReplayed > 0 && st.HintDepth == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("hints never replayed: %+v", st)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if st.HintsDropped != 0 {
+		t.Errorf("healthy replay dropped %d hints", st.HintsDropped)
+	}
+}
+
+// TestHintQueueDropsOldestWhenFull: a dead owner with a tiny hint budget
+// sheds the oldest accesses and counts every drop.
+func TestHintQueueDropsOldestWhenFull(t *testing.T) {
+	tc := startCluster(t, 2, func(i int, cfg *Config) {
+		cfg.MirrorCapacity = -1
+		cfg.FailureThreshold = 1
+		cfg.DownDuration = time.Hour
+		cfg.HintCapacity = 2
+	})
+	n := tc.nodes[0]
+	tc.gates[tc.addrs[1]].SetDown(true)
+
+	var remote []string
+	skip := map[string]bool{}
+	for len(remote) < 4 {
+		p := tc.pathOwnedBy(t, 1, skip)
+		skip[p] = true
+		remote = append(remote, p)
+	}
+	for _, p := range remote {
+		if _, _, err := n.RouteOpen(p, nil); err != nil && !errors.Is(err, fsnet.ErrNotFound) {
+			t.Fatal(err)
+		}
+	}
+	st := n.Stats()
+	if st.HintDepth != 2 {
+		t.Errorf("hint depth = %d, want capacity 2", st.HintDepth)
+	}
+	if st.HintsDropped == 0 {
+		t.Error("overflow dropped nothing")
+	}
+	if st.HintsQueued < st.HintsDropped {
+		t.Errorf("queued %d < dropped %d", st.HintsQueued, st.HintsDropped)
+	}
+}
+
+// TestClusterChurnKillRejoinDrain is the elastic-membership acceptance
+// test: under a concurrent workload a node is killed, heals and rejoins,
+// and then a *different* node is removed from the ring and drained — all
+// without one client-visible error, with the drained node's group state
+// landing warm on the new owners, and with the routing counter equation
+// intact on every node afterwards. Runs under -race in `make churn`.
+func TestClusterChurnKillRejoinDrain(t *testing.T) {
+	tc := startCluster(t, 3, func(i int, cfg *Config) {
+		cfg.MirrorCapacity = -1 // keep every open on the routing/health path
+		cfg.FailureThreshold = 2
+		cfg.DownDuration = time.Minute
+		cfg.PeerTimeout = 2 * time.Second
+	})
+	const (
+		victim  = 2 // killed and healed mid-workload
+		drained = 1 // removed from the ring and drained at the end
+	)
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 2)
+	var warmed sync.WaitGroup
+	warmed.Add(2)
+	killed := make(chan struct{})
+	for i := 0; i < 2; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			client, err := fsnet.Dial(tc.addrs[i], fsnet.ClientConfig{CacheCapacity: 4})
+			if err != nil {
+				warmed.Done()
+				errs <- err
+				return
+			}
+			defer client.Close()
+			for round := 0; round < 4; round++ {
+				if round == 1 {
+					warmed.Done()
+					<-killed
+				}
+				for f := 0; f < testFiles; f++ {
+					path := fmt.Sprintf("/data/f%03d", (f+13*i)%testFiles)
+					data, err := client.Open(path)
+					if err != nil {
+						errs <- fmt.Errorf("node %d open %s: %w", i, path, err)
+						return
+					}
+					if string(data) != testContent(path) {
+						errs <- fmt.Errorf("node %d open %s = %q", i, path, data)
+						return
+					}
+				}
+			}
+			errs <- nil
+		}()
+	}
+
+	// Kill the victim while both workers are mid-round...
+	warmed.Wait()
+	tc.gates[tc.addrs[victim]].SetDown(true)
+	close(killed)
+	// ...give the survivors time to trip breakers and stage hints, then
+	// heal it and lapse the cooldown so probes readmit it.
+	time.Sleep(100 * time.Millisecond)
+	tc.gates[tc.addrs[victim]].SetDown(false)
+	tc.clk.Advance(2 * time.Minute)
+
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Rebalance: the survivors drop the drained node from their views and
+	// it streams its owned group state to the new owners.
+	rest := []string{tc.addrs[0], tc.addrs[victim]}
+	for _, i := range []int{0, victim} {
+		if err := tc.nodes[i].Update(2, rest); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rep, err := tc.nodes[drained].Drain(tc.servers[drained])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.GroupsExported == 0 {
+		t.Fatal("drained node had no learned group state to export")
+	}
+	if rep.GroupsFailed != 0 {
+		t.Errorf("drain failed %d groups against healthy receivers", rep.GroupsFailed)
+	}
+	// Acceptance bar: at least 95% of the exported state lands warm.
+	if 100*rep.GroupsSent < 95*rep.GroupsExported {
+		t.Errorf("drain delivered %d of %d groups, below the 95%% bar",
+			rep.GroupsSent, rep.GroupsExported)
+	}
+	received := tc.servers[0].Stats().Handoffs + tc.servers[victim].Stats().Handoffs
+	if received != uint64(rep.GroupsSent) {
+		t.Errorf("receivers installed %d handoff groups, drain sent %d", received, rep.GroupsSent)
+	}
+
+	// After the full kill/rejoin/drain cycle the per-node counter
+	// equation still holds: every remote open the server delegated is
+	// accounted for by exactly one routing outcome.
+	for i, n := range tc.nodes {
+		st := n.Stats()
+		answered := st.ForwardedOpens + st.MirrorHits + st.CoalescedForwards
+		if srv := tc.servers[i].Stats(); srv.RemoteOpens != answered {
+			t.Errorf("node %d: server RemoteOpens=%d != forwarded %d + mirror %d + coalesced %d",
+				i, srv.RemoteOpens, st.ForwardedOpens, st.MirrorHits, st.CoalescedForwards)
+		}
+	}
+	degraded := tc.nodes[0].Stats().DegradedOpens + tc.nodes[drained].Stats().DegradedOpens
+	if degraded == 0 {
+		t.Error("kill window produced no degraded opens; outage never landed")
+	}
+
+	// The shrunk ring still serves everything, warm state included.
+	client := tc.client(t, 0, fsnet.ClientConfig{CacheCapacity: 4})
+	for f := 0; f < testFiles; f++ {
+		path := fmt.Sprintf("/data/f%03d", f)
+		data, err := client.Open(path)
+		if err != nil {
+			t.Fatalf("open %s after rebalance: %v", path, err)
+		}
+		if string(data) != testContent(path) {
+			t.Fatalf("open %s after rebalance = %q", path, data)
+		}
+	}
+}

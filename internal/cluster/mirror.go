@@ -38,6 +38,11 @@ type mirror struct {
 type mirrorEntry struct {
 	files  []fsnet.GroupFile
 	stored time.Time
+	// owner is the peer the group was fetched from, so a membership
+	// change that removes the peer can purge its groups (the new owner
+	// may build the group differently; serving the departed peer's
+	// shape until TTL would hide the rebalance).
+	owner string
 }
 
 // newMirror returns a mirror with cfg-normalized knobs, or nil when the
@@ -108,12 +113,13 @@ func (m *mirror) get(path string) ([]fsnet.GroupFile, bool) {
 // put mirrors a freshly fetched group under all its member paths,
 // evicting least-recently-used groups beyond capacity. A member path
 // already indexed for another group is re-pointed here — newest group
-// wins, mirroring how the owner's own group evolves.
-func (m *mirror) put(files []fsnet.GroupFile) {
+// wins, mirroring how the owner's own group evolves. owner records the
+// peer the group came from, for purgeOwner.
+func (m *mirror) put(files []fsnet.GroupFile, owner string) {
 	if m == nil || len(files) == 0 {
 		return
 	}
-	ent := &mirrorEntry{files: files, stored: m.now()}
+	ent := &mirrorEntry{files: files, stored: m.now(), owner: owner}
 	el := m.order.PushFront(ent)
 	for _, f := range files {
 		if old, ok := m.entries[f.Path]; ok && old != el {
@@ -149,6 +155,21 @@ func (m *mirror) removeEntry(el *list.Element) {
 		}
 	}
 	m.order.Remove(el)
+}
+
+// purgeOwner drops every group fetched from owner — called when a
+// membership change removes the peer, so its groups don't outlive it.
+func (m *mirror) purgeOwner(owner string) {
+	if m == nil {
+		return
+	}
+	var el *list.Element
+	for e := m.order.Front(); e != nil; e = el {
+		el = e.Next()
+		if e.Value.(*mirrorEntry).owner == owner {
+			m.removeEntry(e)
+		}
+	}
 }
 
 // groups returns how many distinct groups are resident.

@@ -40,7 +40,7 @@ func mkGroup(paths ...string) []fsnet.GroupFile {
 func TestMirrorIndexesEveryMember(t *testing.T) {
 	clk := newTick()
 	m := newMirror(4, time.Minute, clk.Now)
-	m.put(mkGroup("/a", "/b", "/c"))
+	m.put(mkGroup("/a", "/b", "/c"), "peer")
 
 	// Anchor lookup returns the group as stored.
 	files, ok := m.get("/a")
@@ -69,7 +69,7 @@ func TestMirrorIndexesEveryMember(t *testing.T) {
 func TestMirrorTTLExpiry(t *testing.T) {
 	clk := newTick()
 	m := newMirror(4, time.Second, clk.Now)
-	m.put(mkGroup("/a", "/b"))
+	m.put(mkGroup("/a", "/b"), "peer")
 	if _, ok := m.get("/a"); !ok {
 		t.Fatal("fresh entry missed")
 	}
@@ -92,7 +92,7 @@ func TestMirrorTTLExpiry(t *testing.T) {
 func TestMirrorNeverExpires(t *testing.T) {
 	clk := newTick()
 	m := newMirror(4, -1, clk.Now)
-	m.put(mkGroup("/a"))
+	m.put(mkGroup("/a"), "peer")
 	clk.Advance(1000 * time.Hour)
 	if _, ok := m.get("/a"); !ok {
 		t.Error("negative TTL entry expired")
@@ -102,10 +102,10 @@ func TestMirrorNeverExpires(t *testing.T) {
 func TestMirrorLRUEviction(t *testing.T) {
 	clk := newTick()
 	m := newMirror(2, time.Minute, clk.Now)
-	m.put(mkGroup("/g1", "/g1.m"))
-	m.put(mkGroup("/g2"))
+	m.put(mkGroup("/g1", "/g1.m"), "peer")
+	m.put(mkGroup("/g2"), "peer")
 	m.get("/g1") // touch: g2 is now LRU
-	m.put(mkGroup("/g3"))
+	m.put(mkGroup("/g3"), "peer")
 	if _, ok := m.get("/g2"); ok {
 		t.Error("LRU group survived eviction")
 	}
@@ -123,8 +123,8 @@ func TestMirrorLRUEviction(t *testing.T) {
 func TestMirrorNewerGroupWinsSharedMember(t *testing.T) {
 	clk := newTick()
 	m := newMirror(4, time.Minute, clk.Now)
-	m.put(mkGroup("/a", "/shared"))
-	m.put(mkGroup("/b", "/shared"))
+	m.put(mkGroup("/a", "/shared"), "peer")
+	m.put(mkGroup("/b", "/shared"), "peer")
 	files, ok := m.get("/shared")
 	if !ok || files[1].Path != "/b" {
 		t.Fatalf("shared member resolves to %v, want /b's group", files)
@@ -138,8 +138,8 @@ func TestMirrorNewerGroupWinsSharedMember(t *testing.T) {
 func TestMirrorSingleMemberOverlapDropsOldGroup(t *testing.T) {
 	clk := newTick()
 	m := newMirror(4, time.Minute, clk.Now)
-	m.put(mkGroup("/solo"))
-	m.put(mkGroup("/other", "/solo"))
+	m.put(mkGroup("/solo"), "peer")
+	m.put(mkGroup("/other", "/solo"), "peer")
 	if m.groups() != 1 {
 		t.Errorf("groups = %d, want 1 (old single-member group unreachable)", m.groups())
 	}
@@ -154,7 +154,7 @@ func TestMirrorDisabledIsNilSafe(t *testing.T) {
 	if m != nil {
 		t.Fatal("capacity < 0 should disable the mirror")
 	}
-	m.put(mkGroup("/a"))
+	m.put(mkGroup("/a"), "peer")
 	if _, ok := m.get("/a"); ok {
 		t.Error("disabled mirror served a hit")
 	}
@@ -168,7 +168,7 @@ func TestMirrorManyGroups(t *testing.T) {
 	m := newMirror(8, time.Minute, clk.Now)
 	for i := 0; i < 32; i++ {
 		anchor := fmt.Sprintf("/g%02d", i)
-		m.put(mkGroup(anchor, anchor+".m1", anchor+".m2"))
+		m.put(mkGroup(anchor, anchor+".m1", anchor+".m2"), "peer")
 	}
 	if m.groups() != 8 {
 		t.Errorf("groups = %d, want capacity 8", m.groups())

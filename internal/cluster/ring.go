@@ -21,11 +21,12 @@ const defaultReplicas = 128
 // Ownership is a pure function of the member set: build order does not
 // matter (points sort by hash with owner name as the tie-break), so
 // every node of a cluster computes identical placement from the same
-// static peer list. That view agreement is what makes one forwarding
-// hop sufficient — an owner never re-forwards a path it owns.
+// peer list. That view agreement is what makes one forwarding hop
+// sufficient — an owner never re-forwards a path it owns.
 //
 // A Ring is not safe for concurrent mutation; the cluster tier builds
-// it once from the static peer list and only reads it afterwards.
+// one per membership view and only reads it once installed (views are
+// immutable — membership change builds a new ring, never edits one).
 type Ring struct {
 	replicas int
 	points   []ringPoint // sorted by (hash, owner)
@@ -115,6 +116,12 @@ func (r *Ring) Members() []string {
 
 // Len returns the number of members.
 func (r *Ring) Len() int { return len(r.members) }
+
+// Has reports whether name is a member.
+func (r *Ring) Has(name string) bool {
+	_, ok := r.members[name]
+	return ok
+}
 
 // FNV-1a, 64 bit, finished with the splitmix64 mixer. Inlined rather
 // than hash/fnv so the per-open Owner lookup allocates nothing; the

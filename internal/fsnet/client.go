@@ -452,6 +452,46 @@ func (c *Client) NoteAccess(paths ...string) {
 	}
 }
 
+// Handoff streams one drained group to the server: the anchor path plus
+// its learned members, which the server installs into its successor
+// metadata and stages into its cache — the graceful-drain transfer of
+// the cluster tier (a departing owner calls this once per owned group,
+// addressed to the group's next owner). Handoffs are idempotent
+// metadata installs, so transport failures are retried like opens.
+func (c *Client) Handoff(anchor string, members []string) error {
+	if anchor == "" || len(anchor) > maxPath {
+		return fmt.Errorf("fsnet: invalid path %q", anchor)
+	}
+	if len(members) == 0 || len(members) > maxGroup {
+		return fmt.Errorf("fsnet: handoff of %d members out of range [1,%d]", len(members), maxGroup)
+	}
+	for _, p := range members {
+		if p == "" || len(p) > maxPath {
+			return fmt.Errorf("fsnet: invalid path %q", p)
+		}
+	}
+	payload := encodeHandoffRequest(handoffRequest{Anchor: anchor, Members: members})
+	typ, body, err := c.roundTrip(msgHandoff, "", payload)
+	if err != nil {
+		return err
+	}
+	defer putFrameBuf(body)
+	switch typ {
+	case msgHandoffOK:
+		return nil
+	case msgError:
+		e, derr := decodeErrorResponse(body)
+		if derr != nil {
+			c.poisonCurrent()
+			return fmt.Errorf("%w: %v", ErrConnBroken, derr)
+		}
+		return fmt.Errorf("fsnet: server error %d: %s", e.Code, e.Message)
+	default:
+		c.poisonCurrent()
+		return fmt.Errorf("%w: unexpected reply type %d", ErrConnBroken, typ)
+	}
+}
+
 // Write stores a whole file on the server (write-through) and refreshes
 // the local cached copy if resident. Writes are not access events: the
 // grouping model tracks opens (§2.2), so a write does not perturb the

@@ -6,7 +6,7 @@ import (
 	"aggcache/internal/obs"
 )
 
-// serverMetrics is the server's instrumentation bundle. The eight
+// serverMetrics is the server's instrumentation bundle. The nine
 // counters exist unconditionally — standalone atomics when no registry
 // is configured, registry-owned series otherwise — so ServerStats reads
 // the same storage /metrics is scraped from and the two can never
@@ -21,6 +21,7 @@ type serverMetrics struct {
 	disconnects *obs.Counter
 	coalesced   *obs.Counter
 	remote      *obs.Counter
+	handoffs    *obs.Counter
 
 	// Per-phase open latency: a request is a cache hit, a store stage,
 	// or a router forward — the three serving paths of DESIGN.md §10/§11.
@@ -44,6 +45,7 @@ func newServerMetrics(reg *obs.Registry, slow time.Duration) serverMetrics {
 		m.disconnects = obs.NewCounter()
 		m.coalesced = obs.NewCounter()
 		m.remote = obs.NewCounter()
+		m.handoffs = obs.NewCounter()
 		return m
 	}
 	m.requests = reg.Counter("fsnet_server_requests_total", "open and write requests served, including errors")
@@ -54,6 +56,7 @@ func newServerMetrics(reg *obs.Registry, slow time.Duration) serverMetrics {
 	m.disconnects = reg.Counter("fsnet_server_disconnects_total", "connections terminated abnormally by I/O failures")
 	m.coalesced = reg.Counter("fsnet_server_coalesced_stages_total", "open requests that shared another request's in-flight store staging")
 	m.remote = reg.Counter("fsnet_server_remote_opens_total", "open requests answered by the configured router")
+	m.handoffs = reg.Counter("fsnet_server_handoff_groups_total", "drain handoff groups installed from departing peers")
 	const latName = "fsnet_server_request_latency_ns"
 	const latHelp = "open latency in nanoseconds by serving phase"
 	m.latHit = reg.Histogram(latName, latHelp, obs.L("phase", "hit"))

@@ -42,6 +42,13 @@ const (
 	// subsequent frame on the connection carries a request ID and replies
 	// may return out of order.
 	msgHelloOK
+	// msgHandoff is a peer->peer drain transfer: one group a departing
+	// cluster node owned — the anchor path plus its learned members in
+	// group order — for the receiver to install into its successor
+	// metadata and cache, so it serves the moved paths warm.
+	msgHandoff
+	// msgHandoffOK acknowledges a handoff install.
+	msgHandoffOK
 )
 
 // Protocol versions. Version 1 is the original lock-step protocol (no
@@ -108,6 +115,15 @@ type GroupFile struct {
 // groupResponse is the payload of msgGroup.
 type groupResponse struct {
 	Files []fileData
+}
+
+// HandoffGroup is one group being drained from a departing cluster node
+// to the peer that owns it next: the anchor path plus its learned
+// members in group order, metadata only — the stores are replicated, so
+// the bytes are already at the receiver.
+type HandoffGroup struct {
+	Anchor  string
+	Members []string
 }
 
 // errorResponse is the payload of msgError.
@@ -351,6 +367,56 @@ func decodeOpenRequest(payload []byte) (openRequest, error) {
 			return req, err
 		}
 		req.Accessed = append(req.Accessed, p)
+	}
+	if err := d.done(); err != nil {
+		return req, err
+	}
+	return req, nil
+}
+
+// handoffRequest is the payload of msgHandoff: one drained group's
+// anchor path plus learned members, successor order preserved.
+type handoffRequest struct {
+	Anchor  string
+	Members []string
+}
+
+func encodeHandoffRequest(req handoffRequest) []byte {
+	b := appendString(nil, req.Anchor)
+	b = appendUvarint(b, uint64(len(req.Members)))
+	for _, p := range req.Members {
+		b = appendString(b, p)
+	}
+	return b
+}
+
+func decodeHandoffRequest(payload []byte) (handoffRequest, error) {
+	d := decoder{buf: payload}
+	var req handoffRequest
+	var err error
+	if req.Anchor, err = d.str(maxPath); err != nil {
+		return req, err
+	}
+	if req.Anchor == "" {
+		return req, errors.New("fsnet: empty anchor path")
+	}
+	n, err := d.uvarint()
+	if err != nil {
+		return req, err
+	}
+	if n == 0 || n > maxGroup {
+		return req, fmt.Errorf("fsnet: handoff of %d members out of range", n)
+	}
+	req.Members = make([]string, 0, n)
+	for i := uint64(0); i < n; i++ {
+		p, err := d.str(maxPath)
+		if err != nil {
+			return req, err
+		}
+		if p == "" {
+			return req, errors.New("fsnet: empty handoff member path")
+		}
+		req.Members = append(req.Members, p)
 	}
 	if err := d.done(); err != nil {
 		return req, err

@@ -116,6 +116,10 @@ type ServerStats struct {
 	// RemoteOpens counts open requests answered by the configured Router
 	// (the cluster peer tier) rather than by the local cache and store.
 	RemoteOpens uint64
+	// Handoffs counts drain handoff groups installed from departing
+	// peers (each learns the group's successor chain and stages its
+	// anchor into the cache).
+	Handoffs uint64
 	// Cache is the server memory cache accounting (hits are requests
 	// served without staging from the store).
 	Cache core.Stats
@@ -325,6 +329,7 @@ func (s *Server) Stats() ServerStats {
 		Disconnects:     s.m.disconnects.Load(),
 		CoalescedStages: s.m.coalesced.Load(),
 		RemoteOpens:     s.m.remote.Load(),
+		Handoffs:        s.m.handoffs.Load(),
 		Cache:           cacheStats,
 	}
 	// Last, so its value bounds every per-outcome counter read above.
@@ -479,6 +484,20 @@ func (s *Server) serveV1(conn net.Conn, r *bufio.Reader, w *bufio.Writer, src ui
 				s.disconnect(conn, sendErr)
 				return
 			}
+		case msgHandoff:
+			req, err := decodeHandoffRequest(payload)
+			putFrameBuf(payload)
+			if err != nil {
+				s.armWrite(conn)
+				_ = s.replyV1(w, nil, errorResponse{Code: CodeBadRequest, Message: err.Error()})
+				return
+			}
+			s.handoff(req)
+			s.armWrite(conn)
+			if err := writeFrame(w, msgHandoffOK, nil); err != nil {
+				s.disconnect(conn, err)
+				return
+			}
 		default:
 			// The frame itself parsed, so the stream is intact; still,
 			// an unknown type means an incompatible peer. Reply with a
@@ -578,6 +597,15 @@ func (s *Server) serveRequestV2(rw *replyWriter, src uint64, typ uint8, id uint6
 			return
 		}
 		rw.send(id, msgWriteOK, nil)
+	case msgHandoff:
+		req, err := decodeHandoffRequest(payload)
+		putFrameBuf(payload)
+		if err != nil {
+			rw.sendError(id, errorResponse{Code: CodeBadRequest, Message: err.Error()})
+			return
+		}
+		s.handoff(req)
+		rw.send(id, msgHandoffOK, nil)
 	default:
 		putFrameBuf(payload)
 		rw.sendError(id, errorResponse{
@@ -622,6 +650,79 @@ func (s *Server) write(req writeRequest) errorResponse {
 		return errorResponse{Code: CodeBadRequest, Message: err.Error()}
 	}
 	return errorResponse{}
+}
+
+// handoff installs one drained group from a departing peer: the anchor
+// and its members are learned as a successor chain under a dedicated
+// source context (so the transfer can never interleave with a live
+// client stream's transitions), and the anchor is staged into the cache
+// — the receiver serves the moved paths warm from its first open.
+//
+// The chain is first-order: anchor→m1→m2→…, which the group builder
+// re-expands transitively, so a later BuildGroup(anchor) reproduces the
+// departed owner's group shape up to the configured group size.
+//
+// Accounting keeps the documented Stats contract: the handoff counts
+// one request, and the Serve below counts exactly one cache hit or
+// group fetch, so Requests >= Hits + GroupFetches + RemoteOpens holds
+// with equality at quiescence exactly as for opens.
+func (s *Server) handoff(req handoffRequest) {
+	s.m.requests.Add(1)
+	anchorID := s.ids.Intern(req.Anchor)
+	memberIDs := make([]trace.FileID, 0, len(req.Members))
+	for _, p := range req.Members {
+		memberIDs = append(memberIDs, s.ids.Intern(p))
+	}
+	s.connMu.Lock()
+	s.nextSrc++
+	src := s.nextSrc
+	s.connMu.Unlock()
+
+	s.aggMu.Lock()
+	s.agg.LearnFrom(src, anchorID)
+	for _, mid := range memberIDs {
+		s.agg.LearnFrom(src, mid)
+	}
+	s.agg.Serve(anchorID)
+	// The transfer source is one-shot; drop its stream cursor so the id
+	// space stays bounded by live connections.
+	s.agg.Tracker().ForgetSource(src)
+	s.aggMu.Unlock()
+	s.m.handoffs.Add(1)
+}
+
+// ExportGroups snapshots the groups this server would serve right now
+// for every interned path accepted by owned — each as its anchor plus
+// learned members — skipping single-file groups (nothing learned to
+// move). The cluster tier's Drain feeds each to the path's next owner
+// via Client.Handoff. Pass nil to export every group.
+func (s *Server) ExportGroups(owned func(path string) bool) []HandoffGroup {
+	n := s.ids.Len()
+	var out []HandoffGroup
+	for i := 0; i < n; i++ {
+		id := trace.FileID(i)
+		path := s.ids.Path(id)
+		if path == "" || (owned != nil && !owned(path)) {
+			continue
+		}
+		s.aggMu.Lock()
+		g := s.agg.BuildGroup(id)
+		s.aggMu.Unlock()
+		if len(g) <= 1 {
+			continue
+		}
+		members := make([]string, 0, len(g)-1)
+		for _, gid := range g[1:] {
+			if p := s.ids.Path(gid); p != "" {
+				members = append(members, p)
+			}
+		}
+		if len(members) == 0 {
+			continue
+		}
+		out = append(out, HandoffGroup{Anchor: path, Members: members})
+	}
+	return out
 }
 
 // open runs one request through the metadata and the server cache and
