@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race race-par cluster churn bench bench-json loadtest metrics-smoke rolling-smoke profile chaos experiments examples fuzz clean
+.PHONY: all build vet test race race-par cluster churn bench bench-json bench-gate loadtest metrics-smoke rolling-smoke profile chaos experiments examples fuzz clean
 
 all: build vet test
 
@@ -53,11 +53,18 @@ bench-json:
 	  $(GO) test -run '^$$' -bench 'BenchmarkClientSweep|BenchmarkServerSweep' -benchmem -benchtime 2x ./internal/simulate/ ; \
 	  $(GO) test -run '^$$' -bench 'BenchmarkOpenLoopback$$|BenchmarkOpenLoopbackSerial|BenchmarkOpenPipelined' -benchmem ./internal/fsnet/ ; \
 	  $(GO) run ./cmd/aggbench -conns 8 -workers 8 -opens 4000 -rtt 2ms -gobench ; \
+	  $(GO) run ./cmd/aggbench -conns 8 -workers 8 -opens 4000 -rtt 2ms -proto 2 -gobench ; \
 	  $(GO) run ./cmd/aggbench -conns 8 -workers 8 -opens 4000 -rtt 2ms -serial -gobench ; \
 	  $(GO) run ./cmd/aggbench -cluster 1 -conns 9 -workers 4 -opens 4000 -gobench ; \
 	  $(GO) run ./cmd/aggbench -cluster 3 -conns 9 -workers 4 -opens 4000 -gobench ; } \
 	| $(GO) run ./cmd/benchjson > BENCH_BASELINE.json
 	@echo wrote BENCH_BASELINE.json
+
+# Allocation-regression gate: re-run the fsnet hot-path benches and fail
+# if allocs/op regressed >20% against the committed BENCH_BASELINE.json
+# (ns/op is reported but not gated; see scripts/bench_gate.sh).
+bench-gate:
+	sh ./scripts/bench_gate.sh
 
 # Load-generator comparison: the pipelined serving path vs the lock-step
 # baseline over a simulated 2ms-RTT network, 8 connections x 8 goroutines.

@@ -10,7 +10,11 @@
 // aggserve to load an external server instead. -serial caps the clients
 // at protocol version 1, turning every connection into the lock-step
 // request/reply baseline — the pipelined/serial ratio is the headline
-// speedup of the concurrent serving path (DESIGN.md §10).
+// speedup of the concurrent serving path (DESIGN.md §10). -proto pins any
+// version explicitly (2 pins the assembled-group pipelined protocol, so
+// v3's streamed-group delivery diffs against it directly); runs over
+// version 3 additionally report time-to-first-byte percentiles, the
+// latency until the demanded member's first chunk lands.
 //
 // -metrics wires an internal/obs registry into the clients and reports
 // its series alongside the usual summary; the benchmark name gains an
@@ -46,6 +50,8 @@ import (
 	"fmt"
 	"net"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -65,55 +71,256 @@ import (
 // pipelined batch once per frame instead of once per flight). Throughput
 // is unconstrained; only latency is injected, so the measurement isolates
 // what request pipelining is supposed to hide.
+//
+// Release timing is owned by a single process-wide wheel goroutine (see
+// delayWheel) rather than per-connection sleeps: time.Sleep rounds up
+// to the kernel timer tick (~1.1ms on this hardware), which both
+// inflates the injected delay by up to a tick and synchronizes every
+// in-flight flight onto the same tick — the wakeup burst then
+// serializes on the single CPU and bills queueing delay to the protocol
+// under test.
 type delayConn struct {
 	net.Conn
-	d   time.Duration
-	out chan delayChunk // app -> wire, released by the write pump when due
-	in  chan delayChunk // wire -> app, matured in Read
+	dOut time.Duration   // propagation charged on the write path
+	dIn  time.Duration   // propagation charged on the read path
+	out  chan delayChunk // wheel -> write pump, already due
+	in   chan delayChunk // wheel -> Read, already due
 
-	mu      sync.Mutex
-	pending []byte // matured but unconsumed read bytes
-	readErr error
-	werr    atomic.Value // first write-pump error
+	mu         sync.Mutex
+	pending    []byte  // matured but unconsumed read bytes
+	pendingBox *[]byte // pooled backing array behind pending
+	readErr    error
+	werr       atomic.Value // first write-pump error
 }
 
 type delayChunk struct {
 	data []byte
-	due  time.Time
+	box  *[]byte // pooled backing array, recycled once data is consumed
 	err  error
 }
 
-func newDelayConn(conn net.Conn, d time.Duration) *delayConn {
+// delayBufPool recycles chunk backing arrays. The pumps move tens of
+// thousands of chunks per second; allocating each one fresh made the
+// harness itself the biggest source of GC work in the profile, which
+// was billed to the client under measurement.
+var delayBufPool = sync.Pool{New: func() any {
+	b := make([]byte, 128<<10)
+	return &b
+}}
+
+func getDelayBuf(n int) ([]byte, *[]byte) {
+	bp := delayBufPool.Get().(*[]byte)
+	if cap(*bp) < n {
+		*bp = make([]byte, n)
+	}
+	return (*bp)[:n], bp
+}
+
+// delayRelease is one scheduled hand-off: at due (nanoseconds on the
+// wheel's monotonic clock), chunk c is forwarded to ch (a delayConn's
+// out or in channel). seq breaks due ties so same-connection chunks
+// keep FIFO order through the heap.
+type delayRelease struct {
+	due int64
+	seq uint64
+	ch  chan delayChunk
+	c   delayChunk
+}
+
+// delayWheel releases every delayConn's chunks at their due times from
+// one goroutine. A min-heap orders releases; the loop sleeps through
+// the bulk of the wait and yields through the final kernel tick
+// (time.Sleep rounds up to the ~1.1ms tick on this hardware, which
+// would both inflate the injected delay by up to half an RTT and
+// synchronize every in-flight reply onto the same tick — the wakeup
+// burst then serializes on the CPU and bills queueing delay to the
+// protocol under test). Centralizing the wait means exactly one
+// spinner exists no matter how many connections carry delay, and the
+// spin reads only the clock and an atomic — the heap lock is taken
+// just to push and pop.
+type delayWheel struct {
+	epoch time.Time
+	head  atomic.Int64 // earliest due, or noDue when the heap is empty
+	mu    sync.Mutex
+	h     []delayRelease
+	seq   uint64
+	wake  chan struct{}
+}
+
+const noDue = int64(1) << 62
+
+var (
+	wheelOnce sync.Once
+	wheel     *delayWheel
+)
+
+func sharedWheel() *delayWheel {
+	wheelOnce.Do(func() {
+		wheel = &delayWheel{epoch: time.Now(), wake: make(chan struct{}, 1)}
+		wheel.head.Store(noDue)
+		go wheel.loop()
+	})
+	return wheel
+}
+
+// now is the wheel's monotonic clock: nanoseconds since the wheel
+// started.
+func (w *delayWheel) now() int64 {
+	return int64(time.Since(w.epoch))
+}
+
+func (w *delayWheel) add(delay time.Duration, ch chan delayChunk, c delayChunk) {
+	due := w.now() + int64(delay)
+	w.mu.Lock()
+	w.seq++
+	w.h = append(w.h, delayRelease{due: due, seq: w.seq, ch: ch, c: c})
+	w.up(len(w.h) - 1)
+	first := w.h[0].seq == w.seq
+	if first {
+		w.head.Store(due)
+	}
+	w.mu.Unlock()
+	if first {
+		select {
+		case w.wake <- struct{}{}:
+		default:
+		}
+	}
+}
+
+func (w *delayWheel) less(i, j int) bool {
+	if w.h[i].due != w.h[j].due {
+		return w.h[i].due < w.h[j].due
+	}
+	return w.h[i].seq < w.h[j].seq
+}
+
+func (w *delayWheel) up(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if !w.less(i, p) {
+			break
+		}
+		w.h[i], w.h[p] = w.h[p], w.h[i]
+		i = p
+	}
+}
+
+func (w *delayWheel) down(i int) {
+	for {
+		l, r, m := 2*i+1, 2*i+2, i
+		if l < len(w.h) && w.less(l, m) {
+			m = l
+		}
+		if r < len(w.h) && w.less(r, m) {
+			m = r
+		}
+		if m == i {
+			return
+		}
+		w.h[i], w.h[m] = w.h[m], w.h[i]
+		i = m
+	}
+}
+
+func (w *delayWheel) loop() {
+	// Empirical kernel timer granularity: time.Sleep(d) completes at
+	// roughly d rounded up to the next ~1.1ms tick. Sleep only the
+	// portion guaranteed not to overshoot; yield through the rest. One
+	// yield per clock read keeps releases prompt even when the run
+	// queue is deep — every Gosched may run another goroutine's full
+	// slice, so batching yields would stall releases.
+	const tick = 1150 * time.Microsecond
+	var scratch []delayRelease
+	for {
+		head := w.head.Load()
+		if head == noDue {
+			<-w.wake
+			continue
+		}
+		d := head - w.now()
+		if d > int64(tick) {
+			t := time.NewTimer(time.Duration(d) - tick)
+			select {
+			case <-w.wake:
+				t.Stop()
+			case <-t.C:
+			}
+			continue
+		}
+		if d > 0 {
+			runtime.Gosched()
+			continue
+		}
+		now := w.now()
+		w.mu.Lock()
+		scratch = scratch[:0]
+		for len(w.h) > 0 && w.h[0].due <= now {
+			scratch = append(scratch, w.h[0])
+			last := len(w.h) - 1
+			w.h[0] = w.h[last]
+			w.h[last] = delayRelease{}
+			w.h = w.h[:last]
+			w.down(0)
+		}
+		if len(w.h) > 0 {
+			w.head.Store(w.h[0].due)
+		} else {
+			w.head.Store(noDue)
+		}
+		w.mu.Unlock()
+		for i := range scratch {
+			scratch[i].ch <- scratch[i].c
+			scratch[i] = delayRelease{}
+		}
+	}
+}
+
+func newDelayConn(conn net.Conn, dOut, dIn time.Duration) *delayConn {
 	dc := &delayConn{
 		Conn: conn,
-		d:    d,
+		dOut: dOut,
+		dIn:  dIn,
 		out:  make(chan delayChunk, 1024),
 		in:   make(chan delayChunk, 1024),
 	}
-	go dc.writePump()
+	if dOut > 0 {
+		go dc.writePump()
+	}
 	go dc.readPump()
 	return dc
 }
 
 func (dc *delayConn) writePump() {
 	for c := range dc.out {
-		time.Sleep(time.Until(c.due))
-		if _, err := dc.Conn.Write(c.data); err != nil {
+		var err error
+		if dc.werr.Load() == nil {
+			_, err = dc.Conn.Write(c.data)
+		}
+		if c.box != nil {
+			delayBufPool.Put(c.box)
+		}
+		if err != nil {
+			// Keep draining so the wheel never blocks on a dead
+			// connection's channel; Write reports the error.
 			dc.werr.Store(err)
-			return
 		}
 	}
 }
 
 func (dc *delayConn) readPump() {
+	w := sharedWheel()
 	for {
-		buf := make([]byte, 32<<10)
+		buf, box := getDelayBuf(128 << 10)
 		n, err := dc.Conn.Read(buf)
-		c := delayChunk{due: time.Now().Add(dc.d), err: err}
+		c := delayChunk{err: err}
 		if n > 0 {
 			c.data = buf[:n]
+			c.box = box
+		} else {
+			delayBufPool.Put(box)
 		}
-		dc.in <- c
+		w.add(dc.dIn, dc.in, c)
 		if err != nil {
 			return
 		}
@@ -121,12 +328,15 @@ func (dc *delayConn) readPump() {
 }
 
 func (dc *delayConn) Write(p []byte) (int, error) {
+	if dc.dOut <= 0 {
+		return dc.Conn.Write(p)
+	}
 	if err, ok := dc.werr.Load().(error); ok {
 		return 0, err
 	}
-	cp := make([]byte, len(p))
+	cp, box := getDelayBuf(len(p))
 	copy(cp, p)
-	dc.out <- delayChunk{data: cp, due: time.Now().Add(dc.d)}
+	sharedWheel().add(dc.dOut, dc.out, delayChunk{data: cp, box: box})
 	return len(p), nil
 }
 
@@ -138,12 +348,16 @@ func (dc *delayConn) Read(p []byte) (int, error) {
 			return 0, dc.readErr
 		}
 		c := <-dc.in
-		time.Sleep(time.Until(c.due))
 		dc.pending = c.data
+		dc.pendingBox = c.box
 		dc.readErr = c.err
 	}
 	n := copy(p, dc.pending)
 	dc.pending = dc.pending[n:]
+	if len(dc.pending) == 0 && dc.pendingBox != nil {
+		delayBufPool.Put(dc.pendingBox)
+		dc.pendingBox = nil
+	}
 	return n, nil
 }
 
@@ -166,12 +380,15 @@ type config struct {
 	opens       int
 	seed        int64
 	rtt         time.Duration
+	proto       int
 	serial      bool
 	cluster     int
 	churn       bool
 	metrics     bool
 	jsonOut     bool
 	gobench     bool
+	cpuProf     string
+	memProf     string
 }
 
 func parseFlags(args []string) (config, error) {
@@ -188,17 +405,29 @@ func parseFlags(args []string) (config, error) {
 	fs.IntVar(&cfg.opens, "opens", 20000, "opens per connection")
 	fs.Int64Var(&cfg.seed, "seed", 1, "workload seed")
 	fs.DurationVar(&cfg.rtt, "rtt", 0, "simulated network round-trip time (half is injected before each client read and write syscall); zero measures raw loopback")
-	fs.BoolVar(&cfg.serial, "serial", false, "cap clients at protocol version 1 (lock-step baseline)")
+	fs.IntVar(&cfg.proto, "proto", 0, "cap clients at this protocol version: 1 lock-step, 2 pipelined, 3 streamed groups; 0 negotiates the latest")
+	fs.BoolVar(&cfg.serial, "serial", false, "cap clients at protocol version 1 (lock-step baseline; shorthand for -proto 1)")
 	fs.IntVar(&cfg.cluster, "cluster", 0, "run an in-process consistent-hash cluster of N nodes with replicated stores, connections spread round-robin (0 = plain single server)")
 	fs.BoolVar(&cfg.churn, "churn", false, "mid-run membership churn: at 40%% progress the last node drains out of the ring, at 70%% it rejoins; measures elastic membership under load (requires -cluster >= 2)")
 	fs.BoolVar(&cfg.metrics, "metrics", false, "wire an obs registry into the clients and report its series; the benchmark name gains an Obs suffix so instrumented and bare runs diff separately")
 	fs.BoolVar(&cfg.jsonOut, "json", false, "emit machine-readable JSON (benchjson-compatible schema)")
 	fs.BoolVar(&cfg.gobench, "gobench", false, "emit one `go test -bench`-style result line (pipes into cmd/benchjson)")
+	fs.StringVar(&cfg.cpuProf, "cpuprofile", "", "write a CPU profile of the load run to this file")
+	fs.StringVar(&cfg.memProf, "memprofile", "", "write an allocation profile of the load run to this file")
 	if err := fs.Parse(args); err != nil {
 		return cfg, err
 	}
 	if cfg.conns < 1 || cfg.workers < 1 || cfg.opens < 1 {
 		return cfg, fmt.Errorf("conns, workers, and opens must all be positive")
+	}
+	if cfg.proto < 0 || cfg.proto > 3 {
+		return cfg, fmt.Errorf("-proto must be 0..3, got %d", cfg.proto)
+	}
+	if cfg.serial && cfg.proto > 1 {
+		return cfg, fmt.Errorf("-serial means protocol 1; it conflicts with -proto %d", cfg.proto)
+	}
+	if cfg.serial {
+		cfg.proto = 1
 	}
 	if cfg.cluster < 0 {
 		return cfg, fmt.Errorf("-cluster must be >= 0, got %d", cfg.cluster)
@@ -206,8 +435,8 @@ func parseFlags(args []string) (config, error) {
 	if cfg.cluster > 0 && cfg.addr != "" {
 		return cfg, fmt.Errorf("-cluster runs in-process nodes; it cannot target an external -addr")
 	}
-	if cfg.cluster > 0 && cfg.serial {
-		return cfg, fmt.Errorf("-cluster requires the pipelined protocol; drop -serial")
+	if cfg.cluster > 0 && cfg.proto == 1 {
+		return cfg, fmt.Errorf("-cluster requires the pipelined protocol; drop -serial/-proto 1")
 	}
 	if cfg.churn && cfg.cluster < 2 {
 		return cfg, fmt.Errorf("-churn needs a ring to leave and rejoin; use -cluster 2 or more")
@@ -225,8 +454,9 @@ type result struct {
 	errors    uint64
 	elapsed   time.Duration
 	hist      *obs.Histogram
-	reg       *obs.Registry     // client-side registry; nil unless -metrics
-	client    fsnet.ClientStats // summed over all connections
+	reg       *obs.Registry         // client-side registry; nil unless -metrics
+	client    fsnet.ClientStats     // summed over all connections
+	ttfb      obs.HistogramSnapshot // time-to-first-byte, merged over all connections
 	hitRate   float64
 	protoName string
 	clus      clusterSummary // zero when not clustered
@@ -449,9 +679,7 @@ func runLoad(cfg config) (*result, error) {
 		MaxRetries:    3,
 		Seed:          cfg.seed,
 		Obs:           reg,
-	}
-	if cfg.serial {
-		clientCfg.MaxProtocol = 1
+		MaxProtocol:   cfg.proto,
 	}
 	if cfg.addr != "" {
 		// External server: provision the working set over the wire
@@ -469,18 +697,21 @@ func runLoad(cfg config) (*result, error) {
 		target := targets[i%len(targets)]
 		ccfg := clientCfg
 		if cfg.rtt > 0 {
-			// Simulated WAN: half the round trip of propagation delay in
-			// each direction. A lock-step exchange pays the full RTT per
-			// open; a pipelined flight of k requests shares one — which is
-			// exactly the latency-hiding the concurrent serving path
-			// exists for.
-			d := cfg.rtt / 2
+			// Simulated WAN: the full round trip of propagation delay,
+			// charged once on the reply path. A request/response exchange
+			// only ever observes the round-trip sum, and one release
+			// horizon suffers the kernel timer-tick quantization once
+			// instead of once per direction. A lock-step exchange pays
+			// the full RTT per open; a pipelined flight of k requests
+			// shares one — which is exactly the latency-hiding the
+			// concurrent serving path exists for.
+			d := cfg.rtt
 			ccfg.Dialer = func() (net.Conn, error) {
 				conn, err := net.Dial("tcp", target)
 				if err != nil {
 					return nil, err
 				}
-				return newDelayConn(conn, d), nil
+				return newDelayConn(conn, 0, d), nil
 			}
 		}
 		c, err := fsnet.Dial(target, ccfg)
@@ -499,8 +730,11 @@ func runLoad(cfg config) (*result, error) {
 	}()
 
 	res := &result{cfg: cfg, hist: obs.NewHistogram(), reg: reg, protoName: "pipelined"}
-	if cfg.serial {
+	switch cfg.proto {
+	case 1:
 		res.protoName = "serial"
+	case 2:
+		res.protoName = "pipelined-v2"
 	}
 	var opens, errCount atomic.Uint64
 
@@ -559,18 +793,20 @@ func runLoad(cfg config) (*result, error) {
 			wg.Add(1)
 			go func(c *fsnet.Client) {
 				defer wg.Done()
+				var buf []byte // per-worker reuse buffer: one alloc per max file size
 				for {
 					n := cursor.Add(1) - 1
 					if n >= int64(len(seq)) {
 						return
 					}
 					t0 := time.Now()
-					_, err := c.Open(seq[n])
+					out, err := c.OpenInto(seq[n], buf)
 					res.hist.ObserveDuration(time.Since(t0))
 					if err != nil {
 						errCount.Add(1)
 						continue
 					}
+					buf = out
 					opens.Add(1)
 				}
 			}(c)
@@ -583,6 +819,15 @@ func runLoad(cfg config) (*result, error) {
 	res.opens = opens.Load()
 	res.errors = errCount.Load()
 	for _, c := range clients {
+		// Per-member time-to-first-byte: on a streamed (v3) connection the
+		// clock stops at the first member chunk, so the gap between ttfb
+		// and whole-open latency is the streaming win.
+		ts := c.TTFB()
+		for i, n := range ts.Buckets {
+			res.ttfb.Buckets[i] += n
+		}
+		res.ttfb.Count += ts.Count
+		res.ttfb.Sum += ts.Sum
 		st := c.Stats()
 		res.client.Opens += st.Opens
 		res.client.Hits += st.Hits
@@ -626,6 +871,11 @@ func (r *result) writeText(out *os.File) {
 		r.throughput(), r.opens, r.elapsed.Round(time.Millisecond), r.errors)
 	fmt.Fprintf(out, "  latency:    p50 %v  p95 %v  p99 %v\n",
 		r.pct(50), r.pct(95), r.pct(99))
+	if r.ttfb.Count > 0 {
+		fmt.Fprintf(out, "  ttfb:       p50 %v  p95 %v  p99 %v (%d fetches)\n",
+			time.Duration(r.ttfb.Percentile(50)), time.Duration(r.ttfb.Percentile(95)),
+			time.Duration(r.ttfb.Percentile(99)), r.ttfb.Count)
+	}
 	fmt.Fprintf(out, "  client:     hit-rate %.3f  fetches %d  files-received %d  prefetch-hits %d\n",
 		r.hitRate, r.client.Fetches, r.client.FilesReceived, r.client.PrefetchHits)
 	if r.client.Retries+r.client.BrokenConns > 0 {
@@ -663,8 +913,10 @@ func (r *result) benchName() string {
 		name = fmt.Sprintf("AggbenchOpenClusterChurn%d", r.cfg.cluster)
 	case r.cfg.cluster > 0:
 		name = fmt.Sprintf("AggbenchOpenCluster%d", r.cfg.cluster)
-	case r.cfg.serial:
+	case r.cfg.serial || r.cfg.proto == 1:
 		name = "AggbenchOpenSerial"
+	case r.cfg.proto == 2:
+		name = "AggbenchOpenPipelinedV2"
 	}
 	if r.cfg.metrics {
 		name += "Obs"
@@ -706,6 +958,10 @@ func (r *result) writeGobench(out *os.File) {
 	fmt.Fprintf(out, "Benchmark%s-%d\t%8d\t%.1f ns/op\t%.0f opens/s\t%d p95_ns\t%d p99_ns\t%.3f hit_rate",
 		r.benchName(), r.cfg.conns*r.cfg.workers, r.opens, nsPerOp, r.throughput(),
 		r.pct(95).Nanoseconds(), r.pct(99).Nanoseconds(), r.hitRate)
+	if r.ttfb.Count > 0 {
+		fmt.Fprintf(out, "\t%d ttfb_p50_ns\t%d ttfb_p95_ns",
+			r.ttfb.Percentile(50), r.ttfb.Percentile(95))
+	}
 	if om := r.obsMetrics(); om != nil {
 		fmt.Fprintf(out, "\t%.0f obs_call_p95_ns\t%.0f obs_reconnects",
 			om["fsnet_client_call_latency_ns_p95"], om["fsnet_client_reconnects_total"])
@@ -732,8 +988,15 @@ func (r *result) writeJSON(out *os.File) error {
 				"fetches":  float64(r.client.Fetches),
 				"conns":    float64(r.cfg.conns),
 				"workers":  float64(r.cfg.workers),
+				"proto":    float64(r.cfg.proto),
 			},
 		}},
+	}
+	if r.ttfb.Count > 0 {
+		m := set.Benchmarks[0].Metrics
+		m["ttfb_p50_ns"] = float64(r.ttfb.Percentile(50))
+		m["ttfb_p95_ns"] = float64(r.ttfb.Percentile(95))
+		m["ttfb_p99_ns"] = float64(r.ttfb.Percentile(99))
 	}
 	if r.clus.nodes > 0 {
 		m := set.Benchmarks[0].Metrics
@@ -763,9 +1026,34 @@ func run(args []string, out *os.File) error {
 	if err != nil {
 		return err
 	}
+	if cfg.cpuProf != "" {
+		f, err := os.Create(cfg.cpuProf)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
 	res, err := runLoad(cfg)
 	if err != nil {
 		return err
+	}
+	if cfg.memProf != "" {
+		f, ferr := os.Create(cfg.memProf)
+		if ferr != nil {
+			return ferr
+		}
+		runtime.GC()
+		if werr := pprof.Lookup("allocs").WriteTo(f, 0); werr != nil {
+			_ = f.Close()
+			return werr
+		}
+		if cerr := f.Close(); cerr != nil {
+			return cerr
+		}
 	}
 	if res.errors > res.opens/10 {
 		return fmt.Errorf("%d of %d opens failed; load run not representative", res.errors, res.errors+res.opens)

@@ -456,6 +456,14 @@ func (c *AggregatingCache) BuildGroup(id trace.FileID) []trace.FileID {
 	return c.builder.Build(id)
 }
 
+// AppendBuildGroup is BuildGroup into caller-owned storage: the group is
+// appended to dst and the extended slice returned, so the server's open
+// hot path reuses one scratch slice per request instead of allocating a
+// group per miss.
+func (c *AggregatingCache) AppendBuildGroup(dst []trace.FileID, id trace.FileID) []trace.FileID {
+	return c.builder.AppendBuild(dst, id)
+}
+
 // SaveMetadata persists the successor metadata (the paper keeps the
 // server's relationship information non-volatile; §5). Cache contents and
 // statistics are deliberately not saved — they are cheap to rebuild.

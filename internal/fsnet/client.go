@@ -7,6 +7,7 @@ import (
 	"math/rand"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"aggcache/internal/cache"
@@ -195,15 +196,37 @@ type Client struct {
 
 	mu         sync.Mutex
 	conn       *clientConn // v1 or not-yet-negotiated connection; nil while disconnected
-	mux        *muxConn    // v2 pipelined transport; nil while disconnected
-	proto      int         // 0 until negotiated, then protocolV1 or protocolV2
+	mux        *muxConn    // pipelined (v2/v3) transport; nil while disconnected
+	proto      int         // 0 until negotiated, then protocolV1..protocolV3
 	ids        *trace.Interner
 	lru        *cache.LRU
 	data       [][]byte // file contents, indexed by interned FileID
 	prefetched []bool   // arrived as non-demanded group member, indexed by FileID
 	pending    []string // access history awaiting piggybacking
-	stats      ClientStats
-	closed     bool
+	// pendingFree is the storage of the last successfully delivered
+	// claim, handed back so the backlog regrows without reallocating
+	// after every sweep.
+	pendingFree []string
+	gidScratch  []trace.FileID
+	// freeData recycles the backing arrays of evicted cache entries so
+	// a steady churn of installs stops allocating once the working set
+	// is warm. Entries are exclusively cache-owned (Open/OpenGroup hand
+	// out copies), so an evicted backing can be reused immediately.
+	freeData [][]byte
+	stats    ClientStats
+	closed   bool
+
+	// pendingN mirrors len(pending) so claimPending can skip the lock
+	// when there is nothing to claim — the common case once a batch's
+	// first open has swept the backlog.
+	pendingN atomic.Int64
+
+	// Scrap storage recycled across mux connections: the in-flight call
+	// map and the poison orphan scratch of a cut connection seed the next
+	// one, so a flaky link does not reallocate them per cut.
+	scrapMu      sync.Mutex
+	scrapCalls   map[uint64]*muxCall
+	scrapOrphans []*muxCall
 
 	connMu sync.Mutex // serializes dial + handshake
 	reqMu  sync.Mutex // serializes lock-step (v1) round trips
@@ -251,12 +274,15 @@ func NewClient(conn net.Conn, cfg ClientConfig) (*Client, error) {
 		rng: rand.New(rand.NewSource(seed)),
 	}
 	if conn != nil {
-		c.conn = &clientConn{conn: conn, r: bufio.NewReader(conn), w: bufio.NewWriter(conn)}
+		c.conn = &clientConn{conn: conn, r: bufio.NewReaderSize(conn, connBufSize), w: bufio.NewWriterSize(conn, connBufSize)}
 	}
 	if cfg.maxProto() == protocolV1 {
 		c.proto = protocolV1 // no handshake: pure legacy lock-step
 	}
 	lru.OnEvict(func(id trace.FileID) {
+		if d := c.data[id]; cap(d) > 0 && len(c.freeData) < 256 {
+			c.freeData = append(c.freeData, d[:0])
+		}
 		c.data[id] = nil
 		c.prefetched[id] = false
 	})
@@ -313,7 +339,8 @@ func (c *Client) Connected() bool {
 }
 
 // ProtocolVersion returns the negotiated protocol version: 0 before the
-// first handshake, then 1 (lock-step) or 2 (pipelined).
+// first handshake, then 1 (lock-step), 2 (pipelined), or 3 (pipelined
+// with streamed group replies).
 func (c *Client) ProtocolVersion() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -335,6 +362,15 @@ func (c *Client) ensureDense(id trace.FileID) {
 // otherwise via a group fetch from the server. Cache hits never touch the
 // network, so they keep succeeding while the server is unreachable.
 func (c *Client) Open(path string) ([]byte, error) {
+	return c.OpenInto(path, nil)
+}
+
+// OpenInto is Open with a caller-supplied destination buffer: the result
+// is appended to buf[:0] and the (possibly regrown) slice returned. A
+// caller that reuses the same buffer across opens amortizes the per-open
+// copy allocation away entirely once the buffer has grown to the largest
+// file it sees. Passing nil behaves exactly like Open.
+func (c *Client) OpenInto(path string, buf []byte) ([]byte, error) {
 	if path == "" || len(path) > maxPath {
 		return nil, fmt.Errorf("fsnet: invalid path %q", path)
 	}
@@ -346,7 +382,7 @@ func (c *Client) Open(path string) ([]byte, error) {
 	id := c.ids.Intern(path)
 	c.ensureDense(id)
 	if !c.cfg.DisablePiggyback && len(c.pending) < maxStatPaths {
-		c.pending = append(c.pending, path)
+		c.appendPending(path)
 	}
 	if c.lru.Contains(id) {
 		c.stats.Opens++
@@ -360,8 +396,7 @@ func (c *Client) Open(path string) ([]byte, error) {
 			c.prefetched[id] = false
 		}
 		c.lru.Touch(id)
-		out := make([]byte, len(c.data[id]))
-		copy(out, c.data[id])
+		out := append(buf[:0], c.data[id]...)
 		c.mu.Unlock()
 		if degraded {
 			c.m.degradedHits.Inc()
@@ -371,18 +406,24 @@ func (c *Client) Open(path string) ([]byte, error) {
 	}
 	c.mu.Unlock()
 
-	resp, err := c.fetch(path)
+	resp, g, err := c.fetch(path)
 	if err != nil {
 		return nil, err
 	}
 
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	c.stats.Opens++
 	c.stats.Fetches++
-	c.install(id, resp)
-	out := make([]byte, len(c.data[id]))
-	copy(out, c.data[id])
+	if g != nil {
+		c.installViews(id, g)
+	} else {
+		c.install(id, resp)
+	}
+	out := append(buf[:0], c.data[id]...)
+	c.mu.Unlock()
+	if g != nil {
+		g.recycle()
+	}
 	return out, nil
 }
 
@@ -405,19 +446,32 @@ func (c *Client) OpenGroup(path string) ([]GroupFile, error) {
 	id := c.ids.Intern(path)
 	c.ensureDense(id)
 	if !c.cfg.DisablePiggyback && len(c.pending) < maxStatPaths {
-		c.pending = append(c.pending, path)
+		c.appendPending(path)
 	}
 	c.mu.Unlock()
 
-	resp, err := c.fetch(path)
+	resp, g, err := c.fetch(path)
 	if err != nil {
 		return nil, err
 	}
 
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	c.stats.Opens++
 	c.stats.Fetches++
+	if g != nil {
+		ids := c.installViews(id, g)
+		out := make([]GroupFile, len(ids))
+		for i, mid := range ids {
+			data := make([]byte, len(g.datas[i]))
+			copy(data, g.datas[i])
+			// The interner owns the path string, so no per-member
+			// allocation here.
+			out[i] = GroupFile{Path: c.ids.Path(mid), Data: data}
+		}
+		c.mu.Unlock()
+		g.recycle()
+		return out, nil
+	}
 	c.install(id, resp)
 	out := make([]GroupFile, len(resp.Files))
 	for i, f := range resp.Files {
@@ -427,6 +481,7 @@ func (c *Client) OpenGroup(path string) ([]GroupFile, error) {
 		copy(data, f.Data)
 		out[i] = GroupFile{Path: f.Path, Data: data}
 	}
+	c.mu.Unlock()
 	return out, nil
 }
 
@@ -448,7 +503,7 @@ func (c *Client) NoteAccess(paths ...string) {
 		if len(c.pending) >= maxStatPaths {
 			return
 		}
-		c.pending = append(c.pending, p)
+		c.appendPending(p)
 	}
 }
 
@@ -471,7 +526,7 @@ func (c *Client) Handoff(anchor string, members []string) error {
 		}
 	}
 	payload := encodeHandoffRequest(handoffRequest{Anchor: anchor, Members: members})
-	typ, body, err := c.roundTrip(msgHandoff, "", payload)
+	typ, body, _, err := c.roundTrip(msgHandoff, "", payload)
 	if err != nil {
 		return err
 	}
@@ -505,7 +560,7 @@ func (c *Client) Write(path string, data []byte) error {
 		return fmt.Errorf("fsnet: file of %d bytes exceeds limit %d", len(data), maxFileSize)
 	}
 	payload := encodeWriteRequest(writeRequest{Path: path, Data: data})
-	typ, body, err := c.roundTrip(msgWrite, "", payload)
+	typ, body, _, err := c.roundTrip(msgWrite, "", payload)
 	if err != nil {
 		return err
 	}
@@ -535,43 +590,107 @@ func (c *Client) Write(path string, data []byte) error {
 	}
 }
 
+// chunkGroup is a decoded streamed group reply: the pooled chunk buffers
+// plus per-member path/data views into them. The views stay valid until
+// recycle hands the buffers back to the frame pool.
+type chunkGroup struct {
+	bufs  [][]byte
+	paths [][]byte
+	datas [][]byte
+}
+
+var chunkGroupPool = sync.Pool{New: func() interface{} { return new(chunkGroup) }}
+
+// recycle returns the chunk buffers to the frame pool and the container
+// to its own; the views must not be used afterwards.
+func (g *chunkGroup) recycle() {
+	for i, b := range g.bufs {
+		putFrameBuf(b)
+		g.bufs[i] = nil
+	}
+	for i := range g.paths {
+		g.paths[i], g.datas[i] = nil, nil
+	}
+	g.bufs = nil
+	g.paths, g.datas = g.paths[:0], g.datas[:0]
+	chunkGroupPool.Put(g)
+}
+
+// decodeChunks validates a streamed reply's chunks and wraps them in a
+// chunkGroup. On error the chunk buffers are recycled before returning.
+func decodeChunks(chunks [][]byte, path string) (*chunkGroup, error) {
+	g := chunkGroupPool.Get().(*chunkGroup)
+	g.bufs = chunks
+	for _, buf := range chunks {
+		p, d, err := memberChunkView(buf)
+		if err != nil {
+			g.recycle()
+			return nil, err
+		}
+		g.paths = append(g.paths, p)
+		g.datas = append(g.datas, d)
+	}
+	if len(g.paths) == 0 {
+		g.recycle()
+		return nil, errors.New("empty streamed group")
+	}
+	if string(g.paths[0]) != path {
+		first := string(g.paths[0])
+		g.recycle()
+		return nil, fmt.Errorf("reply leads with %q, want %q", first, path)
+	}
+	return g, nil
+}
+
 // fetch performs one open round trip, retrying per the config. The
-// piggybacked history is claimed when the request is enqueued and
+// piggybacked history is claimed when the request is written and
 // restored if the server demonstrably never processed it (any reply frame
 // consumes it): a failed round trip retains the history so the access
 // transitions are re-sent — and the server still learns them — on the
 // next successful request (§3 metadata quality).
-func (c *Client) fetch(path string) (groupResponse, error) {
-	typ, body, err := c.roundTrip(msgOpen, path, nil)
+//
+// The reply is either a contiguous group (the returned groupResponse) or,
+// on a version-3 connection, a streamed one (the returned chunkGroup,
+// which the caller recycles after installing).
+func (c *Client) fetch(path string) (groupResponse, *chunkGroup, error) {
+	typ, body, chunks, err := c.roundTrip(msgOpen, path, nil)
 	if err != nil {
-		return groupResponse{}, err
+		return groupResponse{}, nil, err
 	}
 	defer putFrameBuf(body)
 	switch typ {
 	case msgGroup:
+		if chunks != nil {
+			g, derr := decodeChunks(chunks, path)
+			if derr != nil {
+				c.poisonCurrent()
+				return groupResponse{}, nil, fmt.Errorf("%w: %v", ErrConnBroken, derr)
+			}
+			return groupResponse{}, g, nil
+		}
 		resp, derr := decodeGroupResponse(body)
 		if derr != nil {
 			c.poisonCurrent()
-			return groupResponse{}, fmt.Errorf("%w: %v", ErrConnBroken, derr)
+			return groupResponse{}, nil, fmt.Errorf("%w: %v", ErrConnBroken, derr)
 		}
 		if resp.Files[0].Path != path {
 			c.poisonCurrent()
-			return groupResponse{}, fmt.Errorf("%w: reply leads with %q, want %q", ErrConnBroken, resp.Files[0].Path, path)
+			return groupResponse{}, nil, fmt.Errorf("%w: reply leads with %q, want %q", ErrConnBroken, resp.Files[0].Path, path)
 		}
-		return resp, nil
+		return resp, nil, nil
 	case msgError:
 		e, derr := decodeErrorResponse(body)
 		if derr != nil {
 			c.poisonCurrent()
-			return groupResponse{}, fmt.Errorf("%w: %v", ErrConnBroken, derr)
+			return groupResponse{}, nil, fmt.Errorf("%w: %v", ErrConnBroken, derr)
 		}
 		if e.Code == CodeNotFound {
-			return groupResponse{}, fmt.Errorf("%w: %s", ErrNotFound, e.Message)
+			return groupResponse{}, nil, fmt.Errorf("%w: %s", ErrNotFound, e.Message)
 		}
-		return groupResponse{}, fmt.Errorf("fsnet: server error %d: %s", e.Code, e.Message)
+		return groupResponse{}, nil, fmt.Errorf("fsnet: server error %d: %s", e.Code, e.Message)
 	default:
 		c.poisonCurrent()
-		return groupResponse{}, fmt.Errorf("%w: unexpected reply type %d", ErrConnBroken, typ)
+		return groupResponse{}, nil, fmt.Errorf("%w: unexpected reply type %d", ErrConnBroken, typ)
 	}
 }
 
@@ -582,13 +701,21 @@ func (c *Client) fetch(path string) (groupResponse, error) {
 // oldest overflow — and the slice to hand to restorePending should the
 // attempt fail before the server saw it.
 func (c *Client) claimPending(path string) (accessed, claimed []string) {
+	// Lock-free fast path: once a flush's first open has swept the
+	// backlog, the rest of the batch claims nothing and skips the lock. A
+	// concurrent append racing past this check simply rides the next
+	// request, which is the contract anyway.
+	if c.cfg.DisablePiggyback || c.pendingN.Load() == 0 {
+		return nil, nil
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if c.cfg.DisablePiggyback || len(c.pending) == 0 {
+	if len(c.pending) == 0 {
 		return nil, nil
 	}
 	claimed = c.pending
 	c.pending = nil
+	c.pendingN.Store(0)
 	accessed = claimed
 	if n := len(accessed); accessed[n-1] == path {
 		accessed = accessed[:n-1]
@@ -604,6 +731,34 @@ func (c *Client) claimPending(path string) (accessed, claimed []string) {
 	return accessed, claimed
 }
 
+// appendPending adds one path to the piggyback backlog, reviving the
+// recycled claim storage when the backlog is empty. Called with mu held.
+func (c *Client) appendPending(path string) {
+	if c.pending == nil && c.pendingFree != nil {
+		c.pending = c.pendingFree
+		c.pendingFree = nil
+	}
+	c.pending = append(c.pending, path)
+	c.pendingN.Add(1)
+}
+
+// freePending recycles a claimed history the server has consumed: its
+// storage backs the next backlog. String refs are dropped so the recycled
+// array does not pin old paths.
+func (c *Client) freePending(claimed []string) {
+	if cap(claimed) == 0 {
+		return
+	}
+	for i := range claimed {
+		claimed[i] = ""
+	}
+	c.mu.Lock()
+	if cap(claimed) > cap(c.pendingFree) {
+		c.pendingFree = claimed[:0]
+	}
+	c.mu.Unlock()
+}
+
 // restorePending prepends a claimed history that the server never saw, so
 // it rides along with the next successful request. Entries appended by
 // opens that ran during the failed round trip are newer and stay behind
@@ -614,6 +769,7 @@ func (c *Client) restorePending(claimed []string) {
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.pendingN.Add(int64(len(claimed)))
 	if len(c.pending) == 0 {
 		c.pending = claimed
 		return
@@ -636,9 +792,10 @@ func (c *Client) backoffDelay(attempt int) time.Duration {
 // Transport failures poison the connection and are retried with backoff
 // up to cfg.MaxRetries; a msgError carrying CodeBusy (the server's
 // MaxConns rejection) is retried the same way. Application errors are
-// returned to the caller undisturbed. The returned payload aliases a
-// pooled buffer; the caller recycles it with putFrameBuf after decoding.
-func (c *Client) roundTrip(reqType uint8, path string, payload []byte) (uint8, []byte, error) {
+// returned to the caller undisturbed. The returned payload — or, for a
+// streamed group reply, each returned chunk — aliases a pooled buffer;
+// the caller recycles them with putFrameBuf after decoding.
+func (c *Client) roundTrip(reqType uint8, path string, payload []byte) (uint8, []byte, [][]byte, error) {
 	if c.m.inflight != nil {
 		c.m.inflight.Add(1)
 		start := time.Now()
@@ -658,23 +815,24 @@ func (c *Client) roundTrip(reqType uint8, path string, payload []byte) (uint8, [
 			}
 			c.mu.Unlock()
 			if closed {
-				return 0, nil, errClientClosed
+				return 0, nil, nil, errClientClosed
 			}
 			c.m.retries.Inc()
 		}
 		m, cc, err := c.transport()
 		if err != nil {
 			if errors.Is(err, errClientClosed) || attempt >= c.cfg.MaxRetries {
-				return 0, nil, err
+				return 0, nil, nil, err
 			}
 			lastErr = err
 			continue
 		}
 		var typ uint8
 		var body []byte
+		var chunks [][]byte
 		var claimed []string
 		if m != nil {
-			typ, body, claimed, err = c.callMux(m, reqType, path, payload)
+			typ, body, chunks, claimed, err = c.callMux(m, reqType, path, payload)
 		} else {
 			typ, body, claimed, err = c.callV1(cc, reqType, path, payload)
 		}
@@ -682,7 +840,7 @@ func (c *Client) roundTrip(reqType uint8, path string, payload []byte) (uint8, [
 			// The poisoning path already restored any claimed history.
 			lastErr = err
 			if errors.Is(err, errClientClosed) || attempt >= c.cfg.MaxRetries {
-				return 0, nil, lastErr
+				return 0, nil, nil, lastErr
 			}
 			continue
 		}
@@ -701,20 +859,23 @@ func (c *Client) roundTrip(reqType uint8, path string, payload []byte) (uint8, [
 				}
 				lastErr = busy
 				if attempt >= c.cfg.MaxRetries {
-					return 0, nil, lastErr
+					return 0, nil, nil, lastErr
 				}
 				continue
 			}
 		}
-		return typ, body, nil
+		// Any non-busy reply means the server consumed the piggybacked
+		// history; its storage can back the next backlog.
+		c.freePending(claimed)
+		return typ, body, chunks, nil
 	}
 }
 
 // callMux performs one pipelined call over the multiplexed transport.
-func (c *Client) callMux(m *muxConn, reqType uint8, path string, payload []byte) (uint8, []byte, []string, error) {
+func (c *Client) callMux(m *muxConn, reqType uint8, path string, payload []byte) (uint8, []byte, [][]byte, []string, error) {
 	call, err := m.enqueue(reqType, path, payload)
 	if err != nil {
-		return 0, nil, nil, err
+		return 0, nil, nil, nil, err
 	}
 	var res muxResult
 	if c.cfg.Timeout > 0 {
@@ -731,10 +892,14 @@ func (c *Client) callMux(m *muxConn, reqType uint8, path string, payload []byte)
 	} else {
 		res = <-call.done
 	}
+	// Exactly one result is ever delivered, so the call is free for reuse
+	// once its fields of interest are copied out.
+	claimed := call.claimed
+	putMuxCall(call)
 	if res.err != nil {
-		return 0, nil, nil, res.err
+		return 0, nil, nil, nil, res.err
 	}
-	return res.typ, res.payload, call.claimed, nil
+	return res.typ, res.payload, res.chunks, claimed, nil
 }
 
 // callV1 performs one lock-step round trip over the legacy transport.
@@ -743,10 +908,14 @@ func (c *Client) callV1(cc *clientConn, reqType uint8, path string, payload []by
 	c.reqMu.Lock()
 	defer c.reqMu.Unlock()
 	var claimed []string
+	var start time.Time
 	if reqType == msgOpen {
+		start = time.Now()
 		var accessed []string
 		accessed, claimed = c.claimPending(path)
-		payload = encodeOpenRequest(openRequest{Path: path, Accessed: accessed})
+		enc := appendOpenRequest(getEncodeBuf(), path, accessed)
+		defer putFrameBuf(enc)
+		payload = enc
 	}
 	if c.cfg.Timeout > 0 {
 		_ = cc.conn.SetDeadline(time.Now().Add(c.cfg.Timeout))
@@ -764,6 +933,10 @@ func (c *Client) callV1(cc *clientConn, reqType uint8, path string, payload []by
 	}
 	if c.cfg.Timeout > 0 {
 		_ = cc.conn.SetDeadline(time.Time{})
+	}
+	if !start.IsZero() {
+		// Lock-step replies arrive whole, so first byte ≈ whole reply.
+		c.m.ttfb.ObserveDuration(time.Since(start))
 	}
 	return typ, body, claimed, nil
 }
@@ -800,7 +973,7 @@ func (c *Client) transport() (*muxConn, *clientConn, error) {
 			if err != nil {
 				return nil, nil, fmt.Errorf("%w: redial: %v", ErrConnBroken, err)
 			}
-			cc = &clientConn{conn: raw, r: bufio.NewReader(raw), w: bufio.NewWriter(raw)}
+			cc = &clientConn{conn: raw, r: bufio.NewReaderSize(raw, connBufSize), w: bufio.NewWriterSize(raw, connBufSize)}
 			c.mu.Lock()
 			if c.closed {
 				c.mu.Unlock()
@@ -817,7 +990,7 @@ func (c *Client) transport() (*muxConn, *clientConn, error) {
 		ver, err := c.handshake(cc)
 		switch {
 		case err == nil && ver >= protocolV2:
-			m, err := c.installMux(cc, countRedial)
+			m, err := c.installMux(cc, countRedial, ver)
 			return m, nil, err
 		case err == nil:
 			// The server negotiated version 1 explicitly; the same
@@ -879,7 +1052,7 @@ func (c *Client) handshake(cc *clientConn) (int, error) {
 		_ = cc.conn.SetDeadline(time.Now().Add(c.cfg.Timeout))
 		defer cc.conn.SetDeadline(time.Time{})
 	}
-	if err := writeFrame(cc.w, msgHello, encodeHello(c.cfg.maxProto())); err != nil {
+	if err := writeHello(cc.w, msgHello, c.cfg.maxProto()); err != nil {
 		return 0, fmt.Errorf("%w: handshake: %v", ErrConnBroken, err)
 	}
 	typ, payload, err := readFrame(cc.r)
@@ -942,9 +1115,9 @@ func (c *Client) noteReconnect(conn net.Conn) {
 	c.m.events.Record("reconnect", obs.F("addr", addr))
 }
 
-// installMux publishes a pipelined connection and starts its goroutines.
-// Called with connMu held.
-func (c *Client) installMux(cc *clientConn, countRedial bool) (*muxConn, error) {
+// installMux publishes a pipelined connection (negotiated version ver,
+// which is 2 or 3) and starts its goroutines. Called with connMu held.
+func (c *Client) installMux(cc *clientConn, countRedial bool, ver int) (*muxConn, error) {
 	m := newMuxConn(c, cc)
 	c.mu.Lock()
 	if c.closed {
@@ -952,7 +1125,7 @@ func (c *Client) installMux(cc *clientConn, countRedial bool) (*muxConn, error) 
 		_ = cc.conn.Close()
 		return nil, errClientClosed
 	}
-	c.proto = protocolV2
+	c.proto = ver
 	if c.conn == cc {
 		c.conn = nil // the candidate graduates from the v1 slot to the mux
 	}
@@ -1029,6 +1202,109 @@ func (c *Client) poisonCurrent() {
 	if cc != nil {
 		c.poison(cc)
 	}
+}
+
+// takeCallScrap hands out the recycled in-flight map for a new mux
+// connection, or a fresh one.
+func (c *Client) takeCallScrap() map[uint64]*muxCall {
+	c.scrapMu.Lock()
+	calls := c.scrapCalls
+	c.scrapCalls = nil
+	c.scrapMu.Unlock()
+	if calls == nil {
+		calls = make(map[uint64]*muxCall)
+	}
+	return calls
+}
+
+// takeOrphanScrap hands out the recycled poison orphan scratch (possibly
+// nil; append grows it).
+func (c *Client) takeOrphanScrap() []*muxCall {
+	c.scrapMu.Lock()
+	s := c.scrapOrphans
+	c.scrapOrphans = nil
+	c.scrapMu.Unlock()
+	return s
+}
+
+// storeScrap stashes a poisoned connection's cleared call map and orphan
+// scratch for the replacement connection.
+func (c *Client) storeScrap(calls map[uint64]*muxCall, orphans []*muxCall) {
+	clear(calls)
+	c.scrapMu.Lock()
+	if c.scrapCalls == nil {
+		c.scrapCalls = calls
+	}
+	if cap(orphans) > cap(c.scrapOrphans) {
+		c.scrapOrphans = orphans
+	}
+	c.scrapMu.Unlock()
+}
+
+// TTFB returns a snapshot of the fetch time-to-first-byte histogram:
+// enqueue until the first reply frame of the request (the first member
+// chunk of a streamed reply, the whole group otherwise). Recorded for
+// every fetch regardless of whether an obs registry is configured.
+func (c *Client) TTFB() obs.HistogramSnapshot {
+	return c.m.ttfb.Snapshot()
+}
+
+// setData copies src into id's cache slot, reusing the slot's existing
+// backing or a recycled one from the eviction free list before falling
+// back to the allocator. Called with mu held.
+func (c *Client) setData(id trace.FileID, src []byte) {
+	buf := c.data[id]
+	if buf == nil && len(c.freeData) > 0 {
+		buf = c.freeData[len(c.freeData)-1]
+		c.freeData = c.freeData[:len(c.freeData)-1]
+	}
+	c.data[id] = append(buf[:0], src...)
+}
+
+// installViews applies the aggregating-cache placement for a streamed
+// group, interning member paths straight from the chunk views (no string
+// materialization for already-known paths) and copying each member's
+// contents once, into the cache's own buffer. Returns the member IDs,
+// valid until mu is released. Called with mu held.
+func (c *Client) installViews(id trace.FileID, g *chunkGroup) []trace.FileID {
+	ids := c.gidScratch[:0]
+	for i := range g.paths {
+		mid := c.ids.InternBytes(g.paths[i])
+		c.ensureDense(mid)
+		ids = append(ids, mid)
+		c.stats.FilesReceived++
+		c.stats.BytesReceived += uint64(len(g.datas[i]))
+	}
+	c.gidScratch = ids
+
+	for c.lru.Len() >= c.cfg.CacheCapacity {
+		if _, ok := c.lru.EvictVictimExceptIDs(ids); ok {
+			continue
+		}
+		if _, ok := c.lru.EvictVictim(); !ok {
+			break
+		}
+	}
+	c.lru.InsertHead(id)
+	c.setData(id, g.datas[0])
+	c.prefetched[id] = false
+
+	for i := 1; i < len(ids); i++ {
+		mid := ids[i]
+		if c.lru.Contains(mid) {
+			c.setData(mid, g.datas[i]) // refresh contents
+			continue
+		}
+		if c.lru.Len() >= c.cfg.CacheCapacity {
+			if _, ok := c.lru.EvictVictimExceptIDs(ids); !ok {
+				break
+			}
+		}
+		c.lru.InsertTail(mid)
+		c.setData(mid, g.datas[i])
+		c.prefetched[mid] = true
+	}
+	return ids
 }
 
 // install applies the aggregating-cache placement: demanded file at the

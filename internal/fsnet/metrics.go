@@ -22,6 +22,7 @@ type serverMetrics struct {
 	coalesced   *obs.Counter
 	remote      *obs.Counter
 	handoffs    *obs.Counter
+	streamed    *obs.Counter
 
 	// Per-phase open latency: a request is a cache hit, a store stage,
 	// or a router forward — the three serving paths of DESIGN.md §10/§11.
@@ -46,6 +47,7 @@ func newServerMetrics(reg *obs.Registry, slow time.Duration) serverMetrics {
 		m.coalesced = obs.NewCounter()
 		m.remote = obs.NewCounter()
 		m.handoffs = obs.NewCounter()
+		m.streamed = obs.NewCounter()
 		return m
 	}
 	m.requests = reg.Counter("fsnet_server_requests_total", "open and write requests served, including errors")
@@ -57,6 +59,7 @@ func newServerMetrics(reg *obs.Registry, slow time.Duration) serverMetrics {
 	m.coalesced = reg.Counter("fsnet_server_coalesced_stages_total", "open requests that shared another request's in-flight store staging")
 	m.remote = reg.Counter("fsnet_server_remote_opens_total", "open requests answered by the configured router")
 	m.handoffs = reg.Counter("fsnet_server_handoff_groups_total", "drain handoff groups installed from departing peers")
+	m.streamed = reg.Counter("fsnet_server_streamed_groups_total", "group replies delivered as version-3 member streams")
 	const latName = "fsnet_server_request_latency_ns"
 	const latHelp = "open latency in nanoseconds by serving phase"
 	m.latHit = reg.Histogram(latName, latHelp, obs.L("phase", "hit"))
@@ -100,12 +103,19 @@ type clientMetrics struct {
 	inflight     *obs.Gauge
 	callLat      *obs.Histogram
 	events       *obs.EventLog
+
+	// ttfb records fetch time-to-first-byte: enqueue until the first
+	// reply frame of the request arrives (the first member chunk on a
+	// streamed reply, the whole group otherwise). Unlike the rest of the
+	// bundle it always exists — one atomic add per fetch — so load
+	// generators can report streaming latency without wiring a registry.
+	ttfb *obs.Histogram
 }
 
-// newClientMetrics wires the bundle; everything stays nil when reg is.
+// newClientMetrics wires the bundle; all but ttfb stay nil when reg is.
 func newClientMetrics(reg *obs.Registry) clientMetrics {
 	if reg == nil {
-		return clientMetrics{}
+		return clientMetrics{ttfb: obs.NewHistogram()}
 	}
 	return clientMetrics{
 		reconnects:   reg.Counter("fsnet_client_reconnects_total", "successful redials after a broken connection"),
@@ -114,6 +124,7 @@ func newClientMetrics(reg *obs.Registry) clientMetrics {
 		degradedHits: reg.Counter("fsnet_client_degraded_hits_total", "cache hits served with no live connection"),
 		inflight:     reg.Gauge("fsnet_client_inflight", "round trips currently on the wire"),
 		callLat:      reg.Histogram("fsnet_client_call_latency_ns", "round-trip latency in nanoseconds, retries included"),
+		ttfb:         reg.Histogram("fsnet_client_ttfb_ns", "fetch time to first reply byte in nanoseconds"),
 		events:       reg.Events(),
 	}
 }

@@ -6,19 +6,23 @@ import (
 	"net"
 	"sort"
 	"sync"
+	"time"
 )
 
-// muxConn is the version-2 client transport: one TCP connection shared by
-// any number of goroutines, with pipelined requests and out-of-order
-// replies matched by request ID.
+// muxConn is the pipelined client transport (protocol version >= 2): one
+// TCP connection shared by any number of goroutines, with pipelined
+// requests and out-of-order replies matched by request ID.
 //
-// A writer goroutine drains a queue of encoded calls and flushes them in
-// batches (many frames, one syscall); a reader goroutine decodes reply
-// frames and delivers each to its call's completion channel. Any transport
-// or protocol error poisons the whole connection: every in-flight call
-// fails fast with ErrConnBroken, claimed piggyback history is restored to
-// the client in call order, and the connection is closed and never reused
-// — exactly the poisoning contract the lock-step path established.
+// A writer goroutine drains a queue of calls and flushes them in batches
+// (many frames, one syscall); a reader goroutine decodes reply frames and
+// delivers each to its call's completion channel. On a version-3
+// connection a group reply arrives as a stream of msgMemberChunk frames
+// closed by msgGroupEnd; the reader accumulates the chunks and delivers
+// the completed group. Any transport or protocol error poisons the whole
+// connection: every in-flight call fails fast with ErrConnBroken, claimed
+// piggyback history is restored to the client in call order, and the
+// connection is closed and never reused — exactly the poisoning contract
+// the lock-step path established.
 type muxConn struct {
 	c    *Client
 	conn net.Conn
@@ -29,6 +33,7 @@ type muxConn struct {
 	nextID uint64
 	calls  map[uint64]*muxCall // in flight: queued or written, awaiting reply
 	queue  []*muxCall          // awaiting the writer goroutine
+	freeQ  []*muxCall          // recycled queue storage for the next batch
 	broken bool
 	err    error // first error, set when broken
 
@@ -37,22 +42,53 @@ type muxConn struct {
 
 // muxCall is one pipelined request.
 type muxCall struct {
-	id      uint64
-	typ     uint8
+	id  uint64
+	typ uint8
+	// path is the demanded path of a msgOpen; the writer goroutine claims
+	// the piggyback history and encodes the payload at write time, so one
+	// flush's worth of opens shares a single claim instead of claiming
+	// per call.
+	path    string
 	payload []byte
 	// claimed is the piggyback history this call took from the client's
-	// pending list at enqueue; it is restored if the connection dies
-	// before the server demonstrably processed the call.
+	// pending list when the writer encoded it; it is restored if the
+	// connection dies before the server demonstrably processed the call.
+	// Calls poisoned before they were written have no claim — their
+	// history simply stayed on the pending list.
 	claimed []string
+	// start is the enqueue time of a msgOpen, for time-to-first-byte.
+	start time.Time
+	// chunks accumulates the member-chunk payloads of a streamed
+	// (version-3) group reply until its msgGroupEnd arrives. Owned by the
+	// reader while the call is in flight.
+	chunks [][]byte
 	// done receives exactly one result (buffered so the reader never
 	// blocks on a caller).
 	done chan muxResult
 }
 
+// muxCallPool recycles call objects (and their completion channels):
+// exactly one result is delivered and consumed per call, so a call is
+// free for reuse as soon as its caller has read the result.
+var muxCallPool = sync.Pool{
+	New: func() interface{} { return &muxCall{done: make(chan muxResult, 1)} },
+}
+
+func putMuxCall(call *muxCall) {
+	call.id, call.typ, call.path = 0, 0, ""
+	call.payload, call.claimed, call.chunks = nil, nil, nil
+	call.start = time.Time{}
+	muxCallPool.Put(call)
+}
+
 type muxResult struct {
 	typ     uint8
 	payload []byte
-	err     error
+	// chunks is a streamed group reply: the member-chunk payloads in
+	// group order (typ is msgGroup, payload nil). Each element is a
+	// pooled frame buffer the receiver recycles after decoding.
+	chunks [][]byte
+	err    error
 }
 
 func newMuxConn(c *Client, cc *clientConn) *muxConn {
@@ -61,7 +97,7 @@ func newMuxConn(c *Client, cc *clientConn) *muxConn {
 		conn:  cc.conn,
 		r:     cc.r,
 		w:     cc.w,
-		calls: make(map[uint64]*muxCall),
+		calls: c.takeCallScrap(),
 		wake:  make(chan struct{}, 1),
 	}
 }
@@ -73,26 +109,27 @@ func (m *muxConn) start() {
 	go m.reader()
 }
 
-// enqueue registers one call and hands it to the writer. For msgOpen the
-// pending piggyback history is claimed here, while holding m.mu, so claim
-// order matches request-ID order — the invariant that lets poison restore
-// the histories of failed calls in the order they were taken.
+// enqueue registers one call and hands it to the writer. msgOpen payloads
+// are not encoded here: the writer claims the piggyback history and
+// encodes at write time, preserving the invariant that claims happen in
+// request-ID order (the writer drains the queue in ID order).
 func (m *muxConn) enqueue(reqType uint8, path string, payload []byte) (*muxCall, error) {
+	call := muxCallPool.Get().(*muxCall)
+	call.typ = reqType
+	call.path = path
+	call.payload = payload
+	if reqType == msgOpen {
+		call.start = time.Now()
+	}
 	m.mu.Lock()
 	if m.broken {
 		err := m.err
 		m.mu.Unlock()
+		putMuxCall(call)
 		return nil, err
 	}
 	m.nextID++
-	call := &muxCall{id: m.nextID, typ: reqType, done: make(chan muxResult, 1)}
-	if reqType == msgOpen {
-		var accessed []string
-		accessed, call.claimed = m.c.claimPending(path)
-		call.payload = encodeOpenRequest(openRequest{Path: path, Accessed: accessed})
-	} else {
-		call.payload = payload
-	}
+	call.id = m.nextID
 	m.calls[call.id] = call
 	m.queue = append(m.queue, call)
 	m.mu.Unlock()
@@ -105,7 +142,10 @@ func (m *muxConn) enqueue(reqType uint8, path string, payload []byte) (*muxCall,
 
 // writer drains the queue in batches: every queued frame is buffered and
 // the batch shares one Flush, so k pipelined requests cost one syscall
-// instead of k.
+// instead of k. Open payloads are encoded here, into one pooled scratch
+// buffer per batch, after claiming the pending piggyback history — still
+// under m.mu, so the claim-order/ID-order invariant holds and the claimed
+// slices are safely published to the reader and poison paths.
 func (m *muxConn) writer() {
 	for range m.wake {
 		for {
@@ -114,12 +154,29 @@ func (m *muxConn) writer() {
 				m.mu.Unlock()
 				return
 			}
-			batch := m.queue
-			m.queue = nil
-			m.mu.Unlock()
-			if len(batch) == 0 {
+			if len(m.queue) == 0 {
+				m.mu.Unlock()
 				break
 			}
+			batch := m.queue
+			if m.freeQ != nil {
+				m.queue = m.freeQ[:0]
+				m.freeQ = nil
+			} else {
+				m.queue = nil
+			}
+			enc := getEncodeBuf()
+			for _, call := range batch {
+				if call.typ != msgOpen {
+					continue
+				}
+				var accessed []string
+				accessed, call.claimed = m.c.claimPending(call.path)
+				start := len(enc)
+				enc = appendOpenRequest(enc, call.path, accessed)
+				call.payload = enc[start:]
+			}
+			m.mu.Unlock()
 			var err error
 			for _, call := range batch {
 				if err = putFrameID(m.w, call.typ, call.id, call.payload); err != nil {
@@ -129,6 +186,8 @@ func (m *muxConn) writer() {
 			if err == nil {
 				err = m.w.Flush()
 			}
+			putFrameBuf(enc)
+			m.recycleBatch(batch)
 			if err != nil {
 				m.poison(fmt.Errorf("%w: %v", ErrConnBroken, err))
 				return
@@ -137,9 +196,23 @@ func (m *muxConn) writer() {
 	}
 }
 
-// reader decodes replies and delivers each to its caller. Any read or
-// framing error — including Close of the underlying connection — poisons
-// the mux, which fails all in-flight calls.
+// recycleBatch offers a drained batch's storage back as the next queue.
+func (m *muxConn) recycleBatch(batch []*muxCall) {
+	for i := range batch {
+		batch[i] = nil
+	}
+	m.mu.Lock()
+	if m.freeQ == nil || cap(batch) > cap(m.freeQ) {
+		m.freeQ = batch[:0]
+	}
+	m.mu.Unlock()
+}
+
+// reader decodes replies and delivers each to its caller. Streamed
+// (version-3) group replies accumulate on their call until the closing
+// msgGroupEnd. Any read or framing error — including Close of the
+// underlying connection — poisons the mux, which fails all in-flight
+// calls.
 func (m *muxConn) reader() {
 	for {
 		typ, id, payload, err := readFrameID(m.r)
@@ -147,25 +220,94 @@ func (m *muxConn) reader() {
 			m.poison(fmt.Errorf("%w: %v", ErrConnBroken, err))
 			return
 		}
-		m.mu.Lock()
-		call, ok := m.calls[id]
-		if ok {
-			delete(m.calls, id)
-		}
-		m.mu.Unlock()
-		if !ok {
+		switch typ {
+		case msgMemberChunk:
+			m.mu.Lock()
+			call, ok := m.calls[id]
+			var first bool
+			if ok {
+				if len(call.chunks) >= maxGroup {
+					m.mu.Unlock()
+					putFrameBuf(payload)
+					m.poison(fmt.Errorf("%w: streamed group exceeds %d members", ErrConnBroken, maxGroup))
+					return
+				}
+				first = len(call.chunks) == 0
+				if call.chunks == nil {
+					// One right-sized allocation per streamed reply
+					// instead of append's doubling crawl.
+					call.chunks = make([][]byte, 0, 8)
+				}
+				call.chunks = append(call.chunks, payload)
+			}
+			m.mu.Unlock()
+			if !ok {
+				putFrameBuf(payload)
+				m.poison(fmt.Errorf("%w: chunk for unknown request %d", ErrConnBroken, id))
+				return
+			}
+			if first && !call.start.IsZero() {
+				m.c.m.ttfb.ObserveDuration(time.Since(call.start))
+			}
+		case msgGroupEnd:
+			m.mu.Lock()
+			call, ok := m.calls[id]
+			if ok {
+				delete(m.calls, id)
+			}
+			m.mu.Unlock()
+			if !ok {
+				putFrameBuf(payload)
+				m.poison(fmt.Errorf("%w: group end for unknown request %d", ErrConnBroken, id))
+				return
+			}
+			n, derr := decodeGroupEnd(payload)
 			putFrameBuf(payload)
-			m.poison(fmt.Errorf("%w: reply for unknown request %d", ErrConnBroken, id))
-			return
+			if derr == nil && n != len(call.chunks) {
+				derr = fmt.Errorf("group end declares %d members, got %d", n, len(call.chunks))
+			}
+			if derr != nil {
+				for _, b := range call.chunks {
+					putFrameBuf(b)
+				}
+				call.chunks = nil
+				werr := fmt.Errorf("%w: %v", ErrConnBroken, derr)
+				// The stream is untrustworthy beyond this point; the call
+				// was already removed from the in-flight map, so fail it
+				// directly after poisoning the rest.
+				m.poison(werr)
+				call.done <- muxResult{err: werr}
+				return
+			}
+			chunks := call.chunks
+			call.chunks = nil
+			call.done <- muxResult{typ: msgGroup, chunks: chunks}
+		default:
+			m.mu.Lock()
+			call, ok := m.calls[id]
+			if ok {
+				delete(m.calls, id)
+			}
+			m.mu.Unlock()
+			if !ok {
+				putFrameBuf(payload)
+				m.poison(fmt.Errorf("%w: reply for unknown request %d", ErrConnBroken, id))
+				return
+			}
+			if !call.start.IsZero() {
+				m.c.m.ttfb.ObserveDuration(time.Since(call.start))
+			}
+			call.done <- muxResult{typ: typ, payload: payload}
 		}
-		call.done <- muxResult{typ: typ, payload: payload}
 	}
 }
 
 // poison marks the mux broken, closes the connection, restores every
 // unanswered call's claimed history to the client (oldest call first),
 // empties the client's connection slot, and fails every unanswered call
-// with err. Idempotent; only the first error wins.
+// with err. Idempotent; only the first error wins. The in-flight map and
+// orphan scratch are handed back to the client for the replacement
+// connection, so a flaky link does not reallocate them on every cut.
 func (m *muxConn) poison(err error) {
 	m.mu.Lock()
 	if m.broken {
@@ -174,12 +316,13 @@ func (m *muxConn) poison(err error) {
 	}
 	m.broken = true
 	m.err = err
-	orphans := make([]*muxCall, 0, len(m.calls))
-	for _, call := range m.calls {
+	calls := m.calls
+	orphans := m.c.takeOrphanScrap()
+	for _, call := range calls {
 		orphans = append(orphans, call)
 	}
-	m.calls = make(map[uint64]*muxCall)
-	m.queue = nil
+	m.calls = nil
+	m.queue, m.freeQ = nil, nil
 	m.mu.Unlock()
 
 	_ = m.conn.Close()
@@ -189,8 +332,9 @@ func (m *muxConn) poison(err error) {
 	default:
 	}
 
-	// Request IDs were assigned in claim order, so restoring in ID order
-	// reassembles the piggyback backlog oldest-first.
+	// Request IDs were assigned — and their histories claimed — in ID
+	// order, so restoring in ID order reassembles the piggyback backlog
+	// oldest-first.
 	sort.Slice(orphans, func(i, j int) bool { return orphans[i].id < orphans[j].id })
 	var hist []string
 	for _, call := range orphans {
@@ -199,6 +343,14 @@ func (m *muxConn) poison(err error) {
 	m.c.restorePending(hist)
 	m.c.dropMux(m)
 	for _, call := range orphans {
+		for _, b := range call.chunks {
+			putFrameBuf(b)
+		}
+		call.chunks = nil
 		call.done <- muxResult{err: err}
 	}
+	for i := range orphans {
+		orphans[i] = nil
+	}
+	m.c.storeScrap(calls, orphans[:0])
 }

@@ -49,15 +49,29 @@ const (
 	msgHandoff
 	// msgHandoffOK acknowledges a handoff install.
 	msgHandoffOK
+	// msgMemberChunk is one member of a streamed (version-3) group reply:
+	// the path plus contents of a single file. The demanded file is always
+	// the first chunk of its request ID; chunks of different requests may
+	// interleave on the wire, but chunks of one request arrive in group
+	// order.
+	msgMemberChunk
+	// msgGroupEnd terminates a streamed group reply, carrying the member
+	// count so the client can verify it saw the whole group.
+	msgGroupEnd
 )
 
 // Protocol versions. Version 1 is the original lock-step protocol (no
 // handshake, one request in flight per connection); version 2 adds the
-// hello exchange and request-ID framing for pipelining.
+// hello exchange and request-ID framing for pipelining; version 3 keeps
+// version 2's framing but streams each group reply as per-member
+// msgMemberChunk frames closed by msgGroupEnd, so the client starts
+// consuming member 1 while the server is still writing member g and the
+// server never assembles a group into one contiguous reply buffer.
 const (
 	protocolV1     = 1
 	protocolV2     = 2
-	protocolLatest = protocolV2
+	protocolV3     = 3
+	protocolLatest = protocolV3
 )
 
 // Protocol limits; violations terminate the connection.
@@ -68,6 +82,13 @@ const (
 	maxGroup     = 64
 	maxFileSize  = 8 << 20
 )
+
+// connBufSize sizes the per-connection bufio reader and writer on both
+// ends. A convoy reply for a whole group runs tens of KB; with the
+// 4 KiB bufio default that is a dozen read/write syscalls per fetch,
+// and syscall time dominates the loopback CPU profile. 64 KiB moves a
+// convoy in one or two.
+const connBufSize = 64 << 10
 
 // Error codes carried by msgError.
 const (
@@ -156,22 +177,50 @@ func putFrame(w *bufio.Writer, typ uint8, payload []byte) error {
 	return err
 }
 
-// readFrame reads one frame, returning its type and payload.
+// readFrame reads one frame, returning its type and payload. The header
+// is read separately from the payload so the returned payload slice spans
+// its pooled buffer from offset zero: recycling it preserves the buffer's
+// full capacity. (Slicing the type byte off a combined read would shave a
+// byte of capacity per cycle until every buffer cap-missed.)
+// peekN returns n buffered bytes without consuming them, with
+// io.ReadFull's error semantics (ErrUnexpectedEOF on a partial header).
+// Peeking instead of reading into a local array keeps the header bytes
+// inside bufio's buffer: a stack array handed to io.ReadFull escapes
+// through the io.Reader interface and costs a heap allocation per frame.
+func peekN(r *bufio.Reader, n int) ([]byte, error) {
+	b, err := r.Peek(n)
+	if err != nil {
+		if len(b) > 0 && err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	return b, nil
+}
+
 func readFrame(r *bufio.Reader) (uint8, []byte, error) {
-	var hdr [4]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+	hdr, err := peekN(r, 4)
+	if err != nil {
 		return 0, nil, err
 	}
-	n := binary.BigEndian.Uint32(hdr[:])
+	n := binary.BigEndian.Uint32(hdr)
 	if n == 0 || n > maxFrame {
+		// Validated before the type byte is demanded: a hostile
+		// zero-length header must error now, not block waiting for bytes
+		// the peer never promised.
 		return 0, nil, fmt.Errorf("fsnet: frame length %d out of range", n)
 	}
-	body := getFrameBuf(int(n))
-	if _, err := io.ReadFull(r, body); err != nil {
-		putFrameBuf(body)
+	_, _ = r.Discard(4)
+	typ, err := r.ReadByte()
+	if err != nil {
 		return 0, nil, fmt.Errorf("fsnet: short frame: %w", err)
 	}
-	return body[0], body[1:], nil
+	payload := getFrameBuf(int(n) - 1)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		putFrameBuf(payload)
+		return 0, nil, fmt.Errorf("fsnet: short frame: %w", err)
+	}
+	return typ, payload, nil
 }
 
 // Version-2 framing: u32 length (type + id + payload), u8 type, u64
@@ -197,34 +246,60 @@ func putFrameID(w *bufio.Writer, typ uint8, id uint64, payload []byte) error {
 
 // readFrameID reads one v2 frame, returning its type, request ID, and
 // payload. The payload aliases a pooled buffer; hand it back via
-// putFrameBuf once fully decoded.
+// putFrameBuf once fully decoded. As in readFrame, the frame header is
+// read separately so the recycled payload keeps its full capacity.
 func readFrameID(r *bufio.Reader) (uint8, uint64, []byte, error) {
-	var hdr [4]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+	lenb, err := peekN(r, 4)
+	if err != nil {
 		return 0, 0, nil, err
 	}
-	n := binary.BigEndian.Uint32(hdr[:])
+	n := binary.BigEndian.Uint32(lenb)
 	if n < v2HdrLen || n > maxFrame {
+		// As in readFrame: reject the length before demanding the inner
+		// header, so a runt frame errors instead of blocking.
 		return 0, 0, nil, fmt.Errorf("fsnet: frame length %d out of range", n)
 	}
-	body := getFrameBuf(int(n))
-	if _, err := io.ReadFull(r, body); err != nil {
-		putFrameBuf(body)
+	_, _ = r.Discard(4)
+	hdr, err := peekN(r, v2HdrLen)
+	if err != nil {
 		return 0, 0, nil, fmt.Errorf("fsnet: short frame: %w", err)
 	}
-	return body[0], binary.BigEndian.Uint64(body[1:9]), body[9:], nil
+	typ, id := hdr[0], binary.BigEndian.Uint64(hdr[1:])
+	_, _ = r.Discard(v2HdrLen)
+	payload := getFrameBuf(int(n) - v2HdrLen)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		putFrameBuf(payload)
+		return 0, 0, nil, fmt.Errorf("fsnet: short frame: %w", err)
+	}
+	return typ, id, payload, nil
 }
 
 // frameBufPool recycles frame bodies across requests. Decoders copy every
 // string and blob they keep, so a frame buffer is free for reuse as soon
 // as its payload has been decoded; the hot open path then performs no
 // per-frame allocation beyond the decoded file contents themselves.
-var frameBufPool = sync.Pool{New: func() interface{} { return make([]byte, 0, 4096) }}
+//
+// The pool stores *[]byte, not []byte: putting a bare slice into a
+// sync.Pool boxes its header on every Put (one hidden allocation per
+// recycled frame — measured as a top allocator before this change). The
+// pointer boxes themselves cycle through boxPool, so steady-state
+// get/put pairs allocate nothing at all.
+var frameBufPool = sync.Pool{New: func() interface{} {
+	b := make([]byte, 0, 4096)
+	return &b
+}}
+
+// boxPool recycles the empty *[]byte headers frameBufPool threads its
+// buffers through.
+var boxPool = sync.Pool{New: func() interface{} { return new([]byte) }}
 
 func getFrameBuf(n int) []byte {
-	b := frameBufPool.Get().([]byte)
+	bp := frameBufPool.Get().(*[]byte)
+	b := *bp
+	*bp = nil
+	boxPool.Put(bp)
 	if cap(b) < n {
-		frameBufPool.Put(b) //nolint:staticcheck // keep the small one for small frames
+		putFrameBuf(b) // keep the small one for small frames
 		return make([]byte, n)
 	}
 	return b[:n]
@@ -237,13 +312,30 @@ func putFrameBuf(b []byte) {
 	if cap(b) == 0 || cap(b) > maxFrame {
 		return
 	}
-	frameBufPool.Put(b[:0]) //nolint:staticcheck
+	bp := boxPool.Get().(*[]byte)
+	*bp = b[:0]
+	frameBufPool.Put(bp)
+}
+
+// getEncodeBuf returns a zero-length pooled buffer for append-style
+// encoding; hand the grown result back via putFrameBuf once written.
+func getEncodeBuf() []byte {
+	return getFrameBuf(0)
 }
 
 // helloRequest is the payload of msgHello and msgHelloOK: just a protocol
 // version.
 func encodeHello(version int) []byte {
 	return appendUvarint(nil, uint64(version))
+}
+
+// writeHello frames a hello/helloOK through a pooled scratch buffer, so
+// handshakes allocate nothing.
+func writeHello(w *bufio.Writer, typ uint8, version int) error {
+	b := appendUvarint(getEncodeBuf(), uint64(version))
+	err := writeFrame(w, typ, b)
+	putFrameBuf(b)
+	return err
 }
 
 func decodeHello(payload []byte) (int, error) {
@@ -310,6 +402,24 @@ func (d *decoder) str(limit int) (string, error) {
 	return s, nil
 }
 
+// view returns the next length-prefixed byte string as a view aliasing
+// the payload buffer — no copy; valid only while the buffer is.
+func (d *decoder) view(limit int) ([]byte, error) {
+	n, err := d.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(limit) {
+		return nil, fmt.Errorf("fsnet: string of %d bytes exceeds limit %d", n, limit)
+	}
+	if uint64(len(d.buf)) < n {
+		return nil, errors.New("fsnet: truncated string")
+	}
+	v := d.buf[:n]
+	d.buf = d.buf[n:]
+	return v, nil
+}
+
 func (d *decoder) bytes(limit int) ([]byte, error) {
 	n, err := d.uvarint()
 	if err != nil {
@@ -335,12 +445,18 @@ func (d *decoder) done() error {
 }
 
 func encodeOpenRequest(req openRequest) []byte {
-	b := appendString(nil, req.Path)
-	b = appendUvarint(b, uint64(len(req.Accessed)))
-	for _, p := range req.Accessed {
-		b = appendString(b, p)
+	return appendOpenRequest(nil, req.Path, req.Accessed)
+}
+
+// appendOpenRequest appends an open-request payload to dst; the pipelined
+// writer encodes into a reused scratch buffer through this.
+func appendOpenRequest(dst []byte, path string, accessed []string) []byte {
+	dst = appendString(dst, path)
+	dst = appendUvarint(dst, uint64(len(accessed)))
+	for _, p := range accessed {
+		dst = appendString(dst, p)
 	}
-	return b
+	return dst
 }
 
 func decodeOpenRequest(payload []byte) (openRequest, error) {
@@ -455,12 +571,19 @@ func decodeWriteRequest(payload []byte) (writeRequest, error) {
 }
 
 func encodeGroupResponse(resp groupResponse) []byte {
-	b := appendUvarint(nil, uint64(len(resp.Files)))
-	for _, f := range resp.Files {
-		b = appendString(b, f.Path)
-		b = appendBytes(b, f.Data)
+	return appendGroupResponse(nil, resp.Files)
+}
+
+// appendGroupResponse appends a contiguous (version ≤ 2) group-reply
+// payload to dst; the reply writer encodes into pooled buffers through
+// this.
+func appendGroupResponse(dst []byte, files []fileData) []byte {
+	dst = appendUvarint(dst, uint64(len(files)))
+	for _, f := range files {
+		dst = appendString(dst, f.Path)
+		dst = appendBytes(dst, f.Data)
 	}
-	return b
+	return dst
 }
 
 func decodeGroupResponse(payload []byte) (groupResponse, error) {
@@ -491,8 +614,12 @@ func decodeGroupResponse(payload []byte) (groupResponse, error) {
 }
 
 func encodeErrorResponse(resp errorResponse) []byte {
-	b := appendUvarint(nil, uint64(resp.Code))
-	return appendString(b, resp.Message)
+	return appendErrorResponse(nil, resp)
+}
+
+func appendErrorResponse(dst []byte, resp errorResponse) []byte {
+	dst = appendUvarint(dst, uint64(resp.Code))
+	return appendString(dst, resp.Message)
 }
 
 func decodeErrorResponse(payload []byte) (errorResponse, error) {
@@ -510,4 +637,93 @@ func decodeErrorResponse(payload []byte) (errorResponse, error) {
 		return resp, err
 	}
 	return resp, nil
+}
+
+// Version-3 streamed group replies. A group reply is n msgMemberChunk
+// frames — each carrying one file's path and contents — closed by one
+// msgGroupEnd frame carrying the member count. All frames reuse the
+// version-2 framing (length, type, request ID), so chunks of different
+// pipelined requests may interleave; within one request ID, chunks arrive
+// in group order with the demanded file first.
+//
+// The server never materializes a chunk frame as one contiguous buffer:
+// appendMemberChunkHdr builds everything up to the file contents in a
+// pooled scratch slice, and the contents ride as their own element of a
+// net.Buffers scatter-gather write, straight from the store's slice.
+
+// appendMemberChunkHdr appends a member chunk's frame header and metadata
+// to dst: u32 length, type, request ID, uvarint path length, path bytes,
+// uvarint data length. The file contents (dataLen bytes) must follow on
+// the wire immediately after.
+func appendMemberChunkHdr(dst []byte, id uint64, path string, dataLen int) []byte {
+	meta := len(dst)
+	dst = append(dst, 0, 0, 0, 0) // length, patched below
+	dst = append(dst, msgMemberChunk)
+	dst = binary.BigEndian.AppendUint64(dst, id)
+	dst = appendString(dst, path)
+	dst = appendUvarint(dst, uint64(dataLen))
+	payloadLen := len(dst) - meta - 4 + dataLen
+	binary.BigEndian.PutUint32(dst[meta:meta+4], uint32(payloadLen))
+	return dst
+}
+
+// appendFrameID appends one complete v2-framed message (header plus
+// payload) to dst; the scatter-gather reply path uses it for the small
+// frames (group end, write/handoff acks, errors) that share a batch with
+// streamed chunks.
+func appendFrameID(dst []byte, typ uint8, id uint64, payload []byte) []byte {
+	dst = append(dst, 0, 0, 0, 0)
+	binary.BigEndian.PutUint32(dst[len(dst)-4:], uint32(len(payload)+v2HdrLen))
+	dst = append(dst, typ)
+	dst = binary.BigEndian.AppendUint64(dst, id)
+	return append(dst, payload...)
+}
+
+// memberChunkView decodes a msgMemberChunk payload into views aliasing
+// the payload buffer — no copies; the caller owns the buffer until it is
+// done with both views.
+func memberChunkView(payload []byte) (path, data []byte, err error) {
+	d := decoder{buf: payload}
+	n, err := d.uvarint()
+	if err != nil {
+		return nil, nil, err
+	}
+	if n == 0 || n > maxPath {
+		return nil, nil, fmt.Errorf("fsnet: chunk path of %d bytes out of range", n)
+	}
+	if uint64(len(d.buf)) < n {
+		return nil, nil, errors.New("fsnet: truncated chunk path")
+	}
+	path, d.buf = d.buf[:n], d.buf[n:]
+	n, err = d.uvarint()
+	if err != nil {
+		return nil, nil, err
+	}
+	if n > maxFileSize {
+		return nil, nil, fmt.Errorf("fsnet: chunk of %d bytes exceeds limit %d", n, maxFileSize)
+	}
+	if uint64(len(d.buf)) != n {
+		return nil, nil, fmt.Errorf("fsnet: chunk data length %d, frame carries %d", n, len(d.buf))
+	}
+	return path, d.buf, nil
+}
+
+// appendGroupEnd appends a msgGroupEnd payload (the member count) to dst.
+func appendGroupEnd(dst []byte, count int) []byte {
+	return appendUvarint(dst, uint64(count))
+}
+
+func decodeGroupEnd(payload []byte) (int, error) {
+	d := decoder{buf: payload}
+	n, err := d.uvarint()
+	if err != nil {
+		return 0, err
+	}
+	if n == 0 || n > maxGroup {
+		return 0, fmt.Errorf("fsnet: group of %d files out of range", n)
+	}
+	if err := d.done(); err != nil {
+		return 0, err
+	}
+	return int(n), nil
 }

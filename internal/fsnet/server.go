@@ -2,6 +2,7 @@ package fsnet
 
 import (
 	"bufio"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
@@ -120,6 +121,10 @@ type ServerStats struct {
 	// peers (each learns the group's successor chain and stages its
 	// anchor into the cache).
 	Handoffs uint64
+	// StreamedGroups counts group replies delivered as version-3 member
+	// streams (msgMemberChunk frames) rather than one contiguous
+	// msgGroup payload.
+	StreamedGroups uint64
 	// Cache is the server memory cache accounting (hits are requests
 	// served without staging from the store).
 	Cache core.Stats
@@ -330,6 +335,7 @@ func (s *Server) Stats() ServerStats {
 		CoalescedStages: s.m.coalesced.Load(),
 		RemoteOpens:     s.m.remote.Load(),
 		Handoffs:        s.m.handoffs.Load(),
+		StreamedGroups:  s.m.streamed.Load(),
 		Cache:           cacheStats,
 	}
 	// Last, so its value bounds every per-outcome counter read above.
@@ -364,8 +370,8 @@ func (s *Server) logf(format string, args ...interface{}) {
 // lock-step loop, first frame included, so pre-handshake clients work
 // byte-for-byte as before.
 func (s *Server) handleConn(conn net.Conn, src uint64) {
-	r := bufio.NewReader(conn)
-	w := bufio.NewWriter(conn)
+	r := bufio.NewReaderSize(conn, connBufSize)
+	w := bufio.NewWriterSize(conn, connBufSize)
 	// Panic recovery for the negotiation and lock-step paths. The
 	// pipelined path recovers per request (and in its read loop) and
 	// never panics out of serveV2, so this defer cannot race its reply
@@ -396,12 +402,12 @@ func (s *Server) handleConn(conn net.Conn, src uint64) {
 			ver = s.cfg.maxProto()
 		}
 		s.armWrite(conn)
-		if err := writeFrame(w, msgHelloOK, encodeHello(ver)); err != nil {
+		if err := writeHello(w, msgHelloOK, ver); err != nil {
 			s.disconnect(conn, err)
 			return
 		}
 		if ver >= protocolV2 {
-			s.serveV2(conn, r, w, src)
+			s.serveV2(conn, r, w, src, ver)
 			return
 		}
 		s.serveV1(conn, r, w, src, 0, nil, false)
@@ -513,13 +519,17 @@ func (s *Server) serveV1(conn net.Conn, r *bufio.Reader, w *bufio.Writer, src ui
 	}
 }
 
-// serveV2 is the pipelined loop: the read side spawns a bounded handler
-// goroutine per request, and a dedicated reply writer batches completed
-// replies — out of order — onto the wire with one flush per batch. A
-// malformed request payload fails only its own request; the framed stream
-// stays intact, so the connection keeps serving.
-func (s *Server) serveV2(conn net.Conn, r *bufio.Reader, w *bufio.Writer, src uint64) {
-	rw := newReplyWriter(s, conn, w)
+// serveV2 is the pipelined loop: plain opens are served inline by the
+// read loop (the in-memory fast path never blocks on anything but the
+// reply writer's own backpressure, and a goroutine spawn plus two
+// scheduler hops per request is measurable at loopback rates), while
+// routed opens, writes, and handoffs get a bounded handler goroutine
+// each. A dedicated reply writer batches completed replies — out of
+// order — onto the wire with one flush per batch. A malformed request
+// payload fails only its own request; the framed stream stays intact,
+// so the connection keeps serving.
+func (s *Server) serveV2(conn net.Conn, r *bufio.Reader, w *bufio.Writer, src uint64, ver int) {
+	rw := newReplyWriter(s, conn, w, ver)
 	var wg sync.WaitGroup
 	sem := make(chan struct{}, maxServerPipeline)
 	func() {
@@ -547,6 +557,10 @@ func (s *Server) serveV2(conn net.Conn, r *bufio.Reader, w *bufio.Writer, src ui
 				}
 				return
 			}
+			if typ == msgOpen && s.cfg.Router == nil {
+				s.serveRequestV2(rw, src, typ, id, payload)
+				continue
+			}
 			sem <- struct{}{}
 			wg.Add(1)
 			go func(typ uint8, id uint64, payload []byte) {
@@ -573,18 +587,41 @@ func (s *Server) serveRequestV2(rw *replyWriter, src uint64, typ uint8, id uint6
 	}()
 	switch typ {
 	case msgOpen:
-		req, err := decodeOpenRequest(payload)
-		putFrameBuf(payload)
-		if err != nil {
-			rw.sendError(id, errorResponse{Code: CodeBadRequest, Message: err.Error()})
-			return
+		var files []fileData
+		var errResp errorResponse
+		if s.cfg.Router == nil {
+			// Fast path: the demanded and piggybacked paths are interned
+			// straight out of the pooled frame buffer — no path strings,
+			// no Accessed slice — and the group is built in pooled
+			// scratch.
+			var err error
+			files, errResp, err = s.openView(payload, src)
+			putFrameBuf(payload)
+			if err != nil {
+				rw.sendError(id, errorResponse{Code: CodeBadRequest, Message: err.Error()})
+				return
+			}
+		} else {
+			// The router path materializes the request (its interface
+			// carries strings across the cluster tier).
+			req, err := decodeOpenRequest(payload)
+			putFrameBuf(payload)
+			if err != nil {
+				rw.sendError(id, errorResponse{Code: CodeBadRequest, Message: err.Error()})
+				return
+			}
+			files, errResp = s.open(req, src)
 		}
-		files, errResp := s.open(req, src)
 		if errResp.Code != 0 {
 			rw.sendError(id, errResp)
 			return
 		}
-		rw.send(id, msgGroup, encodeGroupResponse(groupResponse{Files: files}))
+		if rw.ver >= protocolV3 {
+			s.m.streamed.Add(1)
+			rw.sendGroup(id, files)
+			return
+		}
+		rw.send(id, msgGroup, appendGroupResponse(getEncodeBuf(), files), true)
 	case msgWrite:
 		req, err := decodeWriteRequest(payload)
 		putFrameBuf(payload)
@@ -596,7 +633,7 @@ func (s *Server) serveRequestV2(rw *replyWriter, src uint64, typ uint8, id uint6
 			rw.sendError(id, errResp)
 			return
 		}
-		rw.send(id, msgWriteOK, nil)
+		rw.send(id, msgWriteOK, nil, false)
 	case msgHandoff:
 		req, err := decodeHandoffRequest(payload)
 		putFrameBuf(payload)
@@ -605,7 +642,7 @@ func (s *Server) serveRequestV2(rw *replyWriter, src uint64, typ uint8, id uint6
 			return
 		}
 		s.handoff(req)
-		rw.send(id, msgHandoffOK, nil)
+		rw.send(id, msgHandoffOK, nil, false)
 	default:
 		putFrameBuf(payload)
 		rw.sendError(id, errorResponse{
@@ -630,13 +667,21 @@ func (s *Server) disconnect(conn net.Conn, err error) {
 	s.logf("fsnet: %s: write: %v", conn.RemoteAddr(), err)
 }
 
-// replyV1 writes one lock-step reply, counting error replies.
+// replyV1 writes one lock-step reply, counting error replies. The
+// payload is encoded into a pooled buffer; the wire bytes are identical
+// to the historical allocate-per-reply encoding.
 func (s *Server) replyV1(w *bufio.Writer, group []fileData, errResp errorResponse) error {
+	var b []byte
+	var typ uint8
 	if errResp.Code != 0 {
 		s.m.errors.Add(1)
-		return writeFrame(w, msgError, encodeErrorResponse(errResp))
+		typ, b = msgError, appendErrorResponse(getEncodeBuf(), errResp)
+	} else {
+		typ, b = msgGroup, appendGroupResponse(getEncodeBuf(), group)
 	}
-	return writeFrame(w, msgGroup, encodeGroupResponse(groupResponse{Files: group}))
+	err := writeFrame(w, typ, b)
+	putFrameBuf(b)
+	return err
 }
 
 // write stores a whole-file update. Writes are write-through to the
@@ -725,6 +770,18 @@ func (s *Server) ExportGroups(owned func(path string) bool) []HandoffGroup {
 	return out
 }
 
+// openScratch carries the per-request working set of the open hot path:
+// interned access IDs, the built group, and its paths. Pooled so a
+// steady-state open allocates none of it.
+type openScratch struct {
+	views [][]byte // piggybacked path views into the frame buffer
+	ids   []trace.FileID
+	group []trace.FileID
+	paths []string
+}
+
+var openScratchPool = sync.Pool{New: func() interface{} { return new(openScratch) }}
+
 // open runs one request through the metadata and the server cache and
 // assembles the group reply. The store is only touched outside aggMu:
 // existence is checked lock-free up front, and the group's contents are
@@ -751,40 +808,113 @@ func (s *Server) open(req openRequest, src uint64) ([]fileData, errorResponse) {
 		return nil, errorResponse{Code: CodeNotFound, Message: req.Path}
 	}
 
-	// Path→ID translation takes the interner's read-lock fast path for
+	// Path→ID translation takes the interner's lock-free fast path for
 	// already-known paths and never needs aggMu.
-	accessedIDs := make([]trace.FileID, 0, len(req.Accessed))
+	sc := openScratchPool.Get().(*openScratch)
+	sc.ids = sc.ids[:0]
 	for _, p := range req.Accessed {
 		if p == "" || len(p) > maxPath {
 			continue
 		}
-		accessedIDs = append(accessedIDs, s.ids.Intern(p))
+		sc.ids = append(sc.ids, s.ids.Intern(p))
 	}
 	id := s.ids.Intern(req.Path)
+	files, errResp := s.serveOpen(id, req.Path, src, sc, timed, start)
+	openScratchPool.Put(sc)
+	return files, errResp
+}
 
+// openView is the pooled fast path of the pipelined open: the demanded
+// and piggybacked paths are interned as byte views straight out of the
+// frame buffer — no request struct, no path strings, no Accessed slice —
+// and the group is built in pooled scratch. A non-nil error reports a
+// malformed payload (the caller answers CodeBadRequest without counting
+// a request, exactly like the decode-then-open path).
+func (s *Server) openView(payload []byte, src uint64) ([]fileData, errorResponse, error) {
+	d := decoder{buf: payload}
+	pathView, err := d.view(maxPath)
+	if err != nil {
+		return nil, errorResponse{}, err
+	}
+	if len(pathView) == 0 {
+		return nil, errorResponse{}, errors.New("fsnet: empty path")
+	}
+	n, err := d.uvarint()
+	if err != nil {
+		return nil, errorResponse{}, err
+	}
+	if n > maxStatPaths {
+		return nil, errorResponse{}, fmt.Errorf("fsnet: %d piggybacked paths exceed limit %d", n, maxStatPaths)
+	}
+	sc := openScratchPool.Get().(*openScratch)
+	sc.views = sc.views[:0]
+	for i := uint64(0); i < n; i++ {
+		pv, err := d.view(maxPath)
+		if err != nil {
+			openScratchPool.Put(sc)
+			return nil, errorResponse{}, err
+		}
+		if len(pv) == 0 {
+			continue
+		}
+		sc.views = append(sc.views, pv)
+	}
+	if err := d.done(); err != nil {
+		openScratchPool.Put(sc)
+		return nil, errorResponse{}, err
+	}
+
+	s.m.requests.Add(1)
+	var start time.Time
+	timed := s.m.timed()
+	if timed {
+		start = time.Now()
+	}
+	// Existence check before any interning, so nonexistent demanded
+	// paths never grow the ID space (the lock-step path behaves the
+	// same way).
+	if !s.store.containsBytes(pathView) {
+		openScratchPool.Put(sc)
+		return nil, errorResponse{Code: CodeNotFound, Message: string(pathView)}, nil
+	}
+	sc.ids = sc.ids[:0]
+	for _, pv := range sc.views {
+		sc.ids = append(sc.ids, s.ids.InternBytes(pv))
+	}
+	id := s.ids.InternBytes(pathView)
+	path := s.ids.Path(id) // the interned string: no per-request copy
+	files, errResp := s.serveOpen(id, path, src, sc, timed, start)
+	openScratchPool.Put(sc)
+	return files, errResp, nil
+}
+
+// serveOpen is the shared tail of the open paths: learn the piggybacked
+// transitions, stage the group through the aggregating cache, and read
+// the members' contents. sc.ids holds the interned access history.
+func (s *Server) serveOpen(id trace.FileID, path string, src uint64, sc *openScratch, timed bool, start time.Time) ([]fileData, errorResponse) {
 	s.aggMu.Lock()
 	// Piggybacked history first (oldest..newest), then the demanded
 	// open, preserving the client's true access order.
-	for _, aid := range accessedIDs {
+	for _, aid := range sc.ids {
 		s.agg.LearnFrom(src, aid)
 	}
 	s.agg.LearnFrom(src, id)
 	// Stage the group into the server memory cache; hit-or-miss selects
 	// the latency phase below.
 	hit := s.agg.Serve(id)
-	groupIDs := s.agg.BuildGroup(id)
+	sc.group = s.agg.AppendBuildGroup(sc.group[:0], id)
 	s.aggMu.Unlock()
 
-	paths := make([]string, 0, len(groupIDs))
-	for _, gid := range groupIDs {
-		paths = append(paths, s.ids.Path(gid))
+	sc.paths = sc.paths[:0]
+	for _, gid := range sc.group {
+		sc.paths = append(sc.paths, s.ids.Path(gid))
 	}
 
-	files, ok := s.stageGroup(req.Path, paths)
+	files, ok := s.stageGroup(path, sc.paths)
 	if !ok {
 		// The file vanished between the existence check and the staged
 		// read; rare, and the learning above recorded a genuine access.
-		return nil, errorResponse{Code: CodeNotFound, Message: req.Path}
+		return nil, errorResponse{Code: CodeNotFound, Message: path}
 	}
 	s.m.sent.Add(uint64(len(files)))
 	if timed {
@@ -792,7 +922,7 @@ func (s *Server) open(req openRequest, src uint64) ([]fileData, errorResponse) {
 		if hit {
 			phase = "hit"
 		}
-		s.m.observeOpen(phase, req.Path, time.Since(start))
+		s.m.observeOpen(phase, path, time.Since(start))
 	}
 	return files, errorResponse{}
 }
@@ -831,16 +961,22 @@ func (s *Server) routeOpen(req openRequest) ([]fileData, errorResponse, bool) {
 // store, coalescing with any concurrent staging of the same demanded
 // path: followers wait for the leader's read and share its (read-only)
 // result instead of hitting the store themselves.
+//
+// The contents are zero-copy references into the store (GetRef): Put
+// replaces a path's slice wholesale, so a staged ref can never be
+// mutated underneath the reply writer, and the result slice itself is
+// shared across coalesced followers — it must never be pooled or
+// written to.
 func (s *Server) stageGroup(path string, paths []string) ([]fileData, bool) {
 	files, ok, coalesced := s.flights.Do(path, func() ([]fileData, bool) {
-		data, ok := s.store.Get(path)
+		data, ok := s.store.GetRef(path)
 		if !ok {
 			return nil, false
 		}
 		files := make([]fileData, 0, len(paths))
 		files = append(files, fileData{Path: path, Data: data})
 		for _, p := range paths[1:] {
-			if d, ok := s.store.Get(p); ok {
+			if d, ok := s.store.GetRef(p); ok {
 				files = append(files, fileData{Path: p, Data: d})
 			}
 		}
@@ -857,30 +993,50 @@ func (s *Server) stageGroup(path string, paths []string) ([]fileData, bool) {
 // writer goroutine drains whatever has accumulated with one flush — so k
 // ready replies cost one syscall, and a slow store read never blocks the
 // replies queued behind it.
+//
+// At protocol version 3 the writer is scatter-gather: group replies are
+// member streams whose frame headers and path metadata live in one
+// pooled arena while the file contents ride as store references, and the
+// whole batch goes to the socket in a single net.Buffers writev — the
+// reply bytes are never assembled into a contiguous buffer.
 type replyWriter struct {
 	s    *Server
 	conn net.Conn
 	w    *bufio.Writer
+	ver  int
 
 	mu      sync.Mutex
 	queue   []v2Reply
+	free    []v2Reply // recycled batch storage
 	dead    bool
 	stop    bool
 	wake    chan struct{}
 	stopped chan struct{}
+
+	bufs net.Buffers // scatter-gather scratch, reused per batch
 }
 
 type v2Reply struct {
 	id      uint64
 	typ     uint8
 	payload []byte
+	// pooled marks a payload encoded into a frame-pool buffer; the
+	// writer hands it back once the bytes are on the wire (or the write
+	// side is dead).
+	pooled bool
+	// files, when non-nil, is a streamed version-3 group reply (typ and
+	// payload are unused): one msgMemberChunk per file plus a closing
+	// msgGroupEnd. The slice is the singleflight-shared staging result —
+	// read-only here.
+	files []fileData
 }
 
-func newReplyWriter(s *Server, conn net.Conn, w *bufio.Writer) *replyWriter {
+func newReplyWriter(s *Server, conn net.Conn, w *bufio.Writer, ver int) *replyWriter {
 	rw := &replyWriter{
 		s:       s,
 		conn:    conn,
 		w:       w,
+		ver:     ver,
 		wake:    make(chan struct{}, 1),
 		stopped: make(chan struct{}),
 	}
@@ -891,17 +1047,29 @@ func newReplyWriter(s *Server, conn net.Conn, w *bufio.Writer) *replyWriter {
 // sendError enqueues an error reply, counting it like the lock-step path.
 func (rw *replyWriter) sendError(id uint64, errResp errorResponse) {
 	rw.s.m.errors.Add(1)
-	rw.send(id, msgError, encodeErrorResponse(errResp))
+	rw.send(id, msgError, appendErrorResponse(getEncodeBuf(), errResp), true)
 }
 
 // send enqueues one reply frame for the writer goroutine.
-func (rw *replyWriter) send(id uint64, typ uint8, payload []byte) {
+func (rw *replyWriter) send(id uint64, typ uint8, payload []byte, pooled bool) {
+	rw.enqueue(v2Reply{id: id, typ: typ, payload: payload, pooled: pooled})
+}
+
+// sendGroup enqueues one streamed (version-3) group reply.
+func (rw *replyWriter) sendGroup(id uint64, files []fileData) {
+	rw.enqueue(v2Reply{id: id, files: files})
+}
+
+func (rw *replyWriter) enqueue(rep v2Reply) {
 	rw.mu.Lock()
 	if rw.dead {
 		rw.mu.Unlock()
+		if rep.pooled {
+			putFrameBuf(rep.payload)
+		}
 		return
 	}
-	rw.queue = append(rw.queue, v2Reply{id: id, typ: typ, payload: payload})
+	rw.queue = append(rw.queue, rep)
 	rw.mu.Unlock()
 	select {
 	case rw.wake <- struct{}{}:
@@ -928,13 +1096,18 @@ func (rw *replyWriter) loop() {
 		for {
 			rw.mu.Lock()
 			batch := rw.queue
-			rw.queue = nil
+			// Hand the previous batch's storage back so steady-state
+			// batching reallocates nothing.
+			rw.queue = rw.free[:0]
+			rw.free = nil
 			dead, stopped := rw.dead, rw.stop
 			rw.mu.Unlock()
 			if dead {
+				rw.release(batch)
 				return
 			}
 			if len(batch) == 0 {
+				rw.recycle(batch)
 				if stopped {
 					return
 				}
@@ -942,18 +1115,105 @@ func (rw *replyWriter) loop() {
 			}
 			rw.s.armWrite(rw.conn)
 			var err error
-			for _, rep := range batch {
-				if err = putFrameID(rw.w, rep.typ, rep.id, rep.payload); err != nil {
-					break
-				}
+			if rw.ver >= protocolV3 {
+				err = rw.writeBatchV3(batch)
+			} else {
+				err = rw.writeBatchV2(batch)
 			}
-			if err == nil {
-				err = rw.w.Flush()
-			}
+			rw.recycle(batch)
 			if err != nil {
 				rw.fail(err)
 				return
 			}
+		}
+	}
+}
+
+// writeBatchV2 is the contiguous-frame path: each reply's payload is
+// buffered through the bufio writer and the batch shares one flush. The
+// wire bytes are identical to every earlier version-2 server.
+func (rw *replyWriter) writeBatchV2(batch []v2Reply) error {
+	var err error
+	for i := range batch {
+		rep := &batch[i]
+		if err = putFrameID(rw.w, rep.typ, rep.id, rep.payload); err != nil {
+			break
+		}
+		if rep.pooled {
+			putFrameBuf(rep.payload)
+			rep.pooled = false
+		}
+	}
+	if err == nil {
+		err = rw.w.Flush()
+	}
+	return err
+}
+
+// writeBatchV3 is the scatter-gather path: frame headers and chunk
+// metadata accumulate in one pooled arena, file contents are referenced
+// in place, and the whole batch leaves in a single net.Buffers write.
+// Arena growth may reallocate its backing array, but segments already
+// recorded in bufs keep pointing at the old array's (immutable) bytes,
+// so earlier frames are never corrupted.
+func (rw *replyWriter) writeBatchV3(batch []v2Reply) error {
+	arena := getEncodeBuf()
+	bufs := rw.bufs[:0]
+	for i := range batch {
+		rep := &batch[i]
+		if rep.files != nil {
+			for _, f := range rep.files {
+				start := len(arena)
+				arena = appendMemberChunkHdr(arena, rep.id, f.Path, len(f.Data))
+				bufs = append(bufs, arena[start:], f.Data)
+			}
+			var cnt [10]byte // uvarint member count
+			n := binary.PutUvarint(cnt[:], uint64(len(rep.files)))
+			start := len(arena)
+			arena = appendFrameID(arena, msgGroupEnd, rep.id, cnt[:n])
+			bufs = append(bufs, arena[start:])
+			continue
+		}
+		start := len(arena)
+		arena = appendFrameID(arena, rep.typ, rep.id, rep.payload)
+		bufs = append(bufs, arena[start:])
+		if rep.pooled {
+			putFrameBuf(rep.payload)
+			rep.pooled = false
+		}
+	}
+	// WriteTo consumes its receiver (and may rewrite elements on partial
+	// writes), so give it the scratch directly and re-truncate next
+	// batch; the element values are disposable.
+	rw.bufs = bufs
+	_, err := rw.bufs.WriteTo(rw.conn)
+	rw.bufs = bufs[:0]
+	putFrameBuf(arena)
+	return err
+}
+
+// recycle returns any still-pooled payloads and offers the batch storage
+// back for the next drain.
+func (rw *replyWriter) recycle(batch []v2Reply) {
+	for i := range batch {
+		if batch[i].pooled {
+			putFrameBuf(batch[i].payload)
+		}
+		batch[i] = v2Reply{}
+	}
+	rw.mu.Lock()
+	if rw.free == nil || cap(batch) > cap(rw.free) {
+		rw.free = batch[:0]
+	}
+	rw.mu.Unlock()
+}
+
+// release drops a batch that will never be written, returning its pooled
+// payloads.
+func (rw *replyWriter) release(batch []v2Reply) {
+	for i := range batch {
+		if batch[i].pooled {
+			putFrameBuf(batch[i].payload)
 		}
 	}
 }

@@ -49,11 +49,33 @@ func (s *Store) Get(path string) ([]byte, bool) {
 	return cp, true
 }
 
+// GetRef returns the stored contents of path without copying. The
+// returned slice is read-only and remains valid forever: Put replaces a
+// path's slice wholesale (it never mutates in place) and Delete only
+// drops the store's reference, so concurrent writers cannot corrupt a
+// reader's view. The zero-copy serving path hands these refs straight to
+// the socket writer.
+func (s *Store) GetRef(path string) ([]byte, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	data, ok := s.files[path]
+	return data, ok
+}
+
 // Contains reports whether path exists without copying its contents.
 func (s *Store) Contains(path string) bool {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	_, ok := s.files[path]
+	return ok
+}
+
+// containsBytes is Contains for a path still sitting in a frame buffer;
+// the string-conversion map index never allocates.
+func (s *Store) containsBytes(path []byte) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	_, ok := s.files[string(path)]
 	return ok
 }
 

@@ -1,0 +1,393 @@
+package fsnet
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// The v3 suite pins the streamed-group protocol: the full version
+// negotiation matrix, byte-level equivalence between streamed and
+// assembled group replies, and the poisoning contract when a member
+// stream is cut mid-flight.
+
+// TestNegotiationMatrix drives every client/server version pairing
+// through real opens and checks the negotiated version, the served
+// bytes, and whether replies streamed.
+func TestNegotiationMatrix(t *testing.T) {
+	cases := []struct {
+		name              string
+		clientMax, svrMax int
+		wantVer           int
+		wantStreamed      bool
+		legacyDowngrade   bool // server answers the hello like a pre-handshake build
+	}{
+		{name: "v3-v3", clientMax: 0, svrMax: 0, wantVer: protocolV3, wantStreamed: true},
+		{name: "v3-v3-explicit", clientMax: 3, svrMax: 3, wantVer: protocolV3, wantStreamed: true},
+		{name: "v3client-v2server", clientMax: 0, svrMax: 2, wantVer: protocolV2},
+		{name: "v2client-v3server", clientMax: 2, svrMax: 0, wantVer: protocolV2},
+		{name: "v3client-v1server", clientMax: 0, svrMax: 1, wantVer: protocolV1, legacyDowngrade: true},
+		{name: "v1client-v3server", clientMax: 1, svrMax: 0, wantVer: protocolV1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			const files = 8
+			store := seededStore(t, files)
+			srv, addr := startServer(t, store, ServerConfig{
+				GroupSize: 3, CacheCapacity: 32, MaxProtocol: tc.svrMax,
+			})
+			client, err := Dial(addr, ClientConfig{CacheCapacity: 4, MaxProtocol: tc.clientMax})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer client.Close()
+			for i := 0; i < files; i++ {
+				path := fmt.Sprintf("/data/f%03d", i)
+				data, err := client.Open(path)
+				if err != nil {
+					t.Fatalf("open %s: %v", path, err)
+				}
+				if want := "contents of " + path; string(data) != want {
+					t.Errorf("open %s = %q, want %q", path, data, want)
+				}
+			}
+			if got := client.ProtocolVersion(); got != tc.wantVer {
+				t.Errorf("negotiated version %d, want %d", got, tc.wantVer)
+			}
+			st := srv.Stats()
+			if tc.wantStreamed && st.StreamedGroups == 0 {
+				t.Errorf("server streamed no groups on a v3 session: %+v", st)
+			}
+			if !tc.wantStreamed && st.StreamedGroups != 0 {
+				t.Errorf("server streamed %d groups on a v%d session, want 0", st.StreamedGroups, tc.wantVer)
+			}
+			if tc.legacyDowngrade {
+				// The hello probe costs one counted error, nothing else.
+				if st.Errors != 1 {
+					t.Errorf("legacy downgrade errors = %d, want 1 (the probe)", st.Errors)
+				}
+			} else if st.Errors != 0 {
+				t.Errorf("server errors = %d, want 0: %+v", st.Errors, st)
+			}
+		})
+	}
+}
+
+// TestStreamedGroupMatchesAssembled is the golden equivalence check: the
+// same open against the same store must hand the application identical
+// group contents whether the reply streamed (v3) or arrived as one
+// assembled frame (v2 cap).
+func TestStreamedGroupMatchesAssembled(t *testing.T) {
+	const files = 12
+	open := func(serverMax int) []GroupFile {
+		store := seededStore(t, files)
+		srv, addr := startServer(t, store, ServerConfig{
+			GroupSize: 4, CacheCapacity: 32, MaxProtocol: serverMax,
+		})
+		client, err := Dial(addr, ClientConfig{CacheCapacity: 16})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer client.Close()
+		// Warm the server's successor metadata so the reply is a real
+		// multi-member group, then fetch it.
+		for i := 0; i < files; i++ {
+			if _, err := client.Open(fmt.Sprintf("/data/f%03d", i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		group, err := client.OpenGroup("/data/f000")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if serverMax == 0 && srv.Stats().StreamedGroups == 0 {
+			t.Fatal("uncapped run did not stream; equivalence test is vacuous")
+		}
+		return group
+	}
+	streamed := open(0)
+	assembled := open(2)
+	if len(streamed) != len(assembled) {
+		t.Fatalf("streamed group has %d members, assembled %d", len(streamed), len(assembled))
+	}
+	if len(streamed) < 2 {
+		t.Fatalf("group of %d members exercises no streaming; grow the warmup", len(streamed))
+	}
+	for i := range streamed {
+		if streamed[i].Path != assembled[i].Path {
+			t.Errorf("member %d path: streamed %q, assembled %q", i, streamed[i].Path, assembled[i].Path)
+		}
+		if !bytes.Equal(streamed[i].Data, assembled[i].Data) {
+			t.Errorf("member %d data: streamed %q, assembled %q", i, streamed[i].Data, assembled[i].Data)
+		}
+	}
+}
+
+// TestPinV3ChunkWireFormat pins the exact v3 wire bytes: a member chunk
+// frame and its closing group end, hex-encoded. A codec change that
+// breaks this test breaks deployed v3 peers.
+func TestPinV3ChunkWireFormat(t *testing.T) {
+	// Frame: len | msgMemberChunk | id=0x0102 | pathlen=2 "/a" | datalen=3, then "xyz".
+	hdr := appendMemberChunkHdr(nil, 0x0102, "/a", 3)
+	frame := append(append([]byte{}, hdr...), []byte("xyz")...)
+	const wantChunk = "00000010" + // length: 16 bytes after the prefix
+		"0a" + // msgMemberChunk
+		"0000000000000102" + // request ID
+		"022f61" + // path "/a"
+		"03" + // data length
+		"78797a" // "xyz"
+	if got := hex.EncodeToString(frame); got != wantChunk {
+		t.Errorf("member chunk wire bytes:\n got %s\nwant %s", got, wantChunk)
+	}
+	end := appendFrameID(nil, msgGroupEnd, 0x0102, appendGroupEnd(nil, 2))
+	const wantEnd = "0000000a" + "0b" + "0000000000000102" + "02"
+	if got := hex.EncodeToString(end); got != wantEnd {
+		t.Errorf("group end wire bytes:\n got %s\nwant %s", got, wantEnd)
+	}
+
+	// Round trip: the views decode back to exactly what was encoded.
+	payload := frame[4+v2HdrLen:]
+	path, data, err := memberChunkView(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(path) != "/a" || string(data) != "xyz" {
+		t.Errorf("memberChunkView = %q, %q", path, data)
+	}
+	n, err := decodeGroupEnd(end[4+v2HdrLen:])
+	if err != nil || n != 2 {
+		t.Errorf("decodeGroupEnd = %d, %v; want 2, nil", n, err)
+	}
+}
+
+// TestPinV3StreamDecodesToV2Group checks, purely at the codec level, that
+// a group streamed as member chunks reassembles into byte-identical
+// members to the same group's v2 single-frame encoding.
+func TestPinV3StreamDecodesToV2Group(t *testing.T) {
+	group := []fileData{
+		{Path: "/g/anchor", Data: []byte("anchor contents")},
+		{Path: "/g/m1", Data: []byte{}},
+		{Path: "/g/m2", Data: []byte("third member, longer contents \x00\xff")},
+	}
+
+	// v2: one assembled frame.
+	v2resp, err := decodeGroupResponse(appendGroupResponse(nil, group))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// v3: one chunk frame per member, then the end frame, exactly as
+	// writeBatchV3 lays them out.
+	var reassembled []fileData
+	for _, f := range group {
+		hdr := appendMemberChunkHdr(nil, 7, f.Path, len(f.Data))
+		frame := append(hdr, f.Data...)
+		path, data, err := memberChunkView(frame[4+v2HdrLen:])
+		if err != nil {
+			t.Fatalf("chunk %s: %v", f.Path, err)
+		}
+		reassembled = append(reassembled, fileData{Path: string(path), Data: append([]byte{}, data...)})
+	}
+	n, err := decodeGroupEnd(appendGroupEnd(nil, len(group)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(reassembled) {
+		t.Fatalf("group end count %d, reassembled %d members", n, len(reassembled))
+	}
+
+	if len(v2resp.Files) != len(reassembled) {
+		t.Fatalf("v2 decoded %d members, v3 %d", len(v2resp.Files), len(reassembled))
+	}
+	for i := range v2resp.Files {
+		if v2resp.Files[i].Path != reassembled[i].Path {
+			t.Errorf("member %d path: v2 %q, v3 %q", i, v2resp.Files[i].Path, reassembled[i].Path)
+		}
+		if !bytes.Equal(v2resp.Files[i].Data, reassembled[i].Data) {
+			t.Errorf("member %d data: v2 %q, v3 %q", i, v2resp.Files[i].Data, reassembled[i].Data)
+		}
+	}
+}
+
+// fakeV3Server accepts connections, completes the v3 handshake, and
+// hands each decoded open request to serve, which writes the reply
+// directly — the harness for wire-level fault scripts the real server
+// cannot be coaxed into.
+func fakeV3Server(t *testing.T, serve func(conn net.Conn, w *bufio.Writer, id uint64, req openRequest) bool) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = l.Close() })
+	go func() {
+		for {
+			conn, err := l.Accept()
+			if err != nil {
+				return
+			}
+			go func(conn net.Conn) {
+				defer conn.Close()
+				r := bufio.NewReader(conn)
+				w := bufio.NewWriter(conn)
+				typ, payload, err := readFrame(r)
+				if err != nil || typ != msgHello {
+					return
+				}
+				putFrameBuf(payload)
+				if err := writeHello(w, msgHelloOK, protocolV3); err != nil {
+					return
+				}
+				if err := w.Flush(); err != nil {
+					return
+				}
+				for {
+					typ, id, payload, err := readFrameID(r)
+					if err != nil {
+						return
+					}
+					if typ != msgOpen {
+						putFrameBuf(payload)
+						return
+					}
+					req, err := decodeOpenRequest(payload)
+					putFrameBuf(payload)
+					if err != nil {
+						return
+					}
+					if !serve(conn, w, id, req) {
+						return
+					}
+					if err := w.Flush(); err != nil {
+						return
+					}
+				}
+			}(conn)
+		}
+	}()
+	return l.Addr().String()
+}
+
+// writeChunk writes one member chunk frame for id.
+func writeChunk(w *bufio.Writer, id uint64, path string, data []byte) error {
+	payload := appendString(nil, path)
+	payload = appendBytes(payload, data)
+	return putFrameID(w, msgMemberChunk, id, payload)
+}
+
+// TestMidStreamCutFailsOnlyThatCall scripts a server that serves the
+// first open as a complete member stream, then cuts the connection after
+// the first chunk of the second. The second call must fail with the
+// typed transport error; the first call's result and a post-cut third
+// call (on the redialed connection) must be untouched.
+func TestMidStreamCutFailsOnlyThatCall(t *testing.T) {
+	var opens atomic.Int32
+	addr := fakeV3Server(t, func(conn net.Conn, w *bufio.Writer, id uint64, req openRequest) bool {
+		switch opens.Add(1) {
+		case 2:
+			// Half a stream, then a hard cut: one chunk, no group end.
+			_ = writeChunk(w, id, req.Path, []byte("truncated"))
+			_ = w.Flush()
+			time.Sleep(10 * time.Millisecond) // let the chunk land before the RST
+			return false
+		default:
+			if err := writeChunk(w, id, req.Path, []byte("whole "+req.Path)); err != nil {
+				return false
+			}
+			if err := writeChunk(w, id, req.Path+".member", []byte("rider")); err != nil {
+				return false
+			}
+			return putFrameID(w, msgGroupEnd, id, appendGroupEnd(nil, 2)) == nil
+		}
+	})
+
+	client, err := Dial(addr, ClientConfig{CacheCapacity: 8, MaxRetries: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	// Call 1: a clean streamed group.
+	data, err := client.Open("/s/one")
+	if err != nil {
+		t.Fatalf("open 1: %v", err)
+	}
+	if want := "whole /s/one"; string(data) != want {
+		t.Errorf("open 1 = %q, want %q", data, want)
+	}
+	if got := client.ProtocolVersion(); got != protocolV3 {
+		t.Fatalf("negotiated %d, want %d", got, protocolV3)
+	}
+
+	// Call 2: the stream is cut after its first chunk. With retries
+	// disabled the typed error surfaces to this call and no other.
+	if _, err := client.Open("/s/two"); !errors.Is(err, ErrConnBroken) {
+		t.Fatalf("open 2 err = %v, want ErrConnBroken", err)
+	}
+
+	// Call 1's cached result is intact — the poison touched in-flight
+	// calls only.
+	data, err = client.Open("/s/one")
+	if err != nil {
+		t.Fatalf("open 1 (cached) after cut: %v", err)
+	}
+	if want := "whole /s/one"; string(data) != want {
+		t.Errorf("open 1 (cached) = %q, want %q", data, want)
+	}
+
+	// Call 3: a fresh path redials and streams cleanly.
+	data, err = client.Open("/s/three")
+	if err != nil {
+		t.Fatalf("open 3 (post-cut redial): %v", err)
+	}
+	if want := "whole /s/three"; string(data) != want {
+		t.Errorf("open 3 = %q, want %q", data, want)
+	}
+	st := client.Stats()
+	if st.BrokenConns != 1 {
+		t.Errorf("BrokenConns = %d, want exactly the scripted cut", st.BrokenConns)
+	}
+}
+
+// TestStreamCountMismatchPoisons scripts a group end that declares more
+// members than were streamed; the client must reject the reply with the
+// typed transport error rather than surface a short group.
+func TestStreamCountMismatchPoisons(t *testing.T) {
+	addr := fakeV3Server(t, func(conn net.Conn, w *bufio.Writer, id uint64, req openRequest) bool {
+		_ = writeChunk(w, id, req.Path, []byte("lonely"))
+		_ = putFrameID(w, msgGroupEnd, id, appendGroupEnd(nil, 3))
+		return true // loop flushes; the client poisons and closes
+	})
+	client, err := Dial(addr, ClientConfig{CacheCapacity: 8, MaxRetries: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	if _, err := client.Open("/s/short"); !errors.Is(err, ErrConnBroken) {
+		t.Fatalf("short stream err = %v, want ErrConnBroken", err)
+	}
+}
+
+// TestStreamedWrongFirstChunkPoisons scripts a stream whose first chunk
+// is not the demanded path — reply misdelivery the client must refuse.
+func TestStreamedWrongFirstChunkPoisons(t *testing.T) {
+	addr := fakeV3Server(t, func(conn net.Conn, w *bufio.Writer, id uint64, req openRequest) bool {
+		_ = writeChunk(w, id, "/not/"+req.Path, []byte("imposter"))
+		_ = putFrameID(w, msgGroupEnd, id, appendGroupEnd(nil, 1))
+		return true // loop flushes; the client poisons and closes
+	})
+	client, err := Dial(addr, ClientConfig{CacheCapacity: 8, MaxRetries: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	if _, err := client.Open("/s/mismatch"); !errors.Is(err, ErrConnBroken) {
+		t.Fatalf("mismatched stream err = %v, want ErrConnBroken", err)
+	}
+}

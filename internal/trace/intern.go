@@ -28,9 +28,32 @@ func (in *Interner) Intern(path string) FileID {
 	return id
 }
 
+// InternBytes is Intern for a path held in a byte slice. Looking up an
+// already-known path allocates nothing (the map index with a string
+// conversion compiles to an allocation-free lookup); only a first-time
+// assignment materializes the string. The wire decoders use this to
+// translate paths straight out of pooled frame buffers.
+func (in *Interner) InternBytes(path []byte) FileID {
+	if id, ok := in.ids[string(path)]; ok {
+		return id
+	}
+	p := string(path)
+	id := FileID(len(in.paths))
+	in.ids[p] = id
+	in.paths = append(in.paths, p)
+	return id
+}
+
 // Lookup returns the FileID for path and whether it has been interned.
 func (in *Interner) Lookup(path string) (FileID, bool) {
 	id, ok := in.ids[path]
+	return id, ok
+}
+
+// LookupBytes is Lookup for a path held in a byte slice; it never
+// allocates.
+func (in *Interner) LookupBytes(path []byte) (FileID, bool) {
+	id, ok := in.ids[string(path)]
 	return id, ok
 }
 

@@ -89,3 +89,51 @@ func TestWrapInterner(t *testing.T) {
 		t.Errorf("Intern(/z) = %d, want 2", got)
 	}
 }
+
+// TestSyncInternerPromotion drives the interner well past the promotion
+// threshold and checks that IDs stay dense and stable across epochs, via
+// both the string and byte-slice entry points.
+func TestSyncInternerPromotion(t *testing.T) {
+	s := NewSyncInterner()
+	const n = 1000 // several promotions at the minimum threshold of 64
+	for i := 0; i < n; i++ {
+		p := fmt.Sprintf("/epoch/f%04d", i)
+		var id FileID
+		if i%2 == 0 {
+			id = s.Intern(p)
+		} else {
+			id = s.InternBytes([]byte(p))
+		}
+		if int(id) != i {
+			t.Fatalf("Intern(%q) = %d, want %d", p, id, i)
+		}
+	}
+	if s.Len() != n {
+		t.Fatalf("Len = %d, want %d", s.Len(), n)
+	}
+	for i := 0; i < n; i++ {
+		p := fmt.Sprintf("/epoch/f%04d", i)
+		if id := s.InternBytes([]byte(p)); int(id) != i {
+			t.Errorf("re-InternBytes(%q) = %d, want %d", p, id, i)
+		}
+		if got := s.Path(FileID(i)); got != p {
+			t.Errorf("Path(%d) = %q, want %q", i, got, p)
+		}
+	}
+}
+
+// TestInternerBytes exercises the plain Interner's byte-slice entry
+// points against the string ones.
+func TestInternerBytes(t *testing.T) {
+	in := NewInterner()
+	a := in.InternBytes([]byte("/a"))
+	if b := in.Intern("/a"); b != a {
+		t.Errorf("Intern after InternBytes: %d != %d", b, a)
+	}
+	if _, ok := in.LookupBytes([]byte("/missing")); ok {
+		t.Error("LookupBytes(/missing) = true, want false")
+	}
+	if id, ok := in.LookupBytes([]byte("/a")); !ok || id != a {
+		t.Errorf("LookupBytes(/a) = %d,%v, want %d,true", id, ok, a)
+	}
+}
