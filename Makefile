@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race race-par cluster churn bench bench-json bench-gate loadtest metrics-smoke rolling-smoke profile chaos experiments examples fuzz clean
+.PHONY: all build vet test race race-par cluster churn gossip bench bench-json bench-gate loadtest metrics-smoke rolling-smoke gossip-smoke profile chaos experiments examples fuzz clean
 
 all: build vet test
 
@@ -45,6 +45,15 @@ churn:
 	$(GO) test -race -run 'TestHandoff|TestExportGroups' ./internal/fsnet/
 	$(GO) test -race -run 'TestRunClusterDrainEndpoints|TestRunPeersFileReload|TestRunLoadChurn' ./cmd/aggserve/ ./cmd/aggbench/
 
+# Gossip view dissemination under the race detector: the wire-level
+# view frames and piggybacked hints, the cluster-side exchange and drain
+# goodbye, and the deterministic partition/convergence harness
+# (DESIGN.md §15).
+gossip:
+	$(GO) test -race -run 'TestView|TestHintPiggyback|TestHintDedup' ./internal/fsnet/
+	$(GO) test -race -run 'TestApplyView|TestViewPullPushBetween|TestDrainGoodbye|TestViewHintHook|TestViewExchangeRespects' ./internal/cluster/
+	$(GO) test -race ./internal/gossip/
+
 # Machine-readable baseline for the key hot-path and sweep benchmarks
 # (ns/op, B/op, allocs/op, custom metrics). Commit the refreshed file when
 # a perf change moves the numbers on purpose.
@@ -86,6 +95,13 @@ metrics-smoke:
 # zero failed opens (DESIGN.md §13).
 rolling-smoke:
 	sh ./scripts/rolling_restart_smoke.sh
+
+# Gossip convergence smoke: boot a 3-node aggserve cluster, POST /reload
+# on exactly one node, and verify gossip alone converges every node's
+# epoch; then drain a node and verify the goodbye push shrinks both
+# survivors' views with no operator reload (DESIGN.md §15).
+gossip-smoke:
+	sh ./scripts/gossip_smoke.sh
 
 # Profile the headline claims experiment and print the hottest frames.
 # Leaves cpu.pprof and mem.pprof behind for interactive `go tool pprof`.

@@ -29,11 +29,14 @@
 // code path for an apples-to-apples comparison).
 //
 // -churn (with -cluster >= 2) exercises elastic membership under load:
-// at 40% progress the survivors drop the last node from their views and
-// it drains — streaming every owned group's learned state to the new
-// owners — and at 70% the full membership is reinstalled. The workload
-// never pauses; the run fails if churn surfaces client-visible errors,
-// and the summary gains drain/handoff/hint counters.
+// at 40% progress the last node drains — its goodbye gossip removes it
+// from the survivors' views, no per-node operator action — and streams
+// every owned group's learned state to the new owners; at 70% the full
+// membership is reinstalled on ONE node and gossip (internal/gossip)
+// spreads it to the rest. The workload never pauses; the run fails if
+// churn surfaces client-visible errors or if any node fails to converge
+// to the final epoch, and the summary gains drain/handoff/hint counters
+// plus the gossip convergence verdict.
 //
 // Examples:
 //
@@ -59,6 +62,7 @@ import (
 	"aggcache/internal/benchparse"
 	"aggcache/internal/cluster"
 	"aggcache/internal/fsnet"
+	"aggcache/internal/gossip"
 	"aggcache/internal/obs"
 	"aggcache/internal/trace"
 	"aggcache/internal/workload"
@@ -408,7 +412,7 @@ func parseFlags(args []string) (config, error) {
 	fs.IntVar(&cfg.proto, "proto", 0, "cap clients at this protocol version: 1 lock-step, 2 pipelined, 3 streamed groups; 0 negotiates the latest")
 	fs.BoolVar(&cfg.serial, "serial", false, "cap clients at protocol version 1 (lock-step baseline; shorthand for -proto 1)")
 	fs.IntVar(&cfg.cluster, "cluster", 0, "run an in-process consistent-hash cluster of N nodes with replicated stores, connections spread round-robin (0 = plain single server)")
-	fs.BoolVar(&cfg.churn, "churn", false, "mid-run membership churn: at 40%% progress the last node drains out of the ring, at 70%% it rejoins; measures elastic membership under load (requires -cluster >= 2)")
+	fs.BoolVar(&cfg.churn, "churn", false, "mid-run membership churn: at 40%% progress the last node drains out of the ring (its goodbye gossip updates the survivors), at 70%% the rejoin view is installed on one node and gossip spreads it; the run fails unless every node converges (requires -cluster >= 2)")
 	fs.BoolVar(&cfg.metrics, "metrics", false, "wire an obs registry into the clients and report its series; the benchmark name gains an Obs suffix so instrumented and bare runs diff separately")
 	fs.BoolVar(&cfg.jsonOut, "json", false, "emit machine-readable JSON (benchjson-compatible schema)")
 	fs.BoolVar(&cfg.gobench, "gobench", false, "emit one `go test -bench`-style result line (pipes into cmd/benchjson)")
@@ -485,6 +489,13 @@ type clusterSummary struct {
 	handoffs   uint64
 	hintQueued uint64
 	hintReplay uint64
+
+	// Gossip convergence verdict for the churn script: whether both
+	// transitions completed, and whether every node reached the leave
+	// and rejoin epochs without the conductor updating it.
+	scriptDone      bool
+	leaveConverged  bool
+	rejoinConverged bool
 }
 
 func (r *result) throughput() float64 {
@@ -634,6 +645,7 @@ func runLoad(cfg config) (*result, error) {
 				GroupSize:     cfg.group,
 				CacheCapacity: cfg.serverCache,
 				Router:        node,
+				Views:         node,
 			})
 			if err != nil {
 				_ = node.Close()
@@ -643,6 +655,14 @@ func runLoad(cfg config) (*result, error) {
 			go func() { _ = srv.Serve(l) }()
 			nodes = append(nodes, node)
 			servers = append(servers, srv)
+			if cfg.churn {
+				// Churn runs converge by gossip, not by the conductor
+				// updating every node; a short anti-entropy period keeps
+				// the convergence window well inside the run.
+				gsp := gossip.New(gossip.Config{Node: node, Interval: 25 * time.Millisecond})
+				gsp.Start()
+				shutdowns = append(shutdowns, func() error { gsp.Stop(); return nil })
+			}
 			shutdowns = append(shutdowns, node.Close, srv.Close)
 		}
 		targets = addrs
@@ -739,14 +759,20 @@ func runLoad(cfg config) (*result, error) {
 	var opens, errCount atomic.Uint64
 
 	// -churn: a background conductor takes the last node through a full
-	// leave/rejoin cycle while the workload runs. At 40% progress the
-	// survivors install a view without it and it drains (streaming its
-	// owned group state to the new owners); at 70% everyone installs the
-	// full view again. The workload itself never pauses — elastic
-	// membership is only working if the clients cannot tell.
+	// leave/rejoin cycle while the workload runs — and since PR 9 it acts
+	// on a single node per transition, leaving dissemination to gossip.
+	// At 40% progress the last node drains: its goodbye push removes it
+	// from the survivors' views with no conductor involvement. At 70% the
+	// full view is reinstalled on node 0 only, and piggybacked hints plus
+	// anti-entropy carry it to everyone else — the drained node included,
+	// which is what clears its draining flag (the rejoin). The workload
+	// itself never pauses, and the run asserts every node converges to
+	// the final epoch — elastic membership is only working if the clients
+	// cannot tell and the operators did not have to fan out.
 	loadDone := make(chan struct{})
 	churnDone := make(chan struct{})
 	var drainRep cluster.DrainReport
+	var leaveConverged, rejoinConverged, churnScriptDone bool
 	if cfg.churn && len(nodes) >= 2 {
 		total := uint64(cfg.conns) * uint64(cfg.opens)
 		waitFor := func(frac float64) bool {
@@ -760,25 +786,42 @@ func runLoad(cfg config) (*result, error) {
 			}
 			return true
 		}
+		// converged polls (bounded) until every listed node has reached
+		// epoch want. The poll outlives the load on purpose: gossip may
+		// still be spreading the last view when the final open lands.
+		converged := func(want uint64, members []*cluster.Node) bool {
+			deadline := time.Now().Add(10 * time.Second)
+			for time.Now().Before(deadline) {
+				ok := true
+				for _, n := range members {
+					if n.Epoch() < want {
+						ok = false
+						break
+					}
+				}
+				if ok {
+					return true
+				}
+				time.Sleep(2 * time.Millisecond)
+			}
+			return false
+		}
 		go func() {
 			defer close(churnDone)
 			victim := len(nodes) - 1
-			rest := targets[:victim]
 			if !waitFor(0.4) {
 				return
-			}
-			for _, n := range nodes[:victim] {
-				_ = n.Update(2, rest)
 			}
 			if rep, err := nodes[victim].Drain(servers[victim]); err == nil {
 				drainRep = rep
 			}
+			leaveConverged = converged(drainRep.GoodbyeEpoch, nodes[:victim])
 			if !waitFor(0.7) {
 				return
 			}
-			for _, n := range nodes {
-				_ = n.Update(3, targets)
-			}
+			_ = nodes[0].Update(drainRep.GoodbyeEpoch+1, targets)
+			rejoinConverged = converged(drainRep.GoodbyeEpoch+1, nodes)
+			churnScriptDone = true
 		}()
 	} else {
 		close(churnDone)
@@ -857,6 +900,9 @@ func runLoad(cfg config) (*result, error) {
 		res.clus.churned = true
 		res.clus.drainSent = uint64(drainRep.GroupsSent)
 		res.clus.drainFail = uint64(drainRep.GroupsFailed)
+		res.clus.scriptDone = churnScriptDone
+		res.clus.leaveConverged = leaveConverged
+		res.clus.rejoinConverged = rejoinConverged
 		for _, s := range servers {
 			res.clus.handoffs += s.Stats().Handoffs
 		}
@@ -889,6 +935,18 @@ func (r *result) writeText(out *os.File) {
 	if r.clus.churned {
 		fmt.Fprintf(out, "  churn:      drain-sent %d  drain-failed %d  handoffs-installed %d  hints-queued %d  hints-replayed %d\n",
 			r.clus.drainSent, r.clus.drainFail, r.clus.handoffs, r.clus.hintQueued, r.clus.hintReplay)
+		verdict := func(ok bool) string {
+			if ok {
+				return "converged"
+			}
+			return "FAILED"
+		}
+		if r.clus.scriptDone {
+			fmt.Fprintf(out, "  gossip:     leave %s  rejoin %s\n",
+				verdict(r.clus.leaveConverged), verdict(r.clus.rejoinConverged))
+		} else {
+			fmt.Fprintf(out, "  gossip:     churn script did not complete (run too short)\n")
+		}
 	}
 	if r.reg != nil {
 		for _, s := range r.reg.Snapshot() {
@@ -1011,6 +1069,11 @@ func (r *result) writeJSON(out *os.File) error {
 			m["churn_handoffs"] = float64(r.clus.handoffs)
 			m["churn_hints_queued"] = float64(r.clus.hintQueued)
 			m["churn_hints_replayed"] = float64(r.clus.hintReplay)
+			churnOK := 0.0
+			if r.clus.scriptDone && r.clus.leaveConverged && r.clus.rejoinConverged {
+				churnOK = 1
+			}
+			m["churn_gossip_converged"] = churnOK
 		}
 	}
 	for name, v := range r.obsMetrics() {
@@ -1057,6 +1120,10 @@ func run(args []string, out *os.File) error {
 	}
 	if res.errors > res.opens/10 {
 		return fmt.Errorf("%d of %d opens failed; load run not representative", res.errors, res.errors+res.opens)
+	}
+	if res.clus.scriptDone && !(res.clus.leaveConverged && res.clus.rejoinConverged) {
+		return fmt.Errorf("churn: gossip failed to converge membership (leave=%v rejoin=%v)",
+			res.clus.leaveConverged, res.clus.rejoinConverged)
 	}
 	if cfg.jsonOut {
 		return res.writeJSON(out)

@@ -78,6 +78,7 @@ import (
 
 	"aggcache/internal/cluster"
 	"aggcache/internal/fsnet"
+	"aggcache/internal/gossip"
 	"aggcache/internal/obs"
 )
 
@@ -109,6 +110,7 @@ func run(args []string) error {
 		peersFile    = fl.String("peers-file", "", "file of cluster peer addresses, one per line with optional 'epoch N' directive; re-read on SIGHUP or POST /reload")
 		self         = fl.String("self", "", "this node's advertised address within -peers (defaults to -addr)")
 		replicas     = fl.Int("ring-replicas", 0, "consistent-hash virtual nodes per peer (0 = library default)")
+		gossipEvery  = fl.Duration("gossip-interval", time.Second, "anti-entropy period for membership gossip (0 disables the background loop; piggybacked hints still converge)")
 		statsAddr    = fl.String("stats", "", "serve stats over HTTP on this address: /stats (JSON counters), /metrics (Prometheus text), /metrics.json (metrics plus recent events)")
 		slowReq      = fl.Duration("slow-request", 0, "record opens slower than this to the event log (0 disables)")
 		logEvents    = fl.Bool("log-events", false, "mirror recorded events (slow requests, breaker transitions, reconnects) to stderr via log/slog")
@@ -237,6 +239,15 @@ func run(args []string) error {
 		log.Printf("aggserve: joined %d-peer ring as %s (epoch %d)", len(peerList), selfAddr, node.Epoch())
 	}
 
+	// The gossiper runs whenever clustering is on, even at interval 0:
+	// hint-triggered pulls (a peer's piggybacked epoch outrunning ours)
+	// need its subscription regardless of the anti-entropy loop.
+	if node != nil {
+		gsp := gossip.New(gossip.Config{Node: node, Interval: *gossipEvery, Obs: reg})
+		gsp.Start()
+		defer gsp.Stop()
+	}
+
 	// reload re-reads -peers-file and installs it as a new membership
 	// view. An epoch 0 file (no directive) means "one past whatever is
 	// installed", so plain peer-list edits always win.
@@ -272,8 +283,9 @@ func run(args []string) error {
 	}
 	if node != nil {
 		// A typed nil in the Router interface would still be "set"; only
-		// wire the hook when clustering is actually on.
+		// wire the hooks when clustering is actually on.
 		srvCfg.Router = node
+		srvCfg.Views = node
 	}
 	srv, err := fsnet.NewServer(store, srvCfg)
 	if err != nil {
@@ -463,6 +475,10 @@ func readPeersFile(path string) (epoch uint64, peerList []string, err error) {
 // (CoalescedStages and RemoteOpens included) plus, when clustering is
 // on, the node's routing counters and per-peer breaker health.
 type snapshot struct {
+	// Epoch is the installed membership epoch, lifted to the top level
+	// (0 when standalone) so fleet tooling polling for convergence can
+	// key on one stable field.
+	Epoch   uint64
 	Server  fsnet.ServerStats
 	Cluster *cluster.NodeStats `json:",omitempty"`
 }
@@ -471,6 +487,7 @@ func statsSnapshot(srv *fsnet.Server, node *cluster.Node) snapshot {
 	snap := snapshot{Server: srv.Stats()}
 	if node != nil {
 		cs := node.Stats()
+		snap.Epoch = cs.Epoch
 		snap.Cluster = &cs
 	}
 	return snap

@@ -143,6 +143,10 @@ type Node struct {
 
 	draining atomic.Bool
 
+	// viewHint is the registered gossip hint callback (see OnViewHint in
+	// gossipview.go); nil until a gossiper subscribes.
+	viewHint atomic.Pointer[func(addr string, epoch uint64)]
+
 	mirMu  sync.Mutex
 	mirror *mirror
 
@@ -227,6 +231,9 @@ func (n *Node) newPeer(addr string) (*peer, error) {
 		// Fail fast: retries would only delay the breaker's verdict,
 		// and the degraded local path is always available.
 		MaxRetries: 0,
+		// Piggyback this node's view epoch on every forward so peers
+		// learn of membership changes without a dedicated exchange.
+		Views: n,
 	})
 	if err != nil {
 		return nil, err

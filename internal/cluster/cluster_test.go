@@ -87,6 +87,7 @@ func startCluster(t *testing.T, numNodes int, mut func(i int, cfg *Config)) *tes
 			GroupSize:         3,
 			SuccessorCapacity: 2,
 			Router:            node,
+			Views:             node,
 		})
 		if err != nil {
 			t.Fatal(err)

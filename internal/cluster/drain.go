@@ -37,6 +37,14 @@ type DrainReport struct {
 	GroupsSkipped int
 	// PerPeer counts delivered groups by receiving peer address.
 	PerPeer map[string]int
+	// Goodbye accounting: the self-less view's epoch, and how many peers
+	// it was pushed to, failed to reach, or was skipped for (breaker open
+	// or a pre-v3 peer). Survivors that miss the goodbye still converge
+	// by gossip from the peers that got it.
+	GoodbyeEpoch   uint64
+	GoodbyePushed  int
+	GoodbyeFailed  int
+	GoodbyeSkipped int
 }
 
 // Drain begins this node's graceful departure: the node stops reporting
@@ -71,6 +79,42 @@ func (n *Node) Drain(src GroupSource) (DrainReport, error) {
 			rest.Add(m)
 		}
 	}
+
+	// Goodbye push: offer every reachable peer the view without us, one
+	// epoch ahead of the view we drained against, so the fleet converges
+	// on our departure with no operator reload. This runs before the
+	// handoffs: a survivor that installs the goodbye early serves the
+	// moved paths cold until its handoff lands, which is correct either
+	// way. Our own view deliberately stays intact (see above); gossip
+	// echoing the self-less view back at us is harmless — we keep
+	// serving locally whatever the shrunk ring no longer sends us.
+	if rest.Len() > 0 {
+		rep.GoodbyeEpoch = v.epoch + 1
+		goodbye := rest.Members()
+		for _, target := range goodbye {
+			p := v.peers[target]
+			if p == nil || !p.admit() {
+				rep.GoodbyeSkipped++
+				continue
+			}
+			_, err := p.client.ViewPush(rep.GoodbyeEpoch, goodbye)
+			n.noteOutcome(p, err)
+			if err != nil {
+				if errors.Is(err, fsnet.ErrViewUnsupported) {
+					rep.GoodbyeSkipped++
+				} else {
+					rep.GoodbyeFailed++
+				}
+				continue
+			}
+			rep.GoodbyePushed++
+		}
+		n.events.Record("drain_goodbye",
+			obs.F("self", n.self),
+			obs.F("epoch", strconv.FormatUint(rep.GoodbyeEpoch, 10)),
+			obs.F("pushed", strconv.Itoa(rep.GoodbyePushed)))
+	}
+
 	if rest.Len() > 0 && src != nil {
 		groups := src.ExportGroups(func(path string) bool {
 			return v.ring.Owner(path) == n.self

@@ -1,0 +1,174 @@
+package cluster
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestApplyViewSemantics pins the ViewSource contract gossip depends
+// on: stale views report (false, nil) — losing a race is not an error —
+// while invalid views report a real error, and winners install.
+func TestApplyViewSemantics(t *testing.T) {
+	tc := startCluster(t, 2, nil)
+	n := tc.nodes[0]
+
+	if applied, err := n.ApplyView(1, tc.addrs); applied || err != nil {
+		t.Errorf("stale ApplyView = (%v, %v), want (false, nil)", applied, err)
+	}
+	if n.Stats().Epoch != 1 {
+		t.Fatalf("stale apply moved the epoch to %d", n.Epoch())
+	}
+	if applied, err := n.ApplyView(3, tc.addrs); !applied || err != nil {
+		t.Fatalf("ApplyView(3) = (%v, %v), want installed", applied, err)
+	}
+	if n.Epoch() != 3 {
+		t.Fatalf("epoch %d after apply, want 3", n.Epoch())
+	}
+	if applied, err := n.ApplyView(5, nil); applied || err == nil {
+		t.Errorf("memberless ApplyView = (%v, %v), want a validation error", applied, err)
+	}
+}
+
+// TestViewPullPushBetweenNodes exchanges views over the real wire in
+// both directions, including the transient-client path for an address
+// outside the caller's installed view.
+func TestViewPullPushBetweenNodes(t *testing.T) {
+	tc := startCluster(t, 3, nil)
+	a, b := tc.nodes[0], tc.nodes[1]
+
+	// b is newer; a pulls and installs.
+	if err := b.Update(4, tc.addrs); err != nil {
+		t.Fatal(err)
+	}
+	applied, remote, err := a.ViewPullFrom(tc.addrs[1])
+	if err != nil || !applied || remote != 4 {
+		t.Fatalf("ViewPullFrom(newer) = (%v, %d, %v), want (true, 4, nil)", applied, remote, err)
+	}
+	if a.Epoch() != 4 {
+		t.Fatalf("a's epoch %d after pull, want 4", a.Epoch())
+	}
+
+	// Same epoch on both sides: the pull reports the peer's epoch and
+	// installs nothing.
+	applied, remote, err = a.ViewPullFrom(tc.addrs[1])
+	if err != nil || applied || remote != 4 {
+		t.Fatalf("ViewPullFrom(equal) = (%v, %d, %v), want (false, 4, nil)", applied, remote, err)
+	}
+
+	// a advances to a view that drops node 2, then pushes it to b.
+	if err := a.Update(6, tc.addrs[:2]); err != nil {
+		t.Fatal(err)
+	}
+	remoteEpoch, err := a.ViewPushTo(tc.addrs[1], 6, tc.addrs[:2])
+	if err != nil || remoteEpoch != 6 {
+		t.Fatalf("ViewPushTo = (%d, %v), want (6, nil)", remoteEpoch, err)
+	}
+	if b.Epoch() != 6 || len(b.Members()) != 2 {
+		t.Fatalf("b after push: epoch %d members %v, want 6/%v", b.Epoch(), b.Members(), tc.addrs[:2])
+	}
+
+	// Node 2 is no longer in a's view, so this pull runs over a
+	// transient client; node 2 still sits at epoch 1.
+	applied, remote, err = a.ViewPullFrom(tc.addrs[2])
+	if err != nil || applied || remote != 1 {
+		t.Fatalf("transient ViewPullFrom = (%v, %d, %v), want (false, 1, nil)", applied, remote, err)
+	}
+	if a.Epoch() != 6 {
+		t.Fatalf("transient pull moved a's epoch to %d", a.Epoch())
+	}
+}
+
+// TestDrainGoodbyeConvergesSurvivors is the drain half of the gossip
+// acceptance bar: one Drain call removes the departing node from every
+// survivor's view with no operator reload anywhere.
+func TestDrainGoodbyeConvergesSurvivors(t *testing.T) {
+	tc := startCluster(t, 3, nil)
+	rep, err := tc.nodes[2].Drain(tc.servers[2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.GoodbyeEpoch != 2 {
+		t.Errorf("goodbye epoch %d, want installed+1 = 2", rep.GoodbyeEpoch)
+	}
+	if rep.GoodbyePushed != 2 || rep.GoodbyeFailed != 0 || rep.GoodbyeSkipped != 0 {
+		t.Errorf("goodbye pushed/failed/skipped = %d/%d/%d, want 2/0/0",
+			rep.GoodbyePushed, rep.GoodbyeFailed, rep.GoodbyeSkipped)
+	}
+	for i := 0; i < 2; i++ {
+		n := tc.nodes[i]
+		if n.Epoch() != 2 {
+			t.Errorf("survivor %d epoch %d, want 2", i, n.Epoch())
+		}
+		for _, m := range n.Members() {
+			if m == tc.addrs[2] {
+				t.Errorf("survivor %d still lists the drained node", i)
+			}
+		}
+		if len(n.Members()) != 2 {
+			t.Errorf("survivor %d has %d members, want 2", i, len(n.Members()))
+		}
+	}
+	// The drainer's own view stays intact (DESIGN.md §13): it keeps
+	// serving what it still holds, and the shrunk ring reaches it only
+	// if gossip echoes the goodbye back — which is harmless, but must
+	// not have happened synchronously here.
+	if tc.nodes[2].Epoch() != 1 || !tc.nodes[2].Draining() {
+		t.Errorf("drainer epoch %d draining %v, want own view intact and draining",
+			tc.nodes[2].Epoch(), tc.nodes[2].Draining())
+	}
+}
+
+// TestViewHintHookDelivery: hints flow transport → Node → registered
+// callback, and unregistering stops them.
+func TestViewHintHookDelivery(t *testing.T) {
+	tc := startCluster(t, 2, nil)
+	type hint struct {
+		addr  string
+		epoch uint64
+	}
+	got := make(chan hint, 4)
+	tc.nodes[0].OnViewHint(func(addr string, epoch uint64) {
+		got <- hint{addr, epoch}
+	})
+	tc.nodes[0].NoteViewEpoch("peer:9", 7)
+	select {
+	case h := <-got:
+		if h.addr != "peer:9" || h.epoch != 7 {
+			t.Errorf("hook got %+v, want peer:9/7", h)
+		}
+	default:
+		t.Fatal("hook not invoked synchronously")
+	}
+	tc.nodes[0].OnViewHint(nil)
+	tc.nodes[0].NoteViewEpoch("peer:9", 8)
+	select {
+	case h := <-got:
+		t.Errorf("unregistered hook still invoked: %+v", h)
+	default:
+	}
+}
+
+// TestViewExchangeRespectsBreaker: a peer in cooldown refuses the
+// exchange locally with ErrPeerDown instead of burning a dial.
+func TestViewExchangeRespectsBreaker(t *testing.T) {
+	tc := startCluster(t, 2, nil)
+	n := tc.nodes[0]
+	tc.gates[tc.addrs[1]].SetDown(true)
+	// Trip the breaker with failing pulls.
+	for i := 0; i < defaultFailureThreshold; i++ {
+		if _, _, err := n.ViewPullFrom(tc.addrs[1]); err == nil {
+			t.Fatal("pull through a down gate succeeded")
+		}
+	}
+	if _, _, err := n.ViewPullFrom(tc.addrs[1]); !errors.Is(err, ErrPeerDown) {
+		t.Fatalf("pull with tripped breaker = %v, want ErrPeerDown", err)
+	}
+	// Heal and lapse the cooldown on the fake clock; the next exchange
+	// is the probe and it closes the breaker.
+	tc.gates[tc.addrs[1]].SetDown(false)
+	tc.clk.Advance(defaultDownDuration + time.Second)
+	if _, _, err := n.ViewPullFrom(tc.addrs[1]); err != nil {
+		t.Fatalf("post-heal probe pull: %v", err)
+	}
+}

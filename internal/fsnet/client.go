@@ -125,6 +125,13 @@ type ClientConfig struct {
 	// reconnect/downgrade/conn_broken/degraded_hit events to its event
 	// log. ClientStats stays authoritative either way.
 	Obs *obs.Registry
+	// Views, when set, wires membership-view dissemination into the
+	// transport (internal/gossip): version-3 connections piggyback the
+	// local epoch as a msgViewHint ahead of each request batch, inbound
+	// hints are forwarded to Views.NoteViewEpoch, and ViewPull/ViewPush
+	// become usable. Nil keeps the wire byte-identical to a pre-gossip
+	// client.
+	Views ViewSource
 }
 
 // maxProto normalizes MaxProtocol to a usable version number.
@@ -547,6 +554,97 @@ func (c *Client) Handoff(anchor string, members []string) error {
 	}
 }
 
+// ViewPull asks the server for its membership view (gossip anti-entropy).
+// The request carries our own epoch and address, so the responder can
+// note us for a symmetric pull-back if we are the newer side. The reply
+// is either the responder's full view (members non-nil: it was newer) or
+// just its epoch (members nil: it was not newer than the epoch we sent).
+// Requires cfg.Views; fails with ErrViewUnsupported against a peer whose
+// negotiated protocol predates version 3.
+func (c *Client) ViewPull() (epoch uint64, members []string, err error) {
+	vs := c.cfg.Views
+	if vs == nil {
+		return 0, nil, errors.New("fsnet: ViewPull needs cfg.Views")
+	}
+	payload := appendViewMsg(nil, vs.Epoch(), vs.Self())
+	typ, body, _, err := c.roundTrip(msgViewPull, "", payload)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer putFrameBuf(body)
+	switch typ {
+	case msgViewPush:
+		epoch, _, members, derr := decodeViewPush(body)
+		if derr != nil {
+			c.poisonCurrent()
+			return 0, nil, fmt.Errorf("%w: %v", ErrConnBroken, derr)
+		}
+		if members == nil {
+			members = []string{} // non-nil: a pushed empty view is still a view
+		}
+		return epoch, members, nil
+	case msgViewHint:
+		epoch, _, derr := decodeViewMsg(body)
+		if derr != nil {
+			c.poisonCurrent()
+			return 0, nil, fmt.Errorf("%w: %v", ErrConnBroken, derr)
+		}
+		return epoch, nil, nil
+	case msgError:
+		e, derr := decodeErrorResponse(body)
+		if derr != nil {
+			c.poisonCurrent()
+			return 0, nil, fmt.Errorf("%w: %v", ErrConnBroken, derr)
+		}
+		return 0, nil, fmt.Errorf("fsnet: server error %d: %s", e.Code, e.Message)
+	default:
+		c.poisonCurrent()
+		return 0, nil, fmt.Errorf("%w: unexpected reply type %d", ErrConnBroken, typ)
+	}
+}
+
+// ViewPush offers a membership view to the server, which validates and
+// installs it through its own view source (a stale epoch is not an
+// error — the receiver was simply newer). The returned remoteEpoch is
+// the receiver's epoch after the install. The pushed view is explicit
+// rather than read from cfg.Views because a draining node's goodbye
+// pushes a view it deliberately does not install itself. Requires
+// cfg.Views; fails with ErrViewUnsupported against a pre-v3 peer.
+func (c *Client) ViewPush(epoch uint64, members []string) (remoteEpoch uint64, err error) {
+	vs := c.cfg.Views
+	if vs == nil {
+		return 0, errors.New("fsnet: ViewPush needs cfg.Views")
+	}
+	if len(members) > maxViewMembers {
+		return 0, fmt.Errorf("fsnet: view of %d members exceeds limit %d", len(members), maxViewMembers)
+	}
+	payload := appendViewPush(nil, epoch, vs.Self(), members)
+	typ, body, _, err := c.roundTrip(msgViewPush, "", payload)
+	if err != nil {
+		return 0, err
+	}
+	defer putFrameBuf(body)
+	switch typ {
+	case msgViewHint:
+		remoteEpoch, _, derr := decodeViewMsg(body)
+		if derr != nil {
+			c.poisonCurrent()
+			return 0, fmt.Errorf("%w: %v", ErrConnBroken, derr)
+		}
+		return remoteEpoch, nil
+	case msgError:
+		e, derr := decodeErrorResponse(body)
+		if derr != nil {
+			c.poisonCurrent()
+			return 0, fmt.Errorf("%w: %v", ErrConnBroken, derr)
+		}
+		return 0, fmt.Errorf("fsnet: server error %d: %s", e.Code, e.Message)
+	default:
+		c.poisonCurrent()
+		return 0, fmt.Errorf("%w: unexpected reply type %d", ErrConnBroken, typ)
+	}
+}
+
 // Write stores a whole file on the server (write-through) and refreshes
 // the local cached copy if resident. Writes are not access events: the
 // grouping model tracks opens (§2.2), so a write does not perturb the
@@ -839,7 +937,10 @@ func (c *Client) roundTrip(reqType uint8, path string, payload []byte) (uint8, [
 		if err != nil {
 			// The poisoning path already restored any claimed history.
 			lastErr = err
-			if errors.Is(err, errClientClosed) || attempt >= c.cfg.MaxRetries {
+			if errors.Is(err, errClientClosed) || errors.Is(err, ErrViewUnsupported) || attempt >= c.cfg.MaxRetries {
+				// ErrViewUnsupported is terminal: the peer's negotiated
+				// protocol has no view frames, and a retry renegotiates
+				// the same version.
 				return 0, nil, nil, lastErr
 			}
 			continue
@@ -873,6 +974,12 @@ func (c *Client) roundTrip(reqType uint8, path string, payload []byte) (uint8, [
 
 // callMux performs one pipelined call over the multiplexed transport.
 func (c *Client) callMux(m *muxConn, reqType uint8, path string, payload []byte) (uint8, []byte, [][]byte, []string, error) {
+	if isViewMsg(reqType) && m.ver < protocolV3 {
+		// A version-2 peer has no view frames; sending one would draw an
+		// "unknown message type" error and desynchronize nothing, but the
+		// contract is stronger: pre-v3 peers never see gossip traffic.
+		return 0, nil, nil, nil, ErrViewUnsupported
+	}
 	call, err := m.enqueue(reqType, path, payload)
 	if err != nil {
 		return 0, nil, nil, nil, err
@@ -905,6 +1012,10 @@ func (c *Client) callMux(m *muxConn, reqType uint8, path string, payload []byte)
 // callV1 performs one lock-step round trip over the legacy transport.
 // reqMu serializes these; it is never held by the pipelined path.
 func (c *Client) callV1(cc *clientConn, reqType uint8, path string, payload []byte) (uint8, []byte, []string, error) {
+	if isViewMsg(reqType) {
+		// Lock-step peers predate view frames entirely.
+		return 0, nil, nil, ErrViewUnsupported
+	}
 	c.reqMu.Lock()
 	defer c.reqMu.Unlock()
 	var claimed []string
@@ -1118,7 +1229,7 @@ func (c *Client) noteReconnect(conn net.Conn) {
 // installMux publishes a pipelined connection (negotiated version ver,
 // which is 2 or 3) and starts its goroutines. Called with connMu held.
 func (c *Client) installMux(cc *clientConn, countRedial bool, ver int) (*muxConn, error) {
-	m := newMuxConn(c, cc)
+	m := newMuxConn(c, cc, ver)
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()

@@ -28,6 +28,13 @@ type muxConn struct {
 	conn net.Conn
 	r    *bufio.Reader
 	w    *bufio.Writer
+	ver  int // negotiated protocol version (>= 2)
+
+	// View-hint piggyback state, touched only by the writer goroutine:
+	// the epoch last announced on this connection, so a stable view costs
+	// one frame per connection rather than one per batch.
+	hintSent  bool
+	hintEpoch uint64
 
 	mu     sync.Mutex
 	nextID uint64
@@ -91,12 +98,13 @@ type muxResult struct {
 	err    error
 }
 
-func newMuxConn(c *Client, cc *clientConn) *muxConn {
+func newMuxConn(c *Client, cc *clientConn, ver int) *muxConn {
 	return &muxConn{
 		c:     c,
 		conn:  cc.conn,
 		r:     cc.r,
 		w:     cc.w,
+		ver:   ver,
 		calls: c.takeCallScrap(),
 		wake:  make(chan struct{}, 1),
 	}
@@ -178,7 +186,24 @@ func (m *muxConn) writer() {
 			}
 			m.mu.Unlock()
 			var err error
+			// Piggyback the membership epoch ahead of the batch on a
+			// version-3 connection with a view source: one msgViewHint
+			// under request ID 0 (never a real request ID — those start at
+			// 1), re-sent only when the epoch changes. Appending to enc
+			// after the unlock is safe: if append reallocates, the batch
+			// payload slices keep aliasing the old (immutable) backing.
+			if m.ver >= protocolV3 && m.c.cfg.Views != nil {
+				if epoch := m.c.cfg.Views.Epoch(); !m.hintSent || epoch != m.hintEpoch {
+					start := len(enc)
+					enc = appendViewMsg(enc, epoch, m.c.cfg.Views.Self())
+					err = putFrameID(m.w, msgViewHint, 0, enc[start:])
+					m.hintSent, m.hintEpoch = true, epoch
+				}
+			}
 			for _, call := range batch {
+				if err != nil {
+					break
+				}
 				if err = putFrameID(m.w, call.typ, call.id, call.payload); err != nil {
 					break
 				}
@@ -219,6 +244,22 @@ func (m *muxConn) reader() {
 		if err != nil {
 			m.poison(fmt.Errorf("%w: %v", ErrConnBroken, err))
 			return
+		}
+		if id == 0 && typ == msgViewHint {
+			// Unsolicited epoch announcement from the server's reply
+			// batches; request IDs start at 1, so ID 0 never matches a
+			// call. Advisory: noted when a view source is wired, dropped
+			// otherwise.
+			epoch, sender, derr := decodeViewMsg(payload)
+			putFrameBuf(payload)
+			if derr != nil {
+				m.poison(fmt.Errorf("%w: %v", ErrConnBroken, derr))
+				return
+			}
+			if m.c.cfg.Views != nil {
+				m.c.cfg.Views.NoteViewEpoch(sender, epoch)
+			}
+			continue
 		}
 		switch typ {
 		case msgMemberChunk:

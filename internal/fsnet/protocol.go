@@ -58,6 +58,24 @@ const (
 	// msgGroupEnd terminates a streamed group reply, carrying the member
 	// count so the client can verify it saw the whole group.
 	msgGroupEnd
+	// msgViewHint is an advisory membership-epoch announcement: the
+	// sender's advertised cluster address plus its installed view epoch.
+	// It piggybacks on version-3 connections — unsolicited under request
+	// ID 0, deduplicated per epoch per connection — and also serves as
+	// the "not newer than you" reply to msgViewPull and the ack to
+	// msgViewPush. Advisory only: a receiver without a view source
+	// ignores it, and it is never sent on a pre-v3 connection.
+	msgViewHint
+	// msgViewPull asks the receiver for its membership view. The payload
+	// carries the puller's own address and epoch so the responder can
+	// pull back symmetrically if the puller is the newer side. Answered
+	// with msgViewPush (responder newer) or msgViewHint (responder not
+	// newer).
+	msgViewPull
+	// msgViewPush carries a full membership view — epoch, sender address,
+	// and the peer list — for the receiver to validate and install.
+	// Acked with msgViewHint carrying the receiver's resulting epoch.
+	msgViewPush
 )
 
 // Protocol versions. Version 1 is the original lock-step protocol (no

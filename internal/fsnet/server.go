@@ -69,6 +69,13 @@ type ServerConfig struct {
 	// SlowRequest, when positive and Obs is set, records a structured
 	// slow_request event for every open that takes at least this long.
 	SlowRequest time.Duration
+	// Views, when set, wires membership-view dissemination into the
+	// serving path (internal/gossip): version-3 reply batches piggyback
+	// the local epoch as a msgViewHint, inbound hints feed
+	// Views.NoteViewEpoch, and msgViewPull/msgViewPush are served.
+	// Nil answers view frames with CodeBadRequest and keeps the reply
+	// stream byte-identical to a pre-gossip server.
+	Views ViewSource
 }
 
 // OpenRouter routes open requests whose group is placed on another
@@ -557,6 +564,20 @@ func (s *Server) serveV2(conn net.Conn, r *bufio.Reader, w *bufio.Writer, src ui
 				}
 				return
 			}
+			if typ == msgViewHint {
+				// Unsolicited epoch announcement piggybacked ahead of a
+				// client's request batch. Advisory by design: malformed or
+				// unconfigured hints are dropped, never answered, so a
+				// plain v3 client works unchanged against a gossip-enabled
+				// server and vice versa.
+				if vs := s.cfg.Views; vs != nil {
+					if epoch, sender, derr := decodeViewMsg(payload); derr == nil {
+						vs.NoteViewEpoch(sender, epoch)
+					}
+				}
+				putFrameBuf(payload)
+				continue
+			}
 			if typ == msgOpen && s.cfg.Router == nil {
 				s.serveRequestV2(rw, src, typ, id, payload)
 				continue
@@ -643,6 +664,50 @@ func (s *Server) serveRequestV2(rw *replyWriter, src uint64, typ uint8, id uint6
 		}
 		s.handoff(req)
 		rw.send(id, msgHandoffOK, nil, false)
+	case msgViewPull:
+		// Anti-entropy exchange: answer with our full view when we are
+		// newer than the puller, otherwise just our epoch. Either way the
+		// puller's own epoch is noted, so if *it* is the newer side the
+		// view source pulls back symmetrically. View frames are
+		// control-plane traffic and count no request, like the handshake.
+		epoch, sender, err := decodeViewMsg(payload)
+		putFrameBuf(payload)
+		if err != nil {
+			rw.sendError(id, errorResponse{Code: CodeBadRequest, Message: err.Error()})
+			return
+		}
+		vs := s.cfg.Views
+		if vs == nil {
+			rw.sendError(id, errorResponse{Code: CodeBadRequest, Message: "no membership view"})
+			return
+		}
+		vs.NoteViewEpoch(sender, epoch)
+		ourEpoch, members := vs.ViewSnapshot()
+		if ourEpoch > epoch {
+			rw.send(id, msgViewPush, appendViewPush(getEncodeBuf(), ourEpoch, vs.Self(), members), true)
+			return
+		}
+		rw.send(id, msgViewHint, appendViewMsg(getEncodeBuf(), ourEpoch, vs.Self()), true)
+	case msgViewPush:
+		epoch, _, members, err := decodeViewPush(payload)
+		putFrameBuf(payload)
+		if err != nil {
+			rw.sendError(id, errorResponse{Code: CodeBadRequest, Message: err.Error()})
+			return
+		}
+		vs := s.cfg.Views
+		if vs == nil {
+			rw.sendError(id, errorResponse{Code: CodeBadRequest, Message: "no membership view"})
+			return
+		}
+		if _, aerr := vs.ApplyView(epoch, members); aerr != nil {
+			// A stale push is applied=false with nil error and still acked
+			// below — the pusher learns our (newer) epoch from the ack.
+			// Only an invalid view is a request error.
+			rw.sendError(id, errorResponse{Code: CodeBadRequest, Message: aerr.Error()})
+			return
+		}
+		rw.send(id, msgViewHint, appendViewMsg(getEncodeBuf(), vs.Epoch(), vs.Self()), true)
 	default:
 		putFrameBuf(payload)
 		rw.sendError(id, errorResponse{
@@ -1014,6 +1079,14 @@ type replyWriter struct {
 	stopped chan struct{}
 
 	bufs net.Buffers // scatter-gather scratch, reused per batch
+
+	// View-hint piggyback state, touched only by the loop goroutine: the
+	// epoch last announced on this connection, so a stable view costs one
+	// frame per connection rather than one per batch. Only the version-3
+	// batch path hints; v2 reply bytes stay identical to every earlier
+	// server.
+	sentAny   bool
+	sentEpoch uint64
 }
 
 type v2Reply struct {
@@ -1159,6 +1232,20 @@ func (rw *replyWriter) writeBatchV2(batch []v2Reply) error {
 func (rw *replyWriter) writeBatchV3(batch []v2Reply) error {
 	arena := getEncodeBuf()
 	bufs := rw.bufs[:0]
+	// Piggyback the membership epoch ahead of the batch when a view
+	// source is wired: one msgViewHint under request ID 0 (request IDs
+	// start at 1), re-sent only when the epoch changes. Without Views
+	// this is a single nil check — the hit path stays alloc-free.
+	if vs := rw.s.cfg.Views; vs != nil {
+		if epoch := vs.Epoch(); !rw.sentAny || epoch != rw.sentEpoch {
+			scratch := appendViewMsg(getEncodeBuf(), epoch, vs.Self())
+			start := len(arena)
+			arena = appendFrameID(arena, msgViewHint, 0, scratch)
+			bufs = append(bufs, arena[start:])
+			putFrameBuf(scratch)
+			rw.sentAny, rw.sentEpoch = true, epoch
+		}
+	}
 	for i := range batch {
 		rep := &batch[i]
 		if rep.files != nil {
