@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race race-par cluster churn gossip bench bench-json bench-gate loadtest metrics-smoke rolling-smoke gossip-smoke profile chaos experiments examples fuzz clean
+.PHONY: all build vet test race race-par cluster churn gossip bench bench-json bench-gate loadtest metrics-smoke rolling-smoke gossip-smoke trace-smoke profile chaos experiments examples fuzz clean
 
 all: build vet test
 
@@ -102,6 +102,13 @@ rolling-smoke:
 # survivors' views with no operator reload (DESIGN.md §15).
 gossip-smoke:
 	sh ./scripts/gossip_smoke.sh
+
+# Distributed-tracing smoke: boot a 3-node aggserve cluster with head
+# sampling forced on, drive load, and verify the fleet scraper stitches
+# a >= 2-node trace, /trace/<id> resolves it, and /metrics carries
+# exemplars (DESIGN.md §16).
+trace-smoke:
+	sh ./scripts/trace_smoke.sh
 
 # Profile the headline claims experiment and print the hottest frames.
 # Leaves cpu.pprof and mem.pprof behind for interactive `go tool pprof`.

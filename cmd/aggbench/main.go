@@ -38,6 +38,14 @@
 // to the final epoch, and the summary gains drain/handoff/hint counters
 // plus the gossip convergence verdict.
 //
+// -trace-collect turns aggbench into the fleet trace scraper instead of
+// a load generator: given the stats addresses of running aggserve nodes,
+// it unions the trace IDs from each node's /traces, joins every node's
+// /trace/<id> spans on trace ID, and emits the stitched fleet-wide
+// traces as JSON (widest first). -trace-min-nodes fails the run unless
+// some trace spans that many nodes — the smoke test's cross-node
+// propagation assertion is just this exit code.
+//
 // Examples:
 //
 //	aggbench -conns 8 -workers 4
@@ -55,6 +63,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -393,6 +402,9 @@ type config struct {
 	gobench     bool
 	cpuProf     string
 	memProf     string
+
+	traceCollect  string
+	traceMinNodes int
 }
 
 func parseFlags(args []string) (config, error) {
@@ -418,8 +430,15 @@ func parseFlags(args []string) (config, error) {
 	fs.BoolVar(&cfg.gobench, "gobench", false, "emit one `go test -bench`-style result line (pipes into cmd/benchjson)")
 	fs.StringVar(&cfg.cpuProf, "cpuprofile", "", "write a CPU profile of the load run to this file")
 	fs.StringVar(&cfg.memProf, "memprofile", "", "write an allocation profile of the load run to this file")
+	fs.StringVar(&cfg.traceCollect, "trace-collect", "", "comma-separated stats addresses: skip load generation, scrape each node's /traces and /trace/<id>, and emit fleet-stitched traces as JSON")
+	fs.IntVar(&cfg.traceMinNodes, "trace-min-nodes", 1, "with -trace-collect, fail unless some stitched trace spans at least this many nodes")
 	if err := fs.Parse(args); err != nil {
 		return cfg, err
+	}
+	if cfg.traceCollect != "" {
+		// Collection is a scrape, not a load run; the load-shape flags
+		// do not apply and are ignored.
+		return cfg, nil
 	}
 	if cfg.conns < 1 || cfg.workers < 1 || cfg.opens < 1 {
 		return cfg, fmt.Errorf("conns, workers, and opens must all be positive")
@@ -1016,10 +1035,10 @@ func (r *result) writeGobench(out *os.File) {
 	fmt.Fprintf(out, "Benchmark%s-%d\t%8d\t%.1f ns/op\t%.0f opens/s\t%d p95_ns\t%d p99_ns\t%.3f hit_rate",
 		r.benchName(), r.cfg.conns*r.cfg.workers, r.opens, nsPerOp, r.throughput(),
 		r.pct(95).Nanoseconds(), r.pct(99).Nanoseconds(), r.hitRate)
-	if r.ttfb.Count > 0 {
-		fmt.Fprintf(out, "\t%d ttfb_p50_ns\t%d ttfb_p95_ns",
-			r.ttfb.Percentile(50), r.ttfb.Percentile(95))
-	}
+	// Unconditional, like the JSON path: stable columns across protocol
+	// versions keep the committed baseline's key set fixed.
+	fmt.Fprintf(out, "\t%d ttfb_p50_ns\t%d ttfb_p95_ns",
+		r.ttfb.Percentile(50), r.ttfb.Percentile(95))
 	if om := r.obsMetrics(); om != nil {
 		fmt.Fprintf(out, "\t%.0f obs_call_p95_ns\t%.0f obs_reconnects",
 			om["fsnet_client_call_latency_ns_p95"], om["fsnet_client_reconnects_total"])
@@ -1047,14 +1066,16 @@ func (r *result) writeJSON(out *os.File) error {
 				"conns":    float64(r.cfg.conns),
 				"workers":  float64(r.cfg.workers),
 				"proto":    float64(r.cfg.proto),
+				// TTFB keys are emitted unconditionally (zero when the run
+				// recorded no fetch timings) so the key set — what benchparse
+				// diffs and BENCH_BASELINE.json commits — is identical across
+				// protocol versions instead of gaining columns at v3.
+				"ttfb_count":  float64(r.ttfb.Count),
+				"ttfb_p50_ns": float64(r.ttfb.Percentile(50)),
+				"ttfb_p95_ns": float64(r.ttfb.Percentile(95)),
+				"ttfb_p99_ns": float64(r.ttfb.Percentile(99)),
 			},
 		}},
-	}
-	if r.ttfb.Count > 0 {
-		m := set.Benchmarks[0].Metrics
-		m["ttfb_p50_ns"] = float64(r.ttfb.Percentile(50))
-		m["ttfb_p95_ns"] = float64(r.ttfb.Percentile(95))
-		m["ttfb_p99_ns"] = float64(r.ttfb.Percentile(99))
 	}
 	if r.clus.nodes > 0 {
 		m := set.Benchmarks[0].Metrics
@@ -1088,6 +1109,15 @@ func run(args []string, out *os.File) error {
 	cfg, err := parseFlags(args)
 	if err != nil {
 		return err
+	}
+	if cfg.traceCollect != "" {
+		var addrs []string
+		for _, a := range strings.Split(cfg.traceCollect, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				addrs = append(addrs, a)
+			}
+		}
+		return collectTraces(addrs, cfg.traceMinNodes, out)
 	}
 	if cfg.cpuProf != "" {
 		f, err := os.Create(cfg.cpuProf)

@@ -80,6 +80,7 @@ import (
 	"aggcache/internal/fsnet"
 	"aggcache/internal/gossip"
 	"aggcache/internal/obs"
+	"aggcache/internal/obs/otrace"
 )
 
 func main() {
@@ -111,6 +112,9 @@ func run(args []string) error {
 		self         = fl.String("self", "", "this node's advertised address within -peers (defaults to -addr)")
 		replicas     = fl.Int("ring-replicas", 0, "consistent-hash virtual nodes per peer (0 = library default)")
 		gossipEvery  = fl.Duration("gossip-interval", time.Second, "anti-entropy period for membership gossip (0 disables the background loop; piggybacked hints still converge)")
+		gossipFanout = fl.Int("gossip-fanout", 1, "distinct random peers reconciled per anti-entropy round")
+		traceSample  = fl.Int("trace-sample", otrace.DefaultSampleRate, "head-sample one request trace in N (1 traces everything, negative disables head sampling; slow requests are always tail-captured)")
+		traceCap     = fl.Int("trace-buffer", otrace.DefaultCapacity, "bound on the in-memory span ring served by /traces and /trace/<id>")
 		statsAddr    = fl.String("stats", "", "serve stats over HTTP on this address: /stats (JSON counters), /metrics (Prometheus text), /metrics.json (metrics plus recent events)")
 		slowReq      = fl.Duration("slow-request", 0, "record opens slower than this to the event log (0 disables)")
 		logEvents    = fl.Bool("log-events", false, "mirror recorded events (slow requests, breaker transitions, reconnects) to stderr via log/slog")
@@ -186,6 +190,20 @@ func run(args []string) error {
 		reg.Events().SetSink(slog.New(slog.NewTextHandler(os.Stderr, nil)))
 	}
 
+	// The tracer is likewise unconditional: at the default 1/1024 head
+	// sampling an unsampled request costs one atomic add, and the span
+	// ring is a fixed allocation. The node name is the advertised address
+	// so stitched fleet traces name their hops usefully.
+	traceNode := *self
+	if traceNode == "" {
+		traceNode = *addr
+	}
+	tracer := otrace.New(otrace.Config{
+		Node:       traceNode,
+		SampleRate: *traceSample,
+		Capacity:   *traceCap,
+	})
+
 	var node *cluster.Node
 	if *peers != "" && *peersFile != "" {
 		return fmt.Errorf("-peers and -peers-file are mutually exclusive")
@@ -224,6 +242,7 @@ func run(args []string) error {
 			Peers:    peerList,
 			Replicas: *replicas,
 			Obs:      reg,
+			Trace:    tracer,
 		})
 		if err != nil {
 			return err
@@ -243,7 +262,7 @@ func run(args []string) error {
 	// hint-triggered pulls (a peer's piggybacked epoch outrunning ours)
 	// need its subscription regardless of the anti-entropy loop.
 	if node != nil {
-		gsp := gossip.New(gossip.Config{Node: node, Interval: *gossipEvery, Obs: reg})
+		gsp := gossip.New(gossip.Config{Node: node, Interval: *gossipEvery, Fanout: *gossipFanout, Obs: reg, Trace: tracer})
 		gsp.Start()
 		defer gsp.Stop()
 	}
@@ -280,6 +299,7 @@ func run(args []string) error {
 		Logger:            log.New(os.Stderr, "", log.LstdFlags),
 		Obs:               reg,
 		SlowRequest:       *slowReq,
+		Trace:             tracer,
 	}
 	if node != nil {
 		// A typed nil in the Router interface would still be "set"; only
@@ -321,6 +341,8 @@ func run(args []string) error {
 		})
 		mux.Handle("/metrics", reg.MetricsHandler())
 		mux.Handle("/metrics.json", reg.JSONHandler())
+		mux.Handle("/traces", tracer.SummariesHandler())
+		mux.Handle("/trace/", tracer.TraceHandler())
 		// Liveness: the process is up and serving HTTP. Readiness adds
 		// membership: a standalone node is always ready; a clustered node
 		// is ready only while it is in the ring and not draining, so load

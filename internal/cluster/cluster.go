@@ -42,6 +42,7 @@ import (
 
 	"aggcache/internal/fsnet"
 	"aggcache/internal/obs"
+	"aggcache/internal/obs/otrace"
 	"aggcache/internal/singleflight"
 )
 
@@ -103,6 +104,12 @@ type Config struct {
 	// membership transitions to its event log. NodeStats works either
 	// way, fed from the same counters.
 	Obs *obs.Registry
+	// Trace, when set, records routing spans — mirror hits, coalesced
+	// waits, forwarded RPCs, hint replays — as children of the request's
+	// inbound trace context, and propagates the context to the owning
+	// peer on forwarded opens (fsnet msgTraceCtx). Nil keeps routing
+	// span-free; untraced requests cost nothing either way.
+	Trace *otrace.Tracer
 }
 
 func (cfg Config) withDefaults() Config {
@@ -181,6 +188,8 @@ type forward struct {
 	err   error
 }
 
+var _ fsnet.TracedRouter = (*Node)(nil)
+
 // NewNode validates cfg and installs the epoch-1 view: the ring over
 // cfg.Peers plus one lazy-dialing fsnet client per remote peer. No
 // connection is opened until the first forward, so nodes of a cluster
@@ -205,7 +214,7 @@ func NewNode(cfg Config) (*Node, error) {
 		hints:  newHintTable(cfg.HintCapacity),
 	}
 	n.wireMetrics(cfg.Obs)
-	v := &view{epoch: 1, ring: ring, peers: make(map[string]*peer)}
+	v := &view{epoch: 1, ring: ring, peers: make(map[string]*peer), hash: viewHash(ring.Members())}
 	for _, addr := range ring.Members() {
 		if addr == cfg.Self {
 			continue
@@ -318,6 +327,16 @@ func (n *Node) Self() string { return n.self }
 // The membership view is loaded once per call: an open that raced a
 // ring swap completes against the view it started with.
 func (n *Node) RouteOpen(path string, accessed []string) ([]fsnet.GroupFile, bool, error) {
+	return n.RouteOpenTraced(path, accessed, otrace.Ctx{})
+}
+
+// RouteOpenTraced implements fsnet.TracedRouter: RouteOpen carrying the
+// request's trace context. A sampled context gets child spans for the
+// routing outcome — "mirror", "coalesced_wait", or "forward_rpc" — and
+// rides the forwarded OpenGroup to the owner, whose server records its
+// own spans under the same trace ID; the fleet scraper stitches the two
+// nodes' rings back into one tree.
+func (n *Node) RouteOpenTraced(path string, accessed []string, tctx otrace.Ctx) ([]fsnet.GroupFile, bool, error) {
 	v := n.view.Load()
 	owner := v.ring.Owner(path)
 	if owner == n.self || owner == "" {
@@ -325,6 +344,12 @@ func (n *Node) RouteOpen(path string, accessed []string) ([]fsnet.GroupFile, boo
 		return nil, false, nil
 	}
 	p := v.peers[owner]
+
+	tr := n.cfg.Trace
+	var tstart time.Time
+	if tctx.Sampled {
+		tstart = n.cfg.Now()
+	}
 
 	// Mirror first: a mirrored group answers even while its owner is
 	// down, and relays the history so it rides the next forward fetch.
@@ -335,6 +360,9 @@ func (n *Node) RouteOpen(path string, accessed []string) ([]fsnet.GroupFile, boo
 		n.mirrorHits.Add(1)
 		p.client.NoteAccess(accessed...)
 		p.client.NoteAccess(path)
+		if tctx.Sampled {
+			tr.Record(tr.Child(tctx), "mirror", path, tstart, n.cfg.Now().Sub(tstart))
+		}
 		return files, true, nil
 	}
 
@@ -348,10 +376,20 @@ func (n *Node) RouteOpen(path string, accessed []string) ([]fsnet.GroupFile, boo
 	}
 
 	// Coalesce concurrent forwards of the same path: one OpenGroup
-	// serves every open that arrived while it was in flight.
+	// serves every open that arrived while it was in flight. Only the
+	// leader's context travels downstream; a sampled follower records
+	// just its local wait below.
 	res, _, coalesced := n.flights.Do(path, func() (forward, bool) {
 		p.client.NoteAccess(accessed...)
-		files, err := p.client.OpenGroup(path)
+		fctx := tr.Child(tctx)
+		var fstart time.Time
+		if fctx.Sampled {
+			fstart = n.cfg.Now()
+		}
+		files, err := p.client.OpenGroupCtx(path, fctx)
+		if fctx.Sampled {
+			tr.Record(fctx, "forward_rpc", path, fstart, n.cfg.Now().Sub(fstart))
+		}
 		switch {
 		case err == nil:
 			if p.noteSuccess() {
@@ -374,6 +412,9 @@ func (n *Node) RouteOpen(path string, accessed []string) ([]fsnet.GroupFile, boo
 	case res.err == nil:
 		if coalesced {
 			n.coalesced.Add(1)
+			if tctx.Sampled {
+				tr.Record(tr.Child(tctx), "coalesced_wait", path, tstart, n.cfg.Now().Sub(tstart))
+			}
 		} else {
 			n.forwardedOpens.Add(1)
 		}

@@ -88,6 +88,10 @@ func startCluster(t *testing.T, numNodes int, mut func(i int, cfg *Config)) *tes
 			SuccessorCapacity: 2,
 			Router:            node,
 			Views:             node,
+			// The node and its server share one tracer, mirroring aggserve:
+			// a mut that wires cfg.Trace gets inbound-context decoding on
+			// the serving side for free.
+			Trace: cfg.Trace,
 		})
 		if err != nil {
 			t.Fatal(err)

@@ -100,9 +100,16 @@ func (n *Node) ViewPullFrom(addr string) (applied bool, remoteEpoch uint64, err 
 }
 
 // installPulled is the tail of ViewPullFrom: a nil member list means the
-// responder was not newer and answered with a bare epoch hint.
+// responder was not newer and answered with a bare epoch hint. Peers at
+// our epoch reply with their full view (so divergent same-epoch views
+// tiebreak on content hash); when the pulled view is byte-identical to
+// ours — the steady state of every anti-entropy round — skip Update
+// entirely rather than count a stale rejection per round.
 func (n *Node) installPulled(epoch uint64, members []string) (bool, uint64, error) {
 	if members == nil {
+		return false, epoch, nil
+	}
+	if cur := n.view.Load(); epoch == cur.epoch && viewHash(members) == cur.hash {
 		return false, epoch, nil
 	}
 	applied, err := n.ApplyView(epoch, members)

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"strconv"
 	"sync"
+	"time"
 
 	"aggcache/internal/fsnet"
 	"aggcache/internal/obs"
@@ -136,8 +137,19 @@ func (n *Node) replayHints(p *peer) {
 	if len(paths) == 0 {
 		return
 	}
+	// A replay is its own trace root (there is no inbound request to
+	// parent it); the head sampler decides, same as any entry point.
+	tr := n.cfg.Trace
+	tctx := tr.Root()
+	var tstart time.Time
+	if tctx.Sampled {
+		tstart = n.cfg.Now()
+		defer func() {
+			tr.Record(tctx, "handoff_replay", paths[len(paths)-1], tstart, n.cfg.Now().Sub(tstart))
+		}()
+	}
 	p.client.NoteAccess(paths...)
-	files, err := p.client.OpenGroup(paths[len(paths)-1])
+	files, err := p.client.OpenGroupCtx(paths[len(paths)-1], tr.Child(tctx))
 	switch {
 	case err == nil:
 		n.mirMu.Lock()

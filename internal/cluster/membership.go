@@ -11,21 +11,46 @@ import (
 	"aggcache/internal/obs"
 )
 
-// ErrStaleView rejects a membership update whose epoch does not advance
-// the installed view. Concurrent operators (a SIGHUP racing an HTTP
-// reload, two config pushes crossing) resolve deterministically: the
-// higher epoch wins, the stale one is refused and counted.
+// ErrStaleView rejects a membership update that does not advance the
+// installed view. Concurrent operators (a SIGHUP racing an HTTP reload,
+// two config pushes crossing) resolve deterministically: the higher
+// epoch wins, and between two views minting the *same* epoch — two
+// operators racing the same epoch+1 with different member lists — the
+// higher view-content hash wins, so every node converges on one of the
+// two without coordination. The losing update is refused and counted.
 var ErrStaleView = errors.New("cluster: stale membership view")
 
 // view is one immutable membership generation: an epoch number, the
-// consistent-hash ring it induces, and the live peer set (Self
-// excluded). Node readers load the current view once and use it to
-// completion, so a ring swap is atomic — in-flight opens finish against
-// the view they started with, and the next open sees the new one.
+// consistent-hash ring it induces, the live peer set (Self excluded),
+// and the member list's content hash (the equal-epoch tiebreak). Node
+// readers load the current view once and use it to completion, so a
+// ring swap is atomic — in-flight opens finish against the view they
+// started with, and the next open sees the new one.
 type view struct {
 	epoch uint64
 	ring  *Ring
 	peers map[string]*peer
+	hash  uint64
+}
+
+// viewHash fingerprints a member list with FNV-1a over the sorted
+// addresses (Ring.Members order), a NUL separating entries. Identical
+// member sets hash identically on every node — addresses contain no
+// NUL — which is what makes the equal-epoch tiebreak coordination-free.
+func viewHash(members []string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, m := range members {
+		for i := 0; i < len(m); i++ {
+			h ^= uint64(m[i])
+			h *= prime64
+		}
+		h *= prime64 // NUL separator: XOR with 0 is a no-op, the multiply is not
+	}
+	return h
 }
 
 // Epoch returns the installed view's epoch (1 at construction).
@@ -44,12 +69,16 @@ func (n *Node) Ready() bool {
 // Draining reports whether a graceful drain has begun.
 func (n *Node) Draining() bool { return n.draining.Load() }
 
-// Update installs a new membership view. epoch must exceed the
-// installed view's epoch or the update is refused with ErrStaleView —
-// version numbering is what lets racing reloads land in any order with
-// a deterministic winner. peers is the complete new member list; Self
-// need not be in it (a node that has been drained out keeps running and
-// forwards everything it no longer owns).
+// Update installs a new membership view. The update must advance the
+// installed view — a higher epoch, or the same epoch with a higher
+// member-list hash — or it is refused with ErrStaleView. Version
+// numbering is what lets racing reloads land in any order with a
+// deterministic winner, and the content-hash tiebreak extends that to
+// two operators racing the *same* epoch mint: whichever list hashes
+// higher wins on every node, so the fleet converges without any
+// coordination. peers is the complete new member list; Self need not be
+// in it (a node that has been drained out keeps running and forwards
+// everything it no longer owns).
 //
 // Surviving peers keep their breaker state and client connections;
 // joining peers get fresh ones. Removed peers are garbage-collected:
@@ -68,16 +97,22 @@ func (n *Node) Update(epoch uint64, peers []string) error {
 		return errors.New("cluster: node closed")
 	}
 	cur := n.view.Load()
-	if epoch <= cur.epoch {
+	if epoch < cur.epoch {
 		n.staleUpdates.Add(1)
-		return fmt.Errorf("%w: epoch %d <= installed %d", ErrStaleView, epoch, cur.epoch)
+		return fmt.Errorf("%w: epoch %d < installed %d", ErrStaleView, epoch, cur.epoch)
 	}
 	ring := NewRing(n.cfg.Replicas)
 	ring.Add(peers...)
 	if ring.Len() == 0 {
 		return errors.New("cluster: membership view has no members")
 	}
-	next := &view{epoch: epoch, ring: ring, peers: make(map[string]*peer)}
+	hash := viewHash(ring.Members())
+	if epoch == cur.epoch && hash <= cur.hash {
+		n.staleUpdates.Add(1)
+		return fmt.Errorf("%w: epoch %d content hash %016x does not beat installed %016x",
+			ErrStaleView, epoch, hash, cur.hash)
+	}
+	next := &view{epoch: epoch, ring: ring, peers: make(map[string]*peer), hash: hash}
 	for _, addr := range ring.Members() {
 		if addr == n.self {
 			continue

@@ -51,9 +51,10 @@ func TestMembershipUpdateSwapsRing(t *testing.T) {
 	}
 }
 
-// TestMembershipStaleEpochRejected: a view numbered at or below the
-// installed epoch must be refused, so a delayed or replayed update can
-// never roll the ring backwards.
+// TestMembershipStaleEpochRejected: a view that does not advance the
+// installed one — an older epoch, or the same epoch with an equal or
+// lower content hash — must be refused, so a delayed or replayed update
+// can never roll the ring backwards.
 func TestMembershipStaleEpochRejected(t *testing.T) {
 	tc := startCluster(t, 2, nil)
 	n := tc.nodes[0]
@@ -61,8 +62,8 @@ func TestMembershipStaleEpochRejected(t *testing.T) {
 	if err := n.Update(5, tc.addrs); err != nil {
 		t.Fatal(err)
 	}
-	if err := n.Update(5, tc.addrs[:1]); !errors.Is(err, ErrStaleView) {
-		t.Errorf("equal epoch accepted: %v", err)
+	if err := n.Update(5, tc.addrs); !errors.Is(err, ErrStaleView) {
+		t.Errorf("equal epoch with identical members accepted: %v", err)
 	}
 	if err := n.Update(3, tc.addrs[:1]); !errors.Is(err, ErrStaleView) {
 		t.Errorf("older epoch accepted: %v", err)
@@ -73,6 +74,91 @@ func TestMembershipStaleEpochRejected(t *testing.T) {
 	if err := n.Update(6, nil); err == nil {
 		t.Error("empty membership accepted")
 	}
+}
+
+// TestMembershipEqualEpochTiebreak pins the coordination-free resolution
+// of two operators minting the same epoch with different member lists:
+// between equal epochs the higher view-content hash wins, on every node,
+// in whichever order the two updates arrive. Applying both candidate
+// views to two nodes in opposite orders must converge them on the same
+// member list, with the loser counted as stale.
+func TestMembershipEqualEpochTiebreak(t *testing.T) {
+	tc := startCluster(t, 3, nil)
+
+	// The two racing epoch-2 views: one drops node 2, the other node 1.
+	// Which one wins is decided by viewHash alone — compute the expected
+	// winner the same way Update does.
+	viewA := tc.addrs[:2]
+	viewB := []string{tc.addrs[0], tc.addrs[2]}
+	winner := viewA
+	if viewHash(ringMembers(t, viewB)) > viewHash(ringMembers(t, viewA)) {
+		winner = viewB
+	}
+
+	apply := func(n *Node, first, second []string) (firstErr, secondErr error) {
+		return n.Update(2, first), n.Update(2, second)
+	}
+	errA1, errB1 := apply(tc.nodes[0], viewA, viewB)
+	errB2, errA2 := apply(tc.nodes[1], viewB, viewA)
+
+	// Exactly one of the two candidates loses, and it loses with
+	// ErrStaleView on the node that saw it second.
+	for _, tcase := range []struct {
+		name       string
+		errs       [2]error
+		firstIsWin bool
+	}{
+		{"order A,B", [2]error{errA1, errB1}, sameMembers(winner, viewA)},
+		{"order B,A", [2]error{errB2, errA2}, sameMembers(winner, viewB)},
+	} {
+		if tcase.errs[0] != nil {
+			t.Errorf("%s: first update refused: %v", tcase.name, tcase.errs[0])
+		}
+		if tcase.firstIsWin {
+			if !errors.Is(tcase.errs[1], ErrStaleView) {
+				t.Errorf("%s: losing view accepted after winner: %v", tcase.name, tcase.errs[1])
+			}
+		} else if tcase.errs[1] != nil {
+			t.Errorf("%s: winning view refused: %v", tcase.name, tcase.errs[1])
+		}
+	}
+
+	// Both nodes converged on the winner regardless of arrival order.
+	for i := 0; i < 2; i++ {
+		got := tc.nodes[i].Members()
+		if !sameMembers(got, winner) {
+			t.Errorf("node %d members = %v, want %v", i, got, winner)
+		}
+		if e := tc.nodes[i].Epoch(); e != 2 {
+			t.Errorf("node %d epoch = %d, want 2", i, e)
+		}
+	}
+}
+
+// ringMembers normalizes a member list through a ring, matching the
+// sorted order viewHash is fed in Update.
+func ringMembers(t *testing.T, addrs []string) []string {
+	t.Helper()
+	r := NewRing(0)
+	r.Add(addrs...)
+	return r.Members()
+}
+
+// sameMembers compares member lists irrespective of order.
+func sameMembers(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	seen := make(map[string]bool, len(a))
+	for _, m := range a {
+		seen[m] = true
+	}
+	for _, m := range b {
+		if !seen[m] {
+			return false
+		}
+	}
+	return true
 }
 
 // TestMembershipRemovedPeerGC is the regression test for the leak where

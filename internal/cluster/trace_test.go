@@ -1,0 +1,180 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"aggcache/internal/fsnet"
+	"aggcache/internal/obs/otrace"
+)
+
+// collectTrace polls the given tracers until the union of their spans
+// for trace (hi, lo) reaches at least want spans, or the deadline
+// passes. Server-side spans are recorded after the reply is written, so
+// a client that just got its answer can race the last Record by a few
+// microseconds — polling, not sleeping, keeps the test fast and honest.
+func collectTrace(t *testing.T, tracers []*otrace.Tracer, hi, lo uint64, want int) []otrace.Span {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		var spans []otrace.Span
+		for _, tr := range tracers {
+			spans = append(spans, tr.TraceSpans(hi, lo)...)
+		}
+		if len(spans) >= want || time.Now().After(deadline) {
+			return spans
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestClusterForwardTracePropagation is the acceptance test for
+// wire-propagated tracing: one forwarded open, sampling forced on, must
+// yield a single trace whose spans cover the client, the entry node,
+// and the owning peer — stitched only by trace ID, with every non-root
+// span's parent resolving to another span of the same trace.
+func TestClusterForwardTracePropagation(t *testing.T) {
+	tracers := make([]*otrace.Tracer, 3)
+	tc := startCluster(t, 3, func(i int, cfg *Config) {
+		tracers[i] = otrace.New(otrace.Config{Node: fmt.Sprintf("node%d", i), SampleRate: 1})
+		cfg.Trace = tracers[i]
+	})
+
+	clientTrace := otrace.New(otrace.Config{Node: "client", SampleRate: 1})
+	c := tc.client(t, 0, fsnet.ClientConfig{CacheCapacity: 8, Trace: clientTrace})
+
+	// A path owned by node 1, opened through node 0: the entry node must
+	// forward, so the trace has to cross a process-shaped boundary (three
+	// tracers standing in for three processes).
+	path := tc.pathOwnedBy(t, 1, nil)
+	data, err := c.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != testContent(path) {
+		t.Fatalf("forwarded open returned %q", data)
+	}
+
+	// The client's root span identifies the trace.
+	croots := clientTrace.Spans()
+	if len(croots) != 1 || croots[0].Name != "client_open" || croots[0].Parent != 0 {
+		t.Fatalf("client spans = %+v, want one client_open root", croots)
+	}
+	hi, lo := croots[0].Hi, croots[0].Lo
+
+	// Expect at least: client_open (client), forward (node 0 server),
+	// forward_rpc (node 0 router), hit or stage (node 1 server).
+	all := collectTrace(t, append(tracers, clientTrace), hi, lo, 4)
+	byName := map[string][]otrace.Span{}
+	byID := map[uint64]otrace.Span{}
+	for _, s := range all {
+		if s.Hi != hi || s.Lo != lo {
+			t.Fatalf("span from another trace leaked in: %+v", s)
+		}
+		byName[s.Name] = append(byName[s.Name], s)
+		byID[s.ID] = s
+	}
+	for _, want := range []string{"client_open", "forward", "forward_rpc"} {
+		if len(byName[want]) == 0 {
+			t.Fatalf("trace missing %q span; got %+v", want, byName)
+		}
+	}
+	if len(byName["hit"])+len(byName["stage"]) == 0 {
+		t.Fatalf("trace missing the owner's serving span; got %+v", byName)
+	}
+
+	// Node attribution: the entry hop recorded on node0, the serving hop
+	// on node1, and the trace spans more than one node.
+	if n := byName["forward"][0].Node; n != "node0" {
+		t.Fatalf("forward span recorded on %q, want node0", n)
+	}
+	serving := append(byName["hit"], byName["stage"]...)
+	if n := serving[0].Node; n != "node1" {
+		t.Fatalf("serving span recorded on %q, want node1", n)
+	}
+
+	// Every non-root span's parent must be a span of this trace, and the
+	// chain client_open -> forward -> forward_rpc -> serving must hold.
+	roots := 0
+	for _, s := range all {
+		if s.Parent == 0 {
+			roots++
+			continue
+		}
+		if _, ok := byID[s.Parent]; !ok {
+			t.Fatalf("span %+v has dangling parent %x", s, s.Parent)
+		}
+	}
+	if roots != 1 {
+		t.Fatalf("trace has %d roots, want exactly the client's", roots)
+	}
+	if p := byName["forward"][0].Parent; p != croots[0].ID {
+		t.Fatalf("forward's parent = %x, want the client root %x", p, croots[0].ID)
+	}
+	if p := byName["forward_rpc"][0].Parent; p != byName["forward"][0].ID {
+		t.Fatalf("forward_rpc's parent = %x, want the forward span %x", p, byName["forward"][0].ID)
+	}
+	if p := serving[0].Parent; p != byName["forward_rpc"][0].ID {
+		t.Fatalf("serving span's parent = %x, want forward_rpc %x", p, byName["forward_rpc"][0].ID)
+	}
+}
+
+// TestClusterLocalOpenSingleNodeTrace: an open the entry node serves
+// itself stays a one-node trace — client root plus the local serving
+// phase, no forward spans anywhere in the fleet.
+func TestClusterLocalOpenSingleNodeTrace(t *testing.T) {
+	tracers := make([]*otrace.Tracer, 2)
+	tc := startCluster(t, 2, func(i int, cfg *Config) {
+		tracers[i] = otrace.New(otrace.Config{Node: fmt.Sprintf("node%d", i), SampleRate: 1})
+		cfg.Trace = tracers[i]
+	})
+	clientTrace := otrace.New(otrace.Config{Node: "client", SampleRate: 1})
+	c := tc.client(t, 0, fsnet.ClientConfig{CacheCapacity: 8, Trace: clientTrace})
+
+	path := tc.pathOwnedBy(t, 0, nil)
+	if _, err := c.Open(path); err != nil {
+		t.Fatal(err)
+	}
+	croots := clientTrace.Spans()
+	if len(croots) != 1 {
+		t.Fatalf("client spans = %+v", croots)
+	}
+	hi, lo := croots[0].Hi, croots[0].Lo
+	all := collectTrace(t, tracers, hi, lo, 1)
+	for _, s := range all {
+		if s.Name == "forward" || s.Name == "forward_rpc" {
+			t.Fatalf("local open produced a forward span: %+v", s)
+		}
+		if s.Node != "node0" {
+			t.Fatalf("local open recorded on %q: %+v", s.Node, s)
+		}
+	}
+	if len(all) == 0 {
+		t.Fatal("owner recorded no serving span for the traced open")
+	}
+}
+
+// TestClusterUntracedStaysZero: with tracers wired but head sampling
+// disabled, a normal open mints nothing and records nothing — the
+// zero-alloc contract's behavioral half.
+func TestClusterUntracedStaysZero(t *testing.T) {
+	tracers := make([]*otrace.Tracer, 2)
+	tc := startCluster(t, 2, func(i int, cfg *Config) {
+		tracers[i] = otrace.New(otrace.Config{Node: fmt.Sprintf("node%d", i), SampleRate: -1})
+		cfg.Trace = tracers[i]
+	})
+	clientTrace := otrace.New(otrace.Config{Node: "client", SampleRate: -1})
+	c := tc.client(t, 0, fsnet.ClientConfig{CacheCapacity: 8, Trace: clientTrace})
+
+	for f := 0; f < 8; f++ {
+		if _, err := c.Open(fmt.Sprintf("/data/f%03d", f)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, tr := range append(tracers, clientTrace) {
+		if st := tr.Stats(); st.Recorded != 0 {
+			t.Fatalf("tracer %d recorded %d spans with sampling off", i, st.Recorded)
+		}
+	}
+}

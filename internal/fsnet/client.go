@@ -12,6 +12,7 @@ import (
 
 	"aggcache/internal/cache"
 	"aggcache/internal/obs"
+	"aggcache/internal/obs/otrace"
 	"aggcache/internal/trace"
 )
 
@@ -132,6 +133,13 @@ type ClientConfig struct {
 	// become usable. Nil keeps the wire byte-identical to a pre-gossip
 	// client.
 	Views ViewSource
+	// Trace, when set, mints a trace context at every Open/OpenGroup
+	// entry (head-sampled per the tracer's rate) and records the client
+	// span into the tracer's ring. Sampled contexts ride version-3
+	// connections as msgTraceCtx piggybacks so downstream servers join
+	// the same trace; unsampled requests pay one atomic add and send
+	// nothing. Nil disables tracing entirely.
+	Trace *otrace.Tracer
 }
 
 // maxProto normalizes MaxProtocol to a usable version number.
@@ -381,6 +389,14 @@ func (c *Client) OpenInto(path string, buf []byte) ([]byte, error) {
 	if path == "" || len(path) > maxPath {
 		return nil, fmt.Errorf("fsnet: invalid path %q", path)
 	}
+	// Trace entry point: one atomic add when a tracer is wired, nothing
+	// at all otherwise. The clock is read only for sampled requests, so
+	// the unsampled hot path stays identical to the untraced one.
+	tctx := c.cfg.Trace.Root()
+	var tstart time.Time
+	if tctx.Sampled {
+		tstart = time.Now()
+	}
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
@@ -409,11 +425,14 @@ func (c *Client) OpenInto(path string, buf []byte) ([]byte, error) {
 			c.m.degradedHits.Inc()
 			c.m.events.Record("degraded_hit", obs.F("path", path))
 		}
+		if tctx.Sampled {
+			c.cfg.Trace.Record(tctx, "client_hit", path, tstart, time.Since(tstart))
+		}
 		return out, nil
 	}
 	c.mu.Unlock()
 
-	resp, g, err := c.fetch(path)
+	resp, g, err := c.fetch(path, tctx)
 	if err != nil {
 		return nil, err
 	}
@@ -431,6 +450,9 @@ func (c *Client) OpenInto(path string, buf []byte) ([]byte, error) {
 	if g != nil {
 		g.recycle()
 	}
+	if tctx.Sampled {
+		c.cfg.Trace.Record(tctx, "client_open", path, tstart, time.Since(tstart))
+	}
 	return out, nil
 }
 
@@ -442,8 +464,20 @@ func (c *Client) OpenInto(path string, buf []byte) ([]byte, error) {
 // the owner's current group, not a stale local copy. The returned slices
 // are the caller's to keep.
 func (c *Client) OpenGroup(path string) ([]GroupFile, error) {
+	return c.OpenGroupCtx(path, c.cfg.Trace.Root())
+}
+
+// OpenGroupCtx is OpenGroup under a caller-supplied trace context: the
+// cluster tier threads the server-side context of the open it is
+// forwarding, so the downstream owner's spans join the original trace
+// instead of starting a new one. A zero context traces nothing.
+func (c *Client) OpenGroupCtx(path string, tctx otrace.Ctx) ([]GroupFile, error) {
 	if path == "" || len(path) > maxPath {
 		return nil, fmt.Errorf("fsnet: invalid path %q", path)
+	}
+	var tstart time.Time
+	if tctx.Sampled {
+		tstart = time.Now()
 	}
 	c.mu.Lock()
 	if c.closed {
@@ -457,7 +491,7 @@ func (c *Client) OpenGroup(path string) ([]GroupFile, error) {
 	}
 	c.mu.Unlock()
 
-	resp, g, err := c.fetch(path)
+	resp, g, err := c.fetch(path, tctx)
 	if err != nil {
 		return nil, err
 	}
@@ -477,6 +511,9 @@ func (c *Client) OpenGroup(path string) ([]GroupFile, error) {
 		}
 		c.mu.Unlock()
 		g.recycle()
+		if tctx.Sampled {
+			c.cfg.Trace.Record(tctx, "client_open_group", path, tstart, time.Since(tstart))
+		}
 		return out, nil
 	}
 	c.install(id, resp)
@@ -489,6 +526,9 @@ func (c *Client) OpenGroup(path string) ([]GroupFile, error) {
 		out[i] = GroupFile{Path: f.Path, Data: data}
 	}
 	c.mu.Unlock()
+	if tctx.Sampled {
+		c.cfg.Trace.Record(tctx, "client_open_group", path, tstart, time.Since(tstart))
+	}
 	return out, nil
 }
 
@@ -533,7 +573,7 @@ func (c *Client) Handoff(anchor string, members []string) error {
 		}
 	}
 	payload := encodeHandoffRequest(handoffRequest{Anchor: anchor, Members: members})
-	typ, body, _, err := c.roundTrip(msgHandoff, "", payload)
+	typ, body, _, err := c.roundTrip(msgHandoff, "", payload, otrace.Ctx{})
 	if err != nil {
 		return err
 	}
@@ -567,7 +607,7 @@ func (c *Client) ViewPull() (epoch uint64, members []string, err error) {
 		return 0, nil, errors.New("fsnet: ViewPull needs cfg.Views")
 	}
 	payload := appendViewMsg(nil, vs.Epoch(), vs.Self())
-	typ, body, _, err := c.roundTrip(msgViewPull, "", payload)
+	typ, body, _, err := c.roundTrip(msgViewPull, "", payload, otrace.Ctx{})
 	if err != nil {
 		return 0, nil, err
 	}
@@ -619,7 +659,7 @@ func (c *Client) ViewPush(epoch uint64, members []string) (remoteEpoch uint64, e
 		return 0, fmt.Errorf("fsnet: view of %d members exceeds limit %d", len(members), maxViewMembers)
 	}
 	payload := appendViewPush(nil, epoch, vs.Self(), members)
-	typ, body, _, err := c.roundTrip(msgViewPush, "", payload)
+	typ, body, _, err := c.roundTrip(msgViewPush, "", payload, otrace.Ctx{})
 	if err != nil {
 		return 0, err
 	}
@@ -658,7 +698,7 @@ func (c *Client) Write(path string, data []byte) error {
 		return fmt.Errorf("fsnet: file of %d bytes exceeds limit %d", len(data), maxFileSize)
 	}
 	payload := encodeWriteRequest(writeRequest{Path: path, Data: data})
-	typ, body, _, err := c.roundTrip(msgWrite, "", payload)
+	typ, body, _, err := c.roundTrip(msgWrite, "", payload, otrace.Ctx{})
 	if err != nil {
 		return err
 	}
@@ -750,8 +790,8 @@ func decodeChunks(chunks [][]byte, path string) (*chunkGroup, error) {
 // The reply is either a contiguous group (the returned groupResponse) or,
 // on a version-3 connection, a streamed one (the returned chunkGroup,
 // which the caller recycles after installing).
-func (c *Client) fetch(path string) (groupResponse, *chunkGroup, error) {
-	typ, body, chunks, err := c.roundTrip(msgOpen, path, nil)
+func (c *Client) fetch(path string, tctx otrace.Ctx) (groupResponse, *chunkGroup, error) {
+	typ, body, chunks, err := c.roundTrip(msgOpen, path, nil, tctx)
 	if err != nil {
 		return groupResponse{}, nil, err
 	}
@@ -893,7 +933,7 @@ func (c *Client) backoffDelay(attempt int) time.Duration {
 // returned to the caller undisturbed. The returned payload — or, for a
 // streamed group reply, each returned chunk — aliases a pooled buffer;
 // the caller recycles them with putFrameBuf after decoding.
-func (c *Client) roundTrip(reqType uint8, path string, payload []byte) (uint8, []byte, [][]byte, error) {
+func (c *Client) roundTrip(reqType uint8, path string, payload []byte, tctx otrace.Ctx) (uint8, []byte, [][]byte, error) {
 	if c.m.inflight != nil {
 		c.m.inflight.Add(1)
 		start := time.Now()
@@ -930,8 +970,10 @@ func (c *Client) roundTrip(reqType uint8, path string, payload []byte) (uint8, [
 		var chunks [][]byte
 		var claimed []string
 		if m != nil {
-			typ, body, chunks, claimed, err = c.callMux(m, reqType, path, payload)
+			typ, body, chunks, claimed, err = c.callMux(m, reqType, path, payload, tctx)
 		} else {
+			// Lock-step (v1) peers predate trace frames; the context is
+			// negotiated away exactly like view frames.
 			typ, body, claimed, err = c.callV1(cc, reqType, path, payload)
 		}
 		if err != nil {
@@ -973,14 +1015,14 @@ func (c *Client) roundTrip(reqType uint8, path string, payload []byte) (uint8, [
 }
 
 // callMux performs one pipelined call over the multiplexed transport.
-func (c *Client) callMux(m *muxConn, reqType uint8, path string, payload []byte) (uint8, []byte, [][]byte, []string, error) {
+func (c *Client) callMux(m *muxConn, reqType uint8, path string, payload []byte, tctx otrace.Ctx) (uint8, []byte, [][]byte, []string, error) {
 	if isViewMsg(reqType) && m.ver < protocolV3 {
 		// A version-2 peer has no view frames; sending one would draw an
 		// "unknown message type" error and desynchronize nothing, but the
 		// contract is stronger: pre-v3 peers never see gossip traffic.
 		return 0, nil, nil, nil, ErrViewUnsupported
 	}
-	call, err := m.enqueue(reqType, path, payload)
+	call, err := m.enqueue(reqType, path, payload, tctx)
 	if err != nil {
 		return 0, nil, nil, nil, err
 	}

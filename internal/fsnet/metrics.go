@@ -74,14 +74,16 @@ func (m *serverMetrics) timed() bool { return m.latHit != nil || m.slow > 0 }
 
 // observeOpen records one open's latency under its serving phase and
 // emits a slow_request event when the configured threshold is crossed.
-func (m *serverMetrics) observeOpen(phase string, path string, d time.Duration) {
+// A non-empty traceID pins the request as the phase bucket's exemplar,
+// so a latency outlier in /metrics resolves to a concrete trace.
+func (m *serverMetrics) observeOpen(phase string, path string, d time.Duration, traceID string) {
 	switch phase {
 	case "hit":
-		m.latHit.ObserveDuration(d)
+		m.latHit.ObserveTrace(uint64(d), traceID)
 	case "stage":
-		m.latStage.ObserveDuration(d)
+		m.latStage.ObserveTrace(uint64(d), traceID)
 	case "forward":
-		m.latForward.ObserveDuration(d)
+		m.latForward.ObserveTrace(uint64(d), traceID)
 	}
 	if m.slow > 0 && d >= m.slow {
 		m.events.Record("slow_request",

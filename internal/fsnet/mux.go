@@ -7,6 +7,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"aggcache/internal/obs/otrace"
 )
 
 // muxConn is the pipelined client transport (protocol version >= 2): one
@@ -65,6 +67,10 @@ type muxCall struct {
 	claimed []string
 	// start is the enqueue time of a msgOpen, for time-to-first-byte.
 	start time.Time
+	// tctx is the call's trace context. A sampled context makes the
+	// writer emit one msgTraceCtx piggyback frame ahead of the request
+	// frame (v3 only); the zero value sends nothing.
+	tctx otrace.Ctx
 	// chunks accumulates the member-chunk payloads of a streamed
 	// (version-3) group reply until its msgGroupEnd arrives. Owned by the
 	// reader while the call is in flight.
@@ -85,6 +91,7 @@ func putMuxCall(call *muxCall) {
 	call.id, call.typ, call.path = 0, 0, ""
 	call.payload, call.claimed, call.chunks = nil, nil, nil
 	call.start = time.Time{}
+	call.tctx = otrace.Ctx{}
 	muxCallPool.Put(call)
 }
 
@@ -121,11 +128,16 @@ func (m *muxConn) start() {
 // are not encoded here: the writer claims the piggyback history and
 // encodes at write time, preserving the invariant that claims happen in
 // request-ID order (the writer drains the queue in ID order).
-func (m *muxConn) enqueue(reqType uint8, path string, payload []byte) (*muxCall, error) {
+func (m *muxConn) enqueue(reqType uint8, path string, payload []byte, tctx otrace.Ctx) (*muxCall, error) {
 	call := muxCallPool.Get().(*muxCall)
 	call.typ = reqType
 	call.path = path
 	call.payload = payload
+	if tctx.Sampled && m.ver >= protocolV3 {
+		// Pre-v3 peers never see trace frames; dropping the context here
+		// (rather than erroring like view verbs) keeps tracing advisory.
+		call.tctx = tctx
+	}
 	if reqType == msgOpen {
 		call.start = time.Now()
 	}
@@ -203,6 +215,16 @@ func (m *muxConn) writer() {
 			for _, call := range batch {
 				if err != nil {
 					break
+				}
+				if call.tctx.Sampled {
+					// Announce the sampled call's trace context under
+					// request ID 0 immediately before its request frame;
+					// the server attaches it to the matching request ID.
+					start := len(enc)
+					enc = appendTraceCtx(enc, call.id, call.tctx)
+					if err = putFrameID(m.w, msgTraceCtx, 0, enc[start:]); err != nil {
+						break
+					}
 				}
 				if err = putFrameID(m.w, call.typ, call.id, call.payload); err != nil {
 					break
@@ -288,7 +310,7 @@ func (m *muxConn) reader() {
 				return
 			}
 			if first && !call.start.IsZero() {
-				m.c.m.ttfb.ObserveDuration(time.Since(call.start))
+				m.observeTTFB(call)
 			}
 		case msgGroupEnd:
 			m.mu.Lock()
@@ -336,11 +358,23 @@ func (m *muxConn) reader() {
 				return
 			}
 			if !call.start.IsZero() {
-				m.c.m.ttfb.ObserveDuration(time.Since(call.start))
+				m.observeTTFB(call)
 			}
 			call.done <- muxResult{typ: typ, payload: payload}
 		}
 	}
+}
+
+// observeTTFB records a call's time-to-first-byte, attaching the trace
+// ID as a histogram exemplar only for sampled calls: rendering the hex
+// trace ID allocates, so unsampled requests stay on the plain path.
+func (m *muxConn) observeTTFB(call *muxCall) {
+	d := uint64(time.Since(call.start))
+	if call.tctx.Sampled {
+		m.c.m.ttfb.ObserveTrace(d, call.tctx.TraceID())
+		return
+	}
+	m.c.m.ttfb.Observe(d)
 }
 
 // poison marks the mux broken, closes the connection, restores every

@@ -76,6 +76,14 @@ const (
 	// and the peer list — for the receiver to validate and install.
 	// Acked with msgViewHint carrying the receiver's resulting epoch.
 	msgViewPush
+	// msgTraceCtx is the distributed-tracing piggyback: an unsolicited
+	// frame under request ID 0 announcing the trace context (128-bit
+	// trace ID, parent span ID, flags) of the request frame that follows
+	// it in the same batch, matched by the annotated request ID it
+	// carries. Sent only for head-sampled requests and only on version-3
+	// connections (negotiated away like view frames, see traces.go); a
+	// receiver without a tracer skips it.
+	msgTraceCtx
 )
 
 // Protocol versions. Version 1 is the original lock-step protocol (no

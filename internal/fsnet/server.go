@@ -14,6 +14,7 @@ import (
 
 	"aggcache/internal/core"
 	"aggcache/internal/obs"
+	"aggcache/internal/obs/otrace"
 	"aggcache/internal/singleflight"
 	"aggcache/internal/trace"
 )
@@ -69,6 +70,13 @@ type ServerConfig struct {
 	// SlowRequest, when positive and Obs is set, records a structured
 	// slow_request event for every open that takes at least this long.
 	SlowRequest time.Duration
+	// Trace, when set, records request spans into the tracer's ring:
+	// inbound msgTraceCtx piggybacks make this hop a child span of the
+	// sender's, opens arriving without a context are head-sampled at the
+	// tracer's own rate, and any open crossing SlowRequest is
+	// tail-captured even when unsampled. Nil (the default) drops inbound
+	// trace frames and keeps the serving path span-free.
+	Trace *otrace.Tracer
 	// Views, when set, wires membership-view dissemination into the
 	// serving path (internal/gossip): version-3 reply batches piggyback
 	// the local epoch as a msgViewHint, inbound hints feed
@@ -90,6 +98,18 @@ type OpenRouter interface {
 	// client: ErrNotFound maps to CodeNotFound, anything else to
 	// CodeInternal.
 	RouteOpen(path string, accessed []string) (files []GroupFile, handled bool, err error)
+}
+
+// TracedRouter is an optional extension of OpenRouter: a router that
+// also accepts the request's trace context, so a forwarded open's
+// downstream RPC becomes a child span of this server's. The server
+// type-asserts once at construction; plain OpenRouter implementations
+// keep working unchanged (the context is simply not propagated).
+type TracedRouter interface {
+	OpenRouter
+	// RouteOpenTraced is RouteOpen with the caller's trace context. The
+	// zero Ctx means the request is untraced.
+	RouteOpenTraced(path string, accessed []string, tctx otrace.Ctx) (files []GroupFile, handled bool, err error)
 }
 
 // maxProto normalizes MaxProtocol to a usable version number.
@@ -152,6 +172,10 @@ type Server struct {
 	store  *Store
 	logger *log.Logger
 
+	// troute is cfg.Router's TracedRouter form, asserted once at
+	// construction; nil when the router does not accept trace contexts.
+	troute TracedRouter
+
 	// Hot counters; atomic (obs.Counter wraps one atomic each) so
 	// concurrent handlers never contend. With cfg.Obs these are the very
 	// series /metrics exposes, so Stats and the exposition cannot drift.
@@ -209,6 +233,9 @@ func NewServer(store *Store, cfg ServerConfig) (*Server, error) {
 		ids:    trace.NewSyncInterner(),
 		conns:  make(map[net.Conn]struct{}),
 		m:      newServerMetrics(cfg.Obs, cfg.SlowRequest),
+	}
+	if tr, ok := cfg.Router.(TracedRouter); ok {
+		s.troute = tr
 	}
 	if cfg.Obs != nil {
 		cfg.Obs.GaugeFunc("fsnet_server_open_conns", "connections currently served", func() float64 {
@@ -471,7 +498,9 @@ func (s *Server) serveV1(conn net.Conn, r *bufio.Reader, w *bufio.Writer, src ui
 				_ = s.replyV1(w, nil, errorResponse{Code: CodeBadRequest, Message: err.Error()})
 				return
 			}
-			group, errResp := s.open(req, src)
+			// Lock-step (v1) peers predate trace frames, so the open is
+			// untraced unless the server's own sampler admits it.
+			group, errResp := s.open(req, src, s.cfg.Trace.Root())
 			s.armWrite(conn)
 			if err := s.replyV1(w, group, errResp); err != nil {
 				s.disconnect(conn, err)
@@ -550,6 +579,11 @@ func (s *Server) serveV2(conn net.Conn, r *bufio.Reader, w *bufio.Writer, src ui
 				s.logf("fsnet: %s: recovered read-loop panic: %v", conn.RemoteAddr(), p)
 			}
 		}()
+		// Pending inbound trace context: the peer's writer emits each
+		// msgTraceCtx immediately before the request frame it annotates,
+		// so a single pending pair (cleared at the next request) suffices.
+		var pendID uint64
+		var pendCtx otrace.Ctx
 		for {
 			if s.cfg.IdleTimeout > 0 {
 				if err := conn.SetReadDeadline(time.Now().Add(s.cfg.IdleTimeout)); err != nil {
@@ -578,17 +612,43 @@ func (s *Server) serveV2(conn net.Conn, r *bufio.Reader, w *bufio.Writer, src ui
 				putFrameBuf(payload)
 				continue
 			}
+			if typ == msgTraceCtx {
+				// Trace-context piggyback for the next request frame.
+				// Advisory like view hints: undecodable contexts (or any
+				// arriving at an untraced server) are dropped, never
+				// answered.
+				if s.cfg.Trace != nil {
+					if tid, wctx, derr := decodeTraceCtx(payload); derr == nil {
+						pendID, pendCtx = tid, wctx
+					}
+				}
+				putFrameBuf(payload)
+				continue
+			}
+			var tctx otrace.Ctx
+			if typ == msgOpen {
+				if pendCtx.Sampled && pendID == id {
+					// Continue the sender's trace as a child span.
+					tctx = s.cfg.Trace.Child(pendCtx)
+				} else {
+					// No inbound context: this server is the trace's entry
+					// point; its own head sampler decides. Nil-safe and
+					// branch-only when tracing is unwired.
+					tctx = s.cfg.Trace.Root()
+				}
+				pendCtx = otrace.Ctx{}
+			}
 			if typ == msgOpen && s.cfg.Router == nil {
-				s.serveRequestV2(rw, src, typ, id, payload)
+				s.serveRequestV2(rw, src, typ, id, payload, tctx)
 				continue
 			}
 			sem <- struct{}{}
 			wg.Add(1)
-			go func(typ uint8, id uint64, payload []byte) {
+			go func(typ uint8, id uint64, payload []byte, tctx otrace.Ctx) {
 				defer wg.Done()
 				defer func() { <-sem }()
-				s.serveRequestV2(rw, src, typ, id, payload)
-			}(typ, id, payload)
+				s.serveRequestV2(rw, src, typ, id, payload, tctx)
+			}(typ, id, payload, tctx)
 		}
 	}()
 	wg.Wait()
@@ -598,7 +658,7 @@ func (s *Server) serveV2(conn net.Conn, r *bufio.Reader, w *bufio.Writer, src ui
 // serveRequestV2 handles one pipelined request. A panic is recovered
 // here, converted into a CodeInternal reply for this request only, and
 // the connection keeps serving.
-func (s *Server) serveRequestV2(rw *replyWriter, src uint64, typ uint8, id uint64, payload []byte) {
+func (s *Server) serveRequestV2(rw *replyWriter, src uint64, typ uint8, id uint64, payload []byte, tctx otrace.Ctx) {
 	defer func() {
 		if p := recover(); p != nil {
 			s.m.panics.Add(1)
@@ -616,7 +676,7 @@ func (s *Server) serveRequestV2(rw *replyWriter, src uint64, typ uint8, id uint6
 			// no Accessed slice — and the group is built in pooled
 			// scratch.
 			var err error
-			files, errResp, err = s.openView(payload, src)
+			files, errResp, err = s.openView(payload, src, tctx)
 			putFrameBuf(payload)
 			if err != nil {
 				rw.sendError(id, errorResponse{Code: CodeBadRequest, Message: err.Error()})
@@ -631,7 +691,7 @@ func (s *Server) serveRequestV2(rw *replyWriter, src uint64, typ uint8, id uint6
 				rw.sendError(id, errorResponse{Code: CodeBadRequest, Message: err.Error()})
 				return
 			}
-			files, errResp = s.open(req, src)
+			files, errResp = s.open(req, src, tctx)
 		}
 		if errResp.Code != 0 {
 			rw.sendError(id, errResp)
@@ -665,11 +725,15 @@ func (s *Server) serveRequestV2(rw *replyWriter, src uint64, typ uint8, id uint6
 		s.handoff(req)
 		rw.send(id, msgHandoffOK, nil, false)
 	case msgViewPull:
-		// Anti-entropy exchange: answer with our full view when we are
-		// newer than the puller, otherwise just our epoch. Either way the
-		// puller's own epoch is noted, so if *it* is the newer side the
-		// view source pulls back symmetrically. View frames are
-		// control-plane traffic and count no request, like the handshake.
+		// Anti-entropy exchange: answer with our full view when we are at
+		// least as new as the puller, otherwise just our epoch. Equal
+		// epochs still ship the members: two operators racing the same
+		// epoch mint produce divergent same-epoch views, and the puller
+		// resolves the tie by view-content hash (internal/cluster) — which
+		// it can only do if it sees our members. Either way the puller's
+		// own epoch is noted, so if *it* is the newer side the view source
+		// pulls back symmetrically. View frames are control-plane traffic
+		// and count no request, like the handshake.
 		epoch, sender, err := decodeViewMsg(payload)
 		putFrameBuf(payload)
 		if err != nil {
@@ -683,7 +747,7 @@ func (s *Server) serveRequestV2(rw *replyWriter, src uint64, typ uint8, id uint6
 		}
 		vs.NoteViewEpoch(sender, epoch)
 		ourEpoch, members := vs.ViewSnapshot()
-		if ourEpoch > epoch {
+		if ourEpoch >= epoch {
 			rw.send(id, msgViewPush, appendViewPush(getEncodeBuf(), ourEpoch, vs.Self(), members), true)
 			return
 		}
@@ -852,19 +916,20 @@ var openScratchPool = sync.Pool{New: func() interface{} { return new(openScratch
 // existence is checked lock-free up front, and the group's contents are
 // staged after the critical section, coalesced with any concurrent
 // staging of the same demanded path.
-func (s *Server) open(req openRequest, src uint64) ([]fileData, errorResponse) {
+func (s *Server) open(req openRequest, src uint64, tctx otrace.Ctx) ([]fileData, errorResponse) {
 	s.m.requests.Add(1)
-	// The clock is only read when a registry (or slow-request threshold)
-	// is configured, so uninstrumented servers keep a syscall-free path.
+	// The clock is only read when a registry (or slow-request threshold,
+	// or a sampled trace) demands it, so uninstrumented servers keep a
+	// syscall-free path.
 	var start time.Time
-	timed := s.m.timed()
+	timed := s.m.timed() || tctx.Sampled
 	if timed {
 		start = time.Now()
 	}
 	if s.cfg.Router != nil {
-		if files, errResp, handled := s.routeOpen(req); handled {
+		if files, errResp, handled := s.routeOpen(req, tctx); handled {
 			if timed {
-				s.m.observeOpen("forward", req.Path, time.Since(start))
+				s.observeServed(tctx, "forward", req.Path, start)
 			}
 			return files, errResp
 		}
@@ -884,7 +949,7 @@ func (s *Server) open(req openRequest, src uint64) ([]fileData, errorResponse) {
 		sc.ids = append(sc.ids, s.ids.Intern(p))
 	}
 	id := s.ids.Intern(req.Path)
-	files, errResp := s.serveOpen(id, req.Path, src, sc, timed, start)
+	files, errResp := s.serveOpen(id, req.Path, src, sc, timed, start, tctx)
 	openScratchPool.Put(sc)
 	return files, errResp
 }
@@ -895,7 +960,7 @@ func (s *Server) open(req openRequest, src uint64) ([]fileData, errorResponse) {
 // and the group is built in pooled scratch. A non-nil error reports a
 // malformed payload (the caller answers CodeBadRequest without counting
 // a request, exactly like the decode-then-open path).
-func (s *Server) openView(payload []byte, src uint64) ([]fileData, errorResponse, error) {
+func (s *Server) openView(payload []byte, src uint64, tctx otrace.Ctx) ([]fileData, errorResponse, error) {
 	d := decoder{buf: payload}
 	pathView, err := d.view(maxPath)
 	if err != nil {
@@ -931,7 +996,7 @@ func (s *Server) openView(payload []byte, src uint64) ([]fileData, errorResponse
 
 	s.m.requests.Add(1)
 	var start time.Time
-	timed := s.m.timed()
+	timed := s.m.timed() || tctx.Sampled
 	if timed {
 		start = time.Now()
 	}
@@ -948,7 +1013,7 @@ func (s *Server) openView(payload []byte, src uint64) ([]fileData, errorResponse
 	}
 	id := s.ids.InternBytes(pathView)
 	path := s.ids.Path(id) // the interned string: no per-request copy
-	files, errResp := s.serveOpen(id, path, src, sc, timed, start)
+	files, errResp := s.serveOpen(id, path, src, sc, timed, start, tctx)
 	openScratchPool.Put(sc)
 	return files, errResp, nil
 }
@@ -956,7 +1021,7 @@ func (s *Server) openView(payload []byte, src uint64) ([]fileData, errorResponse
 // serveOpen is the shared tail of the open paths: learn the piggybacked
 // transitions, stage the group through the aggregating cache, and read
 // the members' contents. sc.ids holds the interned access history.
-func (s *Server) serveOpen(id trace.FileID, path string, src uint64, sc *openScratch, timed bool, start time.Time) ([]fileData, errorResponse) {
+func (s *Server) serveOpen(id trace.FileID, path string, src uint64, sc *openScratch, timed bool, start time.Time, tctx otrace.Ctx) ([]fileData, errorResponse) {
 	s.aggMu.Lock()
 	// Piggybacked history first (oldest..newest), then the demanded
 	// open, preserving the client's true access order.
@@ -987,17 +1052,46 @@ func (s *Server) serveOpen(id trace.FileID, path string, src uint64, sc *openScr
 		if hit {
 			phase = "hit"
 		}
-		s.m.observeOpen(phase, path, time.Since(start))
+		s.observeServed(tctx, phase, path, start)
 	}
 	return files, errorResponse{}
+}
+
+// observeServed finishes one timed open: the phase span for a sampled
+// trace (or a tail capture when an unsampled open crossed the slow
+// threshold), then the latency histogram with the trace ID attached as
+// the phase bucket's exemplar. Rendering the hex trace ID allocates, so
+// untraced opens pass the empty string and stay on the plain path.
+func (s *Server) observeServed(tctx otrace.Ctx, phase, path string, start time.Time) {
+	d := time.Since(start)
+	if tctx.Sampled {
+		s.cfg.Trace.Record(tctx, phase, path, start, d)
+		s.m.observeOpen(phase, path, d, tctx.TraceID())
+		return
+	}
+	if s.cfg.Trace != nil && s.cfg.SlowRequest > 0 && d >= s.cfg.SlowRequest {
+		ttx := s.cfg.Trace.Tail(phase, path, start, d)
+		s.m.observeOpen(phase, path, d, ttx.TraceID())
+		return
+	}
+	s.m.observeOpen(phase, path, d, "")
 }
 
 // routeOpen hands one open to the configured Router. handled=false means
 // the caller serves the request locally (the router declined: the path is
 // locally owned, or its owner is down and the open degrades to a local
 // fetch).
-func (s *Server) routeOpen(req openRequest) ([]fileData, errorResponse, bool) {
-	files, handled, err := s.cfg.Router.RouteOpen(req.Path, req.Accessed)
+func (s *Server) routeOpen(req openRequest, tctx otrace.Ctx) ([]fileData, errorResponse, bool) {
+	var (
+		files   []GroupFile
+		handled bool
+		err     error
+	)
+	if s.troute != nil {
+		files, handled, err = s.troute.RouteOpenTraced(req.Path, req.Accessed, tctx)
+	} else {
+		files, handled, err = s.cfg.Router.RouteOpen(req.Path, req.Accessed)
+	}
 	if !handled {
 		return nil, errorResponse{}, false
 	}

@@ -1,0 +1,48 @@
+package fsnet
+
+import (
+	"testing"
+
+	"aggcache/internal/obs/otrace"
+)
+
+func TestTraceCtxRoundTrip(t *testing.T) {
+	cases := []struct {
+		id  uint64
+		ctx otrace.Ctx
+	}{
+		{1, otrace.Ctx{Hi: 0xdeadbeef, Lo: 0x0badc0de, Span: 7, Sampled: true}},
+		{1 << 40, otrace.Ctx{Hi: ^uint64(0), Lo: 1, Span: ^uint64(0), Sampled: true}},
+		{42, otrace.Ctx{Hi: 3, Lo: 4, Span: 5}}, // unsampled bit preserved
+	}
+	for _, tc := range cases {
+		wire := appendTraceCtx(nil, tc.id, tc.ctx)
+		id, ctx, err := decodeTraceCtx(wire)
+		if err != nil {
+			t.Fatalf("decode(%x): %v", wire, err)
+		}
+		if id != tc.id {
+			t.Fatalf("id = %d, want %d", id, tc.id)
+		}
+		// Parent never travels: the receiver derives its own span and the
+		// sender's Span becomes the parent via Tracer.Child.
+		want := tc.ctx
+		want.Parent = 0
+		if ctx != want {
+			t.Fatalf("ctx = %+v, want %+v", ctx, want)
+		}
+	}
+}
+
+func TestTraceCtxDecodeRejectsTruncation(t *testing.T) {
+	full := appendTraceCtx(nil, 9, otrace.Ctx{Hi: 1 << 40, Lo: 2, Span: 3, Sampled: true})
+	for n := 0; n < len(full); n++ {
+		if _, _, err := decodeTraceCtx(full[:n]); err == nil {
+			t.Fatalf("decode accepted %d-byte prefix of %d-byte frame", n, len(full))
+		}
+	}
+	// Trailing garbage is as corrupt as a missing tail.
+	if _, _, err := decodeTraceCtx(append(full, 0)); err == nil {
+		t.Fatal("decode accepted trailing bytes")
+	}
+}

@@ -3,6 +3,7 @@ package obs
 import (
 	"bytes"
 	"log/slog"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
@@ -63,6 +64,57 @@ func TestEventLogSlogSink(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Fatalf("sink output %q missing %q", out, want)
 		}
+	}
+}
+
+// TestEventLogOverflowWrapsRepeatedly locks the ring's overflow
+// contract: however many times the write cursor laps the buffer, Events
+// returns exactly the newest capacity entries oldest-first, and Total
+// keeps counting the overwritten ones.
+func TestEventLogOverflowWrapsRepeatedly(t *testing.T) {
+	const capacity = 4
+	l := NewEventLog(capacity)
+	const n = 3*capacity + 2 // lands mid-buffer after three full laps
+	for i := 0; i < n; i++ {
+		l.Record("ev", F("i", strconv.Itoa(i)))
+	}
+	evs := l.Events()
+	if len(evs) != capacity {
+		t.Fatalf("retained %d events, want %d", len(evs), capacity)
+	}
+	for k, e := range evs {
+		want := strconv.Itoa(n - capacity + k)
+		if len(e.Fields) != 1 || e.Fields[0].Value != want {
+			t.Fatalf("event %d = %+v, want i=%s", k, e, want)
+		}
+	}
+	if l.Total() != n {
+		t.Fatalf("Total = %d, want %d", l.Total(), n)
+	}
+}
+
+// TestEventLogOverflowKeepsFields asserts overwriting slots does not
+// alias field slices between the dropped and surviving events.
+func TestEventLogOverflowKeepsFields(t *testing.T) {
+	l := NewEventLog(1)
+	l.Record("old", F("k", "old"))
+	l.Record("new", F("k", "new"))
+	evs := l.Events()
+	if len(evs) != 1 || evs[0].Kind != "new" || evs[0].Fields[0].Value != "new" {
+		t.Fatalf("survivor = %+v, want the newest event intact", evs)
+	}
+}
+
+func TestEventLogNilReceiver(t *testing.T) {
+	var l *EventLog
+	l.Record("x", F("k", "v")) // must not panic
+	l.SetSink(nil)
+	l.SetClock(nil)
+	if evs := l.Events(); evs != nil {
+		t.Fatalf("nil log Events = %v, want nil", evs)
+	}
+	if l.Total() != 0 {
+		t.Fatalf("nil log Total = %d, want 0", l.Total())
 	}
 }
 

@@ -13,6 +13,15 @@ type ParsedSample struct {
 	Name   string
 	Labels map[string]string
 	Value  float64
+	// Exemplar is the sample's OpenMetrics exemplar, if the line
+	// carried one (` # {labels} value [timestamp]` after the value).
+	Exemplar *ParsedExemplar
+}
+
+// ParsedExemplar is one sample's exemplar annotation.
+type ParsedExemplar struct {
+	Labels map[string]string
+	Value  float64
 }
 
 // ParsedExposition is the outcome of parsing a text exposition.
@@ -186,6 +195,15 @@ func parseSample(line string) (ParsedSample, error) {
 		rest = rest[end+1:]
 	}
 
+	// Split off an OpenMetrics exemplar annotation first: everything
+	// after ` # ` belongs to the exemplar, and the label set ahead of
+	// the separator is already consumed, so a bare byte scan is safe.
+	exemplar := ""
+	if at := strings.Index(rest, " # "); at >= 0 {
+		exemplar = strings.TrimSpace(rest[at+3:])
+		rest = rest[:at]
+	}
+
 	fields := strings.Fields(rest)
 	if len(fields) < 1 || len(fields) > 2 {
 		return s, fmt.Errorf("want `value [timestamp]` after name, got %q", strings.TrimSpace(rest))
@@ -200,7 +218,59 @@ func parseSample(line string) (ParsedSample, error) {
 			return s, fmt.Errorf("bad timestamp %q", fields[1])
 		}
 	}
+	if exemplar != "" {
+		ex, err := parseExemplar(exemplar)
+		if err != nil {
+			return s, err
+		}
+		s.Exemplar = ex
+	}
 	return s, nil
+}
+
+// parseExemplar parses `{labels} value [timestamp]` — the annotation
+// after a sample line's ` # ` separator.
+func parseExemplar(body string) (*ParsedExemplar, error) {
+	if !strings.HasPrefix(body, "{") {
+		return nil, fmt.Errorf("exemplar must start with a label set, got %q", body)
+	}
+	end := -1
+	inQuote := false
+	for j := 1; j < len(body); j++ {
+		switch {
+		case inQuote && body[j] == '\\':
+			j++
+		case body[j] == '"':
+			inQuote = !inQuote
+		case !inQuote && body[j] == '}':
+			end = j
+		}
+		if end >= 0 {
+			break
+		}
+	}
+	if end < 0 {
+		return nil, fmt.Errorf("unterminated exemplar label set in %q", body)
+	}
+	ex := &ParsedExemplar{Labels: make(map[string]string)}
+	if err := parseLabels(body[1:end], ex.Labels); err != nil {
+		return nil, err
+	}
+	fields := strings.Fields(body[end+1:])
+	if len(fields) < 1 || len(fields) > 2 {
+		return nil, fmt.Errorf("want `value [timestamp]` after exemplar labels, got %q", body)
+	}
+	v, err := strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return nil, fmt.Errorf("bad exemplar value %q: %v", fields[0], err)
+	}
+	ex.Value = v
+	if len(fields) == 2 {
+		if _, err := strconv.ParseFloat(fields[1], 64); err != nil {
+			return nil, fmt.Errorf("bad exemplar timestamp %q", fields[1])
+		}
+	}
+	return ex, nil
 }
 
 // parseLabels parses `k="v",k2="v2"` into dst.

@@ -115,6 +115,22 @@ const histBuckets = 65
 type Histogram struct {
 	buckets [histBuckets]atomic.Uint64
 	sum     atomic.Uint64
+	// exemplars remembers, per bucket, the last traced sample that
+	// landed there (nil until one does). Plain Observe never touches
+	// this array, so untraced recording stays a single atomic add.
+	exemplars [histBuckets]atomic.Pointer[Exemplar]
+}
+
+// Exemplar links one histogram bucket to the trace that last landed in
+// it, in the OpenMetrics sense: a p99 bucket resolves to a concrete
+// reconstructable request via /trace/<id>.
+type Exemplar struct {
+	// Bucket is the power-of-two bucket index the sample selected.
+	Bucket int
+	// TraceID is the 32-hex-digit trace identifier.
+	TraceID string
+	// Value is the observed sample value (nanoseconds for latency).
+	Value uint64
 }
 
 // NewHistogram returns a standalone (unregistered) histogram.
@@ -127,6 +143,22 @@ func (h *Histogram) Observe(v uint64) {
 	}
 	h.buckets[bits.Len64(v)].Add(1)
 	h.sum.Add(v)
+}
+
+// ObserveTrace records one sample and pins traceID as the exemplar of
+// the bucket it lands in, replacing any earlier exemplar there. Called
+// only on sampled paths, so the one allocation (the Exemplar) is paid
+// at the sampling rate, never per request.
+func (h *Histogram) ObserveTrace(v uint64, traceID string) {
+	if h == nil {
+		return
+	}
+	b := bits.Len64(v)
+	h.buckets[b].Add(1)
+	h.sum.Add(v)
+	if traceID != "" {
+		h.exemplars[b].Store(&Exemplar{Bucket: b, TraceID: traceID, Value: v})
+	}
 }
 
 // ObserveDuration records d in nanoseconds (negative durations clamp to
@@ -210,6 +242,9 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 	for i := range h.buckets {
 		s.Buckets[i] = h.buckets[i].Load()
 		s.Count += s.Buckets[i]
+		if e := h.exemplars[i].Load(); e != nil {
+			s.Exemplars = append(s.Exemplars, *e)
+		}
 	}
 	s.Sum = h.sum.Load()
 	return s
@@ -220,6 +255,10 @@ type HistogramSnapshot struct {
 	Buckets [histBuckets]uint64
 	Count   uint64
 	Sum     uint64
+	// Exemplars holds the per-bucket trace exemplars present at
+	// snapshot time, ordered by bucket index (sparse: only buckets a
+	// traced sample ever landed in appear).
+	Exemplars []Exemplar
 }
 
 // Percentile mirrors Histogram.Percentile over the frozen copy.

@@ -1,0 +1,162 @@
+package otrace
+
+import (
+	"encoding/json"
+	"net/http"
+	"sort"
+	"strings"
+)
+
+// JSON shapes shared by the node handlers and the aggbench -trace-collect
+// fleet scraper, which joins per-node documents on TraceID.
+
+// SpanJSON is one span in wire-friendly form: IDs as hex strings so
+// 64-bit values survive JSON number precision.
+type SpanJSON struct {
+	TraceID string `json:"trace_id"`
+	SpanID  string `json:"span_id"`
+	Parent  string `json:"parent_id,omitempty"`
+	Node    string `json:"node"`
+	Name    string `json:"name"`
+	Path    string `json:"path,omitempty"`
+	StartNS int64  `json:"start_ns"`
+	DurNS   int64  `json:"dur_ns"`
+	Tail    bool   `json:"tail,omitempty"`
+}
+
+func spanJSON(s Span) SpanJSON {
+	var b [32]byte
+	hex16(b[:16], s.Hi)
+	hex16(b[16:], s.Lo)
+	j := SpanJSON{
+		TraceID: string(b[:]),
+		SpanID:  hexID(s.ID),
+		Node:    s.Node,
+		Name:    s.Name,
+		Path:    s.Path,
+		StartNS: s.Start,
+		DurNS:   s.Dur,
+		Tail:    s.Tail,
+	}
+	if s.Parent != 0 {
+		j.Parent = hexID(s.Parent)
+	}
+	return j
+}
+
+func hexID(v uint64) string {
+	var b [16]byte
+	hex16(b[:], v)
+	return string(b[:])
+}
+
+// TraceSummary is one trace as /traces lists it: enough to pick a trace
+// worth expanding via /trace/<id>.
+type TraceSummary struct {
+	TraceID string `json:"trace_id"`
+	// Root names the earliest local span (the trace's local entry).
+	Root string `json:"root"`
+	Path string `json:"path,omitempty"`
+	Node string `json:"node"`
+	// Spans counts this node's local spans only; stitching across the
+	// fleet is the collector's job.
+	Spans   int   `json:"spans"`
+	StartNS int64 `json:"start_ns"`
+	// DurNS is the longest local span — a proxy for the trace's cost.
+	DurNS int64 `json:"dur_ns"`
+	Tail  bool  `json:"tail,omitempty"`
+}
+
+// TraceDoc is the /trace/<id> document: this node's flat span list for
+// one trace, newest ring contents only. Parent IDs imply the tree.
+type TraceDoc struct {
+	TraceID string     `json:"trace_id"`
+	Node    string     `json:"node"`
+	Spans   []SpanJSON `json:"spans"`
+}
+
+// Summaries groups the ring's spans by trace ID, newest trace first.
+func (t *Tracer) Summaries(limit int) []TraceSummary {
+	spans := t.Spans()
+	byTrace := make(map[[2]uint64]*TraceSummary)
+	order := make([][2]uint64, 0, 16)
+	for _, s := range spans {
+		key := [2]uint64{s.Hi, s.Lo}
+		sum := byTrace[key]
+		if sum == nil {
+			var b [32]byte
+			hex16(b[:16], s.Hi)
+			hex16(b[16:], s.Lo)
+			sum = &TraceSummary{
+				TraceID: string(b[:]),
+				Root:    s.Name,
+				Path:    s.Path,
+				Node:    s.Node,
+				StartNS: s.Start,
+			}
+			byTrace[key] = sum
+			order = append(order, key)
+		}
+		sum.Spans++
+		if s.Start < sum.StartNS || (s.Start == sum.StartNS && s.Parent == 0) {
+			sum.StartNS = s.Start
+			sum.Root = s.Name
+			sum.Path = s.Path
+		}
+		if s.Dur > sum.DurNS {
+			sum.DurNS = s.Dur
+		}
+		sum.Tail = sum.Tail || s.Tail
+	}
+	out := make([]TraceSummary, 0, len(order))
+	for _, key := range order {
+		out = append(out, *byTrace[key])
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].StartNS > out[j].StartNS })
+	if limit > 0 && len(out) > limit {
+		out = out[:limit]
+	}
+	return out
+}
+
+// SummariesHandler serves /traces: recent trace summaries as JSON.
+func (t *Tracer) SummariesHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		sums := t.Summaries(100)
+		if sums == nil {
+			sums = []TraceSummary{}
+		}
+		_ = enc.Encode(sums)
+	})
+}
+
+// TraceHandler serves /trace/<id>: this node's spans for one trace,
+// sorted by start time. Unknown IDs answer 404 so the fleet collector
+// can poll every node and keep only the ones that participated.
+func (t *Tracer) TraceHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := strings.TrimPrefix(r.URL.Path, "/trace/")
+		hi, lo, ok := ParseTraceID(id)
+		if !ok {
+			http.Error(w, "bad trace id: want 32 hex digits", http.StatusBadRequest)
+			return
+		}
+		spans := t.TraceSpans(hi, lo)
+		if len(spans) == 0 {
+			http.Error(w, "trace not found", http.StatusNotFound)
+			return
+		}
+		sort.Slice(spans, func(i, j int) bool { return spans[i].Start < spans[j].Start })
+		doc := TraceDoc{TraceID: id, Node: t.Node(), Spans: make([]SpanJSON, len(spans))}
+		for i, s := range spans {
+			doc.Spans[i] = spanJSON(s)
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(doc)
+	})
+}

@@ -1,0 +1,259 @@
+package otrace
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func fixedClock() func() time.Time {
+	base := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	return func() time.Time { return base }
+}
+
+func TestRootSamplingCadence(t *testing.T) {
+	tr := New(Config{Node: "n1", SampleRate: 4, Now: fixedClock()})
+	sampled := 0
+	for i := 0; i < 100; i++ {
+		if tr.Root().Sampled {
+			sampled++
+		}
+	}
+	if sampled != 25 {
+		t.Fatalf("sampled %d of 100 roots at rate 4, want 25", sampled)
+	}
+	if st := tr.Stats(); st.Sampled != 25 {
+		t.Fatalf("Stats.Sampled = %d, want 25", st.Sampled)
+	}
+}
+
+func TestRootSampleEverything(t *testing.T) {
+	tr := New(Config{SampleRate: 1, Now: fixedClock()})
+	for i := 0; i < 10; i++ {
+		c := tr.Root()
+		if !c.Sampled || !c.Valid() || c.Span == 0 {
+			t.Fatalf("root %d not fully populated at rate 1: %+v", i, c)
+		}
+	}
+}
+
+func TestRootHeadSamplingDisabled(t *testing.T) {
+	tr := New(Config{SampleRate: -1, Now: fixedClock()})
+	for i := 0; i < 100; i++ {
+		if c := tr.Root(); c.Sampled || c.Valid() {
+			t.Fatalf("negative rate minted a sampled root: %+v", c)
+		}
+	}
+	// Tail capture must still record.
+	ctx := tr.Tail("hit", "/a", fixedClock()(), time.Millisecond)
+	if !ctx.Sampled || !ctx.Valid() {
+		t.Fatalf("tail capture returned invalid ctx: %+v", ctx)
+	}
+	if st := tr.Stats(); st.Tails != 1 || st.Recorded != 1 {
+		t.Fatalf("Stats after tail = %+v", st)
+	}
+}
+
+func TestChildInheritsTraceLinksParent(t *testing.T) {
+	tr := New(Config{SampleRate: 1, Now: fixedClock()})
+	root := tr.Root()
+	child := tr.Child(root)
+	if child.Hi != root.Hi || child.Lo != root.Lo {
+		t.Fatalf("child changed trace ID: %+v vs %+v", child, root)
+	}
+	if child.Parent != root.Span || child.Span == root.Span || child.Span == 0 {
+		t.Fatalf("child parent/span wrong: %+v (root span %x)", child, root.Span)
+	}
+	if c := tr.Child(Ctx{}); c.Sampled || c.Valid() {
+		t.Fatalf("child of zero ctx should be zero, got %+v", c)
+	}
+	if c := tr.Child(Ctx{Hi: 1, Lo: 2, Span: 3}); c.Sampled {
+		t.Fatalf("child of unsampled ctx should be zero, got %+v", c)
+	}
+}
+
+func TestTraceIDRoundTrip(t *testing.T) {
+	c := Ctx{Hi: 0xdeadbeef01020304, Lo: 0x0bad_c0de_0000_00ff}
+	id := c.TraceID()
+	if len(id) != 32 || id != "deadbeef010203040badc0de000000ff" {
+		t.Fatalf("TraceID = %q", id)
+	}
+	hi, lo, ok := ParseTraceID(id)
+	if !ok || hi != c.Hi || lo != c.Lo {
+		t.Fatalf("ParseTraceID(%q) = %x %x %v", id, hi, lo, ok)
+	}
+	hi, lo, ok = ParseTraceID(strings.ToUpper(id))
+	if !ok || hi != c.Hi || lo != c.Lo {
+		t.Fatalf("uppercase parse failed: %x %x %v", hi, lo, ok)
+	}
+	for _, bad := range []string{"", "123", strings.Repeat("g", 32), id + "0"} {
+		if _, _, ok := ParseTraceID(bad); ok {
+			t.Fatalf("ParseTraceID accepted %q", bad)
+		}
+	}
+}
+
+func TestRingWrapKeepsNewest(t *testing.T) {
+	tr := New(Config{SampleRate: 1, Capacity: 4, Now: fixedClock()})
+	start := fixedClock()()
+	for i := 0; i < 10; i++ {
+		ctx := tr.Root()
+		tr.Record(ctx, "hit", "/p", start.Add(time.Duration(i)), time.Microsecond)
+	}
+	spans := tr.Spans()
+	if len(spans) != 4 {
+		t.Fatalf("resident %d spans, want 4", len(spans))
+	}
+	for k, s := range spans {
+		want := start.Add(time.Duration(6 + k)).UnixNano()
+		if s.Start != want {
+			t.Fatalf("span %d start %d, want %d (oldest-first newest 4)", k, s.Start, want)
+		}
+	}
+	if st := tr.Stats(); st.Recorded != 10 || st.Resident != 4 {
+		t.Fatalf("Stats = %+v, want Recorded 10 Resident 4", st)
+	}
+}
+
+func TestTraceSpansFiltersByID(t *testing.T) {
+	tr := New(Config{SampleRate: 1, Now: fixedClock()})
+	start := fixedClock()()
+	a := tr.Record(tr.Root(), "hit", "/a", start, time.Millisecond)
+	b := tr.Record(tr.Root(), "stage", "/b", start, time.Millisecond)
+	tr.Record(tr.Child(a), "forward", "/a", start, time.Millisecond)
+	got := tr.TraceSpans(a.Hi, a.Lo)
+	if len(got) != 2 {
+		t.Fatalf("trace a has %d spans, want 2", len(got))
+	}
+	for _, s := range got {
+		if s.Hi != a.Hi || s.Lo != a.Lo {
+			t.Fatalf("foreign span in trace a: %+v", s)
+		}
+	}
+	if got := tr.TraceSpans(b.Hi, b.Lo); len(got) != 1 || got[0].Name != "stage" {
+		t.Fatalf("trace b spans = %+v", got)
+	}
+}
+
+func TestNilTracerNoops(t *testing.T) {
+	var tr *Tracer
+	if c := tr.Root(); c.Sampled {
+		t.Fatal("nil tracer sampled a root")
+	}
+	if c := tr.Child(Ctx{Hi: 1, Lo: 1, Span: 1, Sampled: true}); c.Sampled {
+		t.Fatal("nil tracer derived a child")
+	}
+	tr.Record(Ctx{Sampled: true}, "x", "", time.Now(), 0)
+	if c := tr.Tail("x", "", time.Now(), 0); c.Sampled {
+		t.Fatal("nil tracer tail-captured")
+	}
+	if tr.Spans() != nil || tr.TraceSpans(1, 1) != nil || tr.Node() != "" {
+		t.Fatal("nil tracer leaked state")
+	}
+	if st := tr.Stats(); st != (Stats{}) {
+		t.Fatalf("nil Stats = %+v", st)
+	}
+}
+
+func TestSummariesGroupByTrace(t *testing.T) {
+	tr := New(Config{Node: "n1", SampleRate: 1, Now: fixedClock()})
+	start := fixedClock()()
+	root := tr.Root()
+	tr.Record(root, "client_open", "/a", start, 3*time.Millisecond)
+	tr.Record(tr.Child(root), "hit", "/a", start.Add(time.Millisecond), time.Millisecond)
+	other := tr.Tail("stage", "/slow", start.Add(10*time.Millisecond), 50*time.Millisecond)
+
+	sums := tr.Summaries(10)
+	if len(sums) != 2 {
+		t.Fatalf("got %d summaries, want 2", len(sums))
+	}
+	// Newest first: the tail capture started later.
+	if sums[0].TraceID != other.TraceID() || !sums[0].Tail {
+		t.Fatalf("sums[0] = %+v, want tail trace %s", sums[0], other.TraceID())
+	}
+	if sums[1].TraceID != root.TraceID() || sums[1].Spans != 2 || sums[1].Root != "client_open" {
+		t.Fatalf("sums[1] = %+v, want 2-span trace rooted at client_open", sums[1])
+	}
+	if sums[1].DurNS != int64(3*time.Millisecond) {
+		t.Fatalf("summary DurNS = %d, want the longest span", sums[1].DurNS)
+	}
+	if got := tr.Summaries(1); len(got) != 1 {
+		t.Fatalf("limit 1 returned %d summaries", len(got))
+	}
+}
+
+func TestTraceHandlerServesSpans(t *testing.T) {
+	tr := New(Config{Node: "n1", SampleRate: 1, Now: fixedClock()})
+	start := fixedClock()()
+	root := tr.Record(tr.Root(), "client_open", "/a", start, 2*time.Millisecond)
+	tr.Record(tr.Child(root), "hit", "/a", start.Add(time.Millisecond), time.Millisecond)
+
+	rec := httptest.NewRecorder()
+	tr.TraceHandler().ServeHTTP(rec, httptest.NewRequest("GET", "/trace/"+root.TraceID(), nil))
+	if rec.Code != 200 {
+		t.Fatalf("status %d body %s", rec.Code, rec.Body)
+	}
+	var doc TraceDoc
+	if err := json.Unmarshal(rec.Body.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.TraceID != root.TraceID() || doc.Node != "n1" || len(doc.Spans) != 2 {
+		t.Fatalf("doc = %+v", doc)
+	}
+	if doc.Spans[0].Name != "client_open" || doc.Spans[1].Parent != doc.Spans[0].SpanID {
+		t.Fatalf("span order/parentage wrong: %+v", doc.Spans)
+	}
+
+	rec = httptest.NewRecorder()
+	tr.TraceHandler().ServeHTTP(rec, httptest.NewRequest("GET", "/trace/"+Ctx{Hi: 9, Lo: 9}.TraceID(), nil))
+	if rec.Code != 404 {
+		t.Fatalf("unknown trace: status %d, want 404", rec.Code)
+	}
+	rec = httptest.NewRecorder()
+	tr.TraceHandler().ServeHTTP(rec, httptest.NewRequest("GET", "/trace/nothex", nil))
+	if rec.Code != 400 {
+		t.Fatalf("bad trace id: status %d, want 400", rec.Code)
+	}
+}
+
+func TestSummariesHandlerJSON(t *testing.T) {
+	tr := New(Config{Node: "n1", SampleRate: 1, Now: fixedClock()})
+	tr.Record(tr.Root(), "client_open", "/a", fixedClock()(), time.Millisecond)
+	rec := httptest.NewRecorder()
+	tr.SummariesHandler().ServeHTTP(rec, httptest.NewRequest("GET", "/traces", nil))
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	var sums []TraceSummary
+	if err := json.Unmarshal(rec.Body.Bytes(), &sums); err != nil {
+		t.Fatal(err)
+	}
+	if len(sums) != 1 || sums[0].Node != "n1" || sums[0].Spans != 1 {
+		t.Fatalf("sums = %+v", sums)
+	}
+
+	// An empty tracer must serve [] (not null) so scrapers can range
+	// without a nil check.
+	empty := New(Config{SampleRate: 1})
+	rec = httptest.NewRecorder()
+	empty.SummariesHandler().ServeHTTP(rec, httptest.NewRequest("GET", "/traces", nil))
+	if got := strings.TrimSpace(rec.Body.String()); got != "[]" {
+		t.Fatalf("empty summaries body = %q, want []", got)
+	}
+}
+
+func TestIDUniqueness(t *testing.T) {
+	tr := New(Config{SampleRate: 1, Now: fixedClock()})
+	seen := make(map[uint64]bool)
+	for i := 0; i < 1000; i++ {
+		c := tr.Root()
+		for _, v := range []uint64{c.Hi, c.Lo, c.Span} {
+			if v == 0 || seen[v] {
+				t.Fatalf("duplicate or zero ID %x at mint %d", v, i)
+			}
+			seen[v] = true
+		}
+	}
+}

@@ -41,6 +41,9 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 }
 
 // writeHistogram renders one histogram series as cumulative buckets.
+// A bucket holding a trace exemplar gets the OpenMetrics exemplar
+// suffix (` # {trace_id="…"} value`) on its _bucket line, linking the
+// bucket to a trace resolvable via /trace/<id>.
 func writeHistogram(w io.Writer, s Sample) {
 	h := s.Hist
 	top := 0
@@ -49,10 +52,19 @@ func writeHistogram(w io.Writer, s Sample) {
 			top = i
 		}
 	}
+	exemplars := make(map[int]Exemplar, len(h.Exemplars))
+	for _, e := range h.Exemplars {
+		exemplars[e.Bucket] = e
+	}
 	var cum uint64
 	for i := 0; i <= top; i++ {
 		cum += h.Buckets[i]
 		le := strconv.FormatUint(bucketBound(i), 10)
+		if e, ok := exemplars[i]; ok {
+			fmt.Fprintf(w, "%s_bucket%s %d # {trace_id=\"%s\"} %d\n",
+				s.Name, labelString(s.Labels, &Label{"le", le}), cum, escapeLabel(e.TraceID), e.Value)
+			continue
+		}
 		fmt.Fprintf(w, "%s_bucket%s %d\n", s.Name, labelString(s.Labels, &Label{"le", le}), cum)
 	}
 	fmt.Fprintf(w, "%s_bucket%s %d\n", s.Name, labelString(s.Labels, &Label{"le", "+Inf"}), h.Count)
@@ -121,6 +133,16 @@ type jsonMetric struct {
 	P50    *uint64           `json:"p50,omitempty"`
 	P95    *uint64           `json:"p95,omitempty"`
 	P99    *uint64           `json:"p99,omitempty"`
+	// Exemplars lists per-bucket trace exemplars: the `le` upper bound
+	// of the bucket, the trace ID last observed there, and its value.
+	Exemplars []jsonExemplar `json:"exemplars,omitempty"`
+}
+
+// jsonExemplar is one bucket→trace link in the JSON snapshot.
+type jsonExemplar struct {
+	LE      uint64 `json:"le"`
+	TraceID string `json:"trace_id"`
+	Value   uint64 `json:"value"`
 }
 
 // jsonEvent is one event in the JSON snapshot document.
@@ -150,6 +172,13 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 			h := s.Hist
 			p50, p95, p99 := h.Percentile(50), h.Percentile(95), h.Percentile(99)
 			m.Count, m.Sum, m.P50, m.P95, m.P99 = &h.Count, &h.Sum, &p50, &p95, &p99
+			for _, e := range h.Exemplars {
+				m.Exemplars = append(m.Exemplars, jsonExemplar{
+					LE:      bucketBound(e.Bucket),
+					TraceID: e.TraceID,
+					Value:   e.Value,
+				})
+			}
 		} else {
 			v := s.Value
 			m.Value = &v

@@ -120,11 +120,70 @@ func TestMetricsHandler(t *testing.T) {
 	r := populated()
 	rec := httptest.NewRecorder()
 	r.MetricsHandler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
-	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+	// The exact content type matters: Prometheus content negotiation keys
+	// on version and charset, so lock the whole string, not a prefix.
+	if ct := rec.Header().Get("Content-Type"); ct != "text/plain; version=0.0.4; charset=utf-8" {
 		t.Fatalf("Content-Type = %q", ct)
 	}
 	if _, err := ParseExposition(rec.Body); err != nil {
 		t.Fatalf("handler output does not parse: %v", err)
+	}
+}
+
+// TestPrometheusExemplarRoundTrip locks the bucket→trace link end to
+// end: an ObserveTrace sample must surface as an OpenMetrics exemplar
+// on its _bucket line, survive the package's own strict parser, and
+// carry the trace ID and raw value back out.
+func TestPrometheusExemplarRoundTrip(t *testing.T) {
+	const traceID = "00000000000000990000000000000aa0"
+	r := NewRegistry()
+	h := r.Histogram("req_latency_ns", "request latency")
+	h.Observe(50)           // untraced sample, same bucket range
+	h.ObserveTrace(100, "") // empty trace ID must not pin an exemplar
+	h.ObserveTrace(100, traceID)
+	h.ObserveTrace(100000, traceID)
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	if !strings.Contains(text, `# {trace_id="`+traceID+`"} 100`) {
+		t.Fatalf("exposition missing exemplar annotation:\n%s", text)
+	}
+	parsed, err := ParseExposition(strings.NewReader(text))
+	if err != nil {
+		t.Fatalf("exposition with exemplars does not parse: %v\n%s", err, text)
+	}
+	// 100 lands in the bucket bounded at 127: that line carries the
+	// exemplar; the untraced sample's bucket annotations stay clean.
+	s, ok := parsed.Find("req_latency_ns_bucket", map[string]string{"le": "127"})
+	if !ok {
+		t.Fatalf("le=127 bucket missing")
+	}
+	if s.Exemplar == nil {
+		t.Fatalf("le=127 bucket lost its exemplar: %+v", s)
+	}
+	if got := s.Exemplar.Labels["trace_id"]; got != traceID {
+		t.Fatalf("exemplar trace_id = %q, want %q", got, traceID)
+	}
+	if s.Exemplar.Value != 100 {
+		t.Fatalf("exemplar value = %v, want 100", s.Exemplar.Value)
+	}
+	if s, ok := parsed.Find("req_latency_ns_bucket", map[string]string{"le": "63"}); !ok || s.Exemplar != nil {
+		t.Fatalf("le=63 bucket should have no exemplar: %+v, %v", s, ok)
+	}
+
+	// The same exemplar must surface in the JSON snapshot.
+	snap := h.Snapshot()
+	var found bool
+	for _, e := range snap.Exemplars {
+		if e.TraceID == traceID && e.Value == 100 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("snapshot exemplars missing traced sample: %+v", snap.Exemplars)
 	}
 }
 
